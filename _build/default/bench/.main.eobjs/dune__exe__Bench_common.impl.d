@@ -1,0 +1,1 @@
+bench/bench_common.ml: Array Float Hashtbl List Printf Skipweb_util String

@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Array Bench_common Float List Printf Skipweb_core Skipweb_geom Skipweb_net Skipweb_quadtree Skipweb_util Skipweb_workload

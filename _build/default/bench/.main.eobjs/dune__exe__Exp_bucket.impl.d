@@ -1,0 +1,1 @@
+bench/exp_bucket.ml: Array Bench_common Float List Printf Skipweb_core Skipweb_net Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+bench/exp_congestion.ml: Array Bench_common Float List Printf Skipweb_core Skipweb_net Skipweb_skipgraph Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Bench_common Hashtbl List Printf Skipweb_core Skipweb_net Skipweb_skiplist Skipweb_util Skipweb_workload String

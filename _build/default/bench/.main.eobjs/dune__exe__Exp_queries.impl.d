@@ -1,0 +1,1 @@
+bench/exp_queries.ml: Array Bench_common List Printf Skipweb_core Skipweb_net Skipweb_util Skipweb_workload

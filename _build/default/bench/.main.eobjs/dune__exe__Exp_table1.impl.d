@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Array Bench_common List Printf Skipweb_core Skipweb_net Skipweb_skipgraph Skipweb_util Skipweb_workload

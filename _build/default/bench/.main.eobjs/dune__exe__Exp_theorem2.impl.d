@@ -1,0 +1,1 @@
+bench/exp_theorem2.ml: Array Bench_common Float List Option Skipweb_core Skipweb_net Skipweb_quadtree Skipweb_trie Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common Exp_ablations Exp_bucket Exp_congestion Exp_figures Exp_lemmas Exp_queries Exp_table1 Exp_theorem2 Exp_time Exp_updates List Printf String Sys

@@ -1,0 +1,65 @@
+(* Shared plumbing for the experiment harness: size sweeps, seed handling,
+   and the table format every experiment prints.
+
+   Every experiment prints measured series alongside the paper's predicted
+   asymptotic shape and a least-squares fitted shape, so "does the shape
+   hold" is visible directly in the output. *)
+
+module Stats = Skipweb_util.Stats
+module Tables = Skipweb_util.Tables
+module Prng = Skipweb_util.Prng
+
+type config = { sizes : int list; queries : int; updates : int; seeds : int list }
+
+let default_config = { sizes = [ 256; 512; 1024; 2048; 4096; 8192 ]; queries = 150; updates = 30; seeds = [ 1; 2; 3 ] }
+
+let quick_config = { sizes = [ 256; 1024 ]; queries = 60; updates = 10; seeds = [ 1 ] }
+
+let log2f n = Float.log (float_of_int n) /. Float.log 2.0
+
+(* One experiment table: rows are methods/workloads, columns are sizes,
+   plus the fitted growth shape and the paper's claim. *)
+let print_shape_table ~title ~sizes rows =
+  let t =
+    Tables.create ~title
+      ~columns:
+        ([ "series" ] @ List.map (fun n -> Printf.sprintf "n=%d" n) sizes @ [ "fitted shape"; "paper" ])
+  in
+  List.iter
+    (fun (label, series, paper) ->
+      let cells = List.map (fun v -> Tables.cell_float v) series in
+      let fit =
+        if List.length series >= 2 then
+          Stats.Fit.report (List.map2 (fun n v -> (float_of_int n, v)) sizes series)
+        else "n/a"
+      in
+      Tables.add_row t (label :: cells @ [ fit; paper ]))
+    rows;
+  Tables.print t
+
+(* Mean over seeds of a per-seed measurement. *)
+let mean_over_seeds seeds f = Stats.mean (List.map f seeds)
+
+let mean_int_list xs = Stats.mean (List.map float_of_int xs)
+
+let section name =
+  Printf.printf "\n%s\n%s\n\n" name (String.make (String.length name) '=')
+
+(* Fresh interior keys for update workloads: drawn from the same domain as
+   the stored keys so updates exercise interior paths, not the rightmost
+   spine. *)
+let fresh_keys ~seed ~count ~bound ~existing =
+  let taken = Hashtbl.create (Array.length existing) in
+  Array.iter (fun k -> Hashtbl.replace taken k ()) existing;
+  let rng = Prng.create (seed + 0x715) in
+  let out = Array.make count 0 in
+  let filled = ref 0 in
+  while !filled < count do
+    let k = Prng.int rng bound in
+    if not (Hashtbl.mem taken k) then begin
+      Hashtbl.replace taken k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out

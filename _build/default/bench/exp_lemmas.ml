@@ -1,0 +1,214 @@
+(* E8–E11: empirical validation of the four set-halving lemmas (§2.2, §3).
+
+   Each experiment draws a ground set S, takes T as an independent random
+   half, locates random queries in D(T), and measures the conflict work in
+   D(S). The lemmas claim O(1) expectation — flat in n — with explicit
+   constants for Lemma 1 (E|Q∩S| <= 4, E|C(Q,S)| <= 7) and an exact
+   counting identity for Lemma 5 (conflicts = 1 + a + 2b + 3c). *)
+
+module L = Skipweb_linklist.Linklist
+module Cq = Skipweb_quadtree.Cqtree
+module Ct = Skipweb_trie.Ctrie
+module TM = Skipweb_trapmap.Trapmap
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module Stats = Skipweb_util.Stats
+module C = Bench_common
+
+let random_half rng xs = Array.of_list (List.filter (fun _ -> Prng.bool rng) (Array.to_list xs))
+
+(* ---------- Lemma 1: sorted lists ---------- *)
+
+let lemma1_sample ~seed ~n ~queries =
+  let parent = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let rng = Prng.create (seed + 1) in
+  let child = random_half rng parent in
+  let qs = W.query_mix ~seed:(seed + 2) ~keys:parent ~n:queries ~bound:(100 * n) in
+  let conflicts = ref [] and inter = ref [] in
+  Array.iter
+    (fun q ->
+      let r = L.locate child q in
+      conflicts := float_of_int (L.conflict_count ~parent ~child r) :: !conflicts;
+      inter := float_of_int (L.intersection_size ~parent ~child r) :: !inter)
+    qs;
+  (Stats.mean !conflicts, Stats.mean !inter)
+
+let lemma1 (cfg : C.config) =
+  C.section "Lemma 1: set halving for sorted lists (E8)";
+  let series measure =
+    List.map
+      (fun n -> C.mean_over_seeds cfg.C.seeds (fun seed -> measure ~seed ~n ~queries:cfg.C.queries))
+      cfg.C.sizes
+  in
+  C.print_shape_table ~title:"Lemma 1 quantities (uniform keys)" ~sizes:cfg.C.sizes
+    [
+      ("E|C(Q,S)|", series (fun ~seed ~n ~queries -> fst (lemma1_sample ~seed ~n ~queries)), "O(1), <= 7");
+      ("E|Q cap S|", series (fun ~seed ~n ~queries -> snd (lemma1_sample ~seed ~n ~queries)), "O(1), <= 4");
+    ];
+  (* Clustered keys: the lemma is distribution-free. *)
+  let clustered ~seed ~n ~queries =
+    let parent = W.clustered_ints ~seed ~n ~clusters:8 ~spread:(4 * n) in
+    let rng = Prng.create (seed + 1) in
+    let child = random_half rng parent in
+    let qs = W.query_mix ~seed:(seed + 2) ~keys:parent ~n:queries ~bound:max_int in
+    Stats.mean
+      (Array.to_list
+         (Array.map (fun q -> float_of_int (L.conflict_count ~parent ~child (L.locate child q))) qs))
+  in
+  C.print_shape_table ~title:"Lemma 1 E|C(Q,S)| (clustered keys)" ~sizes:cfg.C.sizes
+    [
+      ( "E|C(Q,S)|",
+        List.map (fun n -> C.mean_over_seeds cfg.C.seeds (fun seed -> clustered ~seed ~n ~queries:cfg.C.queries)) cfg.C.sizes,
+        "O(1), <= 7" );
+    ]
+
+(* ---------- Lemma 3: quadtrees and octrees (Figure 3) ---------- *)
+
+let lemma3_sample ~dim ~pts ~seed ~queries =
+  let rng = Prng.create (seed + 1) in
+  let sub = random_half rng pts in
+  let s = Cq.build ~dim pts in
+  let t = Cq.build ~dim sub in
+  let descents = ref [] and gaps = ref [] in
+  Array.iter
+    (fun q ->
+      let loc_t, _ = Cq.locate t q in
+      let cube = Cq.node_cube loc_t.Cq.node in
+      match Cq.node_of_cube s cube with
+      | None -> ()
+      | Some start ->
+          let _, path = Cq.locate_from s start q in
+          descents := float_of_int (List.length path) :: !descents;
+          (* S-points inside the located T-cube but outside its T-children
+             cubes: the points "visible" at the located gap. *)
+          let child_cubes = Cq.node_children_cubes loc_t.Cq.node in
+          gaps := float_of_int (Cq.points_in_located_gap s ~location_cube:cube ~child_cubes) :: !gaps)
+    queries;
+  (Stats.mean !descents, Stats.mean !gaps)
+
+let lemma3 (cfg : C.config) =
+  C.section "Lemma 3: set halving for compressed quadtrees/octrees (E9, Figure 3)";
+  let row label gen dim =
+    ( label,
+      List.map
+        (fun n ->
+          C.mean_over_seeds cfg.C.seeds (fun seed ->
+              let pts = gen ~seed ~n in
+              let queries = W.uniform_query_points ~seed:(seed + 2) ~n:cfg.C.queries ~dim in
+              fst (lemma3_sample ~dim ~pts ~seed ~queries)))
+        cfg.C.sizes,
+      "O(1)" )
+  in
+  C.print_shape_table ~title:"Lemma 3: refine descent length in D(S) from D(T) cube" ~sizes:cfg.C.sizes
+    [
+      row "uniform 2-d" (fun ~seed ~n -> W.uniform_points ~seed ~n ~dim:2) 2;
+      row "clustered 2-d" (fun ~seed ~n -> W.clustered_points ~seed ~n ~dim:2 ~clusters:6 ~radius:0.03) 2;
+      row "uniform 3-d (octree)" (fun ~seed ~n -> W.uniform_points ~seed ~n ~dim:3) 3;
+    ];
+  (* Points visible in the located gap: the quantity whose expectation the
+     lemma bounds. *)
+  let gap_row label gen dim =
+    ( label,
+      List.map
+        (fun n ->
+          C.mean_over_seeds cfg.C.seeds (fun seed ->
+              let pts = gen ~seed ~n in
+              let queries = W.uniform_query_points ~seed:(seed + 2) ~n:cfg.C.queries ~dim in
+              snd (lemma3_sample ~dim ~pts ~seed ~queries)))
+        cfg.C.sizes,
+      "O(1)" )
+  in
+  C.print_shape_table ~title:"Lemma 3: S-points visible in the located T-gap" ~sizes:cfg.C.sizes
+    [ gap_row "uniform 2-d" (fun ~seed ~n -> W.uniform_points ~seed ~n ~dim:2) 2 ]
+
+(* ---------- Lemma 4: tries ---------- *)
+
+let lemma4_sample ~strs ~seed ~queries =
+  let rng = Prng.create (seed + 1) in
+  let sub = random_half rng strs in
+  let s = Ct.build strs in
+  let t = Ct.build sub in
+  let work = ref [] in
+  Array.iter
+    (fun q ->
+      let loc_t, _ = Ct.locate t q in
+      match Ct.node_of_string s (Ct.node_string loc_t.Ct.node) with
+      | None -> ()
+      | Some start ->
+          let _, path = Ct.locate_from s start q in
+          work := float_of_int (List.length path) :: !work)
+    queries;
+  Stats.mean !work
+
+let lemma4 (cfg : C.config) =
+  C.section "Lemma 4: set halving for compressed tries (E10)";
+  let sizes = List.filter (fun n -> n <= 4096) cfg.C.sizes in
+  let row label gen =
+    ( label,
+      List.map
+        (fun n ->
+          C.mean_over_seeds cfg.C.seeds (fun seed ->
+              let strs = gen ~seed ~n in
+              let queries = W.string_queries ~seed:(seed + 2) ~keys:strs ~n:cfg.C.queries in
+              lemma4_sample ~strs ~seed ~queries))
+        sizes,
+      "O(1)" )
+  in
+  C.print_shape_table ~title:"Lemma 4: refine path length in D(S) from D(T) node" ~sizes
+    [
+      row "random strings (|Sigma|=4)" (fun ~seed ~n -> W.random_strings ~seed ~n ~alphabet:4 ~len:10);
+      row "random strings (|Sigma|=2)" (fun ~seed ~n -> W.random_strings ~seed ~n ~alphabet:2 ~len:16);
+      row "isbn-like" (fun ~seed ~n -> W.isbn_strings ~seed ~n ~publishers:16);
+    ]
+
+(* ---------- Lemma 5: trapezoidal maps (Figure 4) ---------- *)
+
+let lemma5_sample ~segs ~seed ~queries =
+  let rng = Prng.create (seed + 1) in
+  let sub = random_half rng segs in
+  let s = TM.build segs in
+  let t = TM.build sub in
+  let conflicts = ref [] in
+  let identity_ok = ref 0 and identity_total = ref 0 in
+  Array.iter
+    (fun q ->
+      match TM.locate_opt t q with
+      | None -> ()
+      | Some trap ->
+          let confl = List.length (TM.conflicts s trap) in
+          let formula, _ = TM.conflict_formula ~segments:segs trap in
+          incr identity_total;
+          if formula = confl then incr identity_ok;
+          conflicts := float_of_int confl :: !conflicts)
+    queries;
+  (Stats.mean !conflicts, float_of_int !identity_ok /. float_of_int (max 1 !identity_total))
+
+let lemma5 (cfg : C.config) =
+  C.section "Lemma 5: set halving for trapezoidal maps (E11, Figure 4)";
+  let sizes = List.filter (fun n -> n <= 1024) cfg.C.sizes in
+  let data =
+    List.map
+      (fun n ->
+        let conf, ident =
+          List.fold_left
+            (fun (ca, ia) seed ->
+              let segs = W.disjoint_segments ~seed ~n in
+              let queries = W.trapmap_query_points ~seed:(seed + 2) ~n:cfg.C.queries in
+              let c, i = lemma5_sample ~segs ~seed ~queries in
+              (c :: ca, i :: ia))
+            ([], []) cfg.C.seeds
+        in
+        (Stats.mean conf, Stats.mean ident))
+      sizes
+  in
+  C.print_shape_table ~title:"Lemma 5: conflicts of the located T-trapezoid in D(S)" ~sizes
+    [
+      ("E|C(t,S)|", List.map fst data, "O(1)");
+      ("identity 1+a+2b+3c holds", List.map snd data, "exact (rate = 1)");
+    ]
+
+let run (cfg : C.config) =
+  lemma1 cfg;
+  lemma3 cfg;
+  lemma4 cfg;
+  lemma5 cfg

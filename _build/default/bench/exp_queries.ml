@@ -1,0 +1,117 @@
+(* E0: the rich query set of §1.
+
+   The paper motivates skip-webs with a list of query types one network
+   should support: exact match (set membership), one-dimensional nearest
+   neighbor, range queries, string prefix queries, and point location.
+   This experiment runs one of each against the appropriate skip-web and
+   reports the message cost — the "it actually does all of that" table. *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module B1 = Skipweb_core.Blocked1d
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module Stats = Skipweb_util.Stats
+module C = Bench_common
+
+module HP2 = H.Make (I.Points2d)
+module HStr = H.Make (I.Strings)
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  max 1 (go 0)
+
+let one_d ~seed ~n ~queries ~measure =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let net = Network.create ~hosts:n in
+  let g = B1.build ~net ~seed ~m:(4 * log2i n) keys in
+  let rng = Prng.create (seed + 1) in
+  measure g keys rng queries
+
+let run (cfg : C.config) =
+  C.section "The rich query set of the introduction (E0)";
+  let sizes = List.filter (fun n -> n <= 4096) cfg.C.sizes in
+  let membership =
+    List.map
+      (fun n ->
+        C.mean_over_seeds cfg.C.seeds (fun seed ->
+            one_d ~seed ~n ~queries:cfg.C.queries ~measure:(fun g keys rng count ->
+                let costs = ref [] in
+                for i = 0 to count - 1 do
+                  let k = keys.(i * 7919 mod n) in
+                  let r = B1.query g ~rng k in
+                  assert (r.B1.predecessor = Some k);
+                  costs := float_of_int r.B1.messages :: !costs
+                done;
+                Stats.mean !costs)))
+      sizes
+  in
+  let nearest =
+    List.map
+      (fun n ->
+        C.mean_over_seeds cfg.C.seeds (fun seed ->
+            one_d ~seed ~n ~queries:cfg.C.queries ~measure:(fun g keys rng count ->
+                let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:count ~bound:(100 * n) in
+                Stats.mean
+                  (Array.to_list
+                     (Array.map (fun q -> float_of_int (B1.query g ~rng q).B1.messages) qs)))))
+      sizes
+  in
+  let range16 =
+    List.map
+      (fun n ->
+        C.mean_over_seeds cfg.C.seeds (fun seed ->
+            one_d ~seed ~n ~queries:(cfg.C.queries / 4) ~measure:(fun g keys rng count ->
+                let costs = ref [] in
+                for i = 0 to count - 1 do
+                  let at = i * 37 mod (n - 20) in
+                  let r = B1.range g ~rng ~lo:keys.(at) ~hi:keys.(at + 15) in
+                  assert (List.length r.B1.keys = 16);
+                  costs := float_of_int r.B1.messages :: !costs
+                done;
+                Stats.mean !costs)))
+      sizes
+  in
+  let prefix =
+    List.map
+      (fun n ->
+        C.mean_over_seeds cfg.C.seeds (fun seed ->
+            let strs = W.isbn_strings ~seed ~n ~publishers:16 in
+            let net = Network.create ~hosts:n in
+            let h = HStr.build ~net ~seed strs in
+            let rng = Prng.create (seed + 1) in
+            let costs = ref [] in
+            for p = 0 to min 15 (cfg.C.queries - 1) do
+              let _, stats = HStr.query h ~rng (Printf.sprintf "978-%d-" p) in
+              costs := float_of_int stats.HStr.messages :: !costs
+            done;
+            Stats.mean !costs))
+      sizes
+  in
+  let point_location =
+    List.map
+      (fun n ->
+        C.mean_over_seeds cfg.C.seeds (fun seed ->
+            let pts = W.uniform_points ~seed ~n ~dim:2 in
+            let net = Network.create ~hosts:n in
+            let h = HP2.build ~net ~seed pts in
+            let rng = Prng.create (seed + 1) in
+            let qs = W.uniform_query_points ~seed:(seed + 2) ~n:cfg.C.queries ~dim:2 in
+            Stats.mean
+              (Array.to_list
+                 (Array.map
+                    (fun q ->
+                      let _, stats = HP2.query h ~rng q in
+                      float_of_int stats.HP2.messages)
+                    qs))))
+      sizes
+  in
+  C.print_shape_table ~title:"message cost per query type (answers verified in-line)" ~sizes
+    [
+      ("exact match / membership (1-d)", membership, "~O(log n/loglog n)");
+      ("nearest neighbor (1-d)", nearest, "~O(log n/loglog n)");
+      ("range query, 16 keys (1-d)", range16, "locate + k/B");
+      ("string prefix (ISBN publisher)", prefix, "~O(log n)");
+      ("point location (2-d)", point_location, "~O(log n)");
+    ]

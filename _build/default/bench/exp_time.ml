@@ -1,0 +1,107 @@
+(* Wall-clock micro-benchmarks via bechamel: one Test.make per reproduced
+   artifact, timing the operation that artifact's experiment is built on.
+   The message-count experiments above are the paper-facing results; these
+   timings show the simulator itself is cheap enough to trust at the sizes
+   we sweep. *)
+
+open Bechamel
+open Toolkit
+module Network = Skipweb_net.Network
+module SG = Skipweb_skipgraph.Skip_graph
+module NoN = Skipweb_skipgraph.Non_skip_graph
+module DS = Skipweb_skipgraph.Det_skipnet
+module FT = Skipweb_skipgraph.Family_tree
+module BSG = Skipweb_skipgraph.Bucket_skip_graph
+module B1 = Skipweb_core.Blocked1d
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module Cq = Skipweb_quadtree.Cqtree
+module Ct = Skipweb_trie.Ctrie
+module TM = Skipweb_trapmap.Trapmap
+module SL = Skipweb_skiplist.Skip_list
+module L = Skipweb_linklist.Linklist
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+module HP2 = H.Make (I.Points2d)
+
+let n = 1024
+
+let tests () =
+  let keys = W.distinct_ints ~seed:1 ~n ~bound:(100 * n) in
+  let pts = W.uniform_points ~seed:2 ~n ~dim:2 in
+  let strs = W.random_strings ~seed:3 ~n ~alphabet:4 ~len:10 in
+  let segs = W.disjoint_segments ~seed:4 ~n:128 in
+  (* Pre-built structures for query benches. *)
+  let sg = SG.create ~net:(Network.create ~hosts:(n + 4)) ~seed:5 ~keys in
+  let non = NoN.create ~net:(Network.create ~hosts:(n + 4)) ~seed:5 ~keys in
+  let ds = DS.create ~net:(Network.create ~hosts:((2 * n) + 8)) ~keys in
+  let ft = FT.create ~net:(Network.create ~hosts:(n + 4)) ~seed:5 ~keys in
+  let bsg = BSG.create ~net:(Network.create ~hosts:128) ~seed:5 ~keys ~buckets:64 in
+  let b1 = B1.build ~net:(Network.create ~hosts:n) ~seed:5 ~m:40 keys in
+  let hp2 = HP2.build ~net:(Network.create ~hosts:n) ~seed:5 pts in
+  let trie = Ct.build strs in
+  let tmap = TM.build segs in
+  let cq = Cq.build ~dim:2 pts in
+  let rng = Prng.create 6 in
+  let sl = SL.Int.create ~seed:7 () in
+  Array.iter (fun k -> SL.Int.insert sl k k) keys;
+  [
+    (* Table 1 rows: one query bench per structure. *)
+    Test.make ~name:"table1/skip-graph-search"
+      (Staged.stage (fun () -> SG.search_from_random sg ~rng (Prng.int rng (100 * n))));
+    Test.make ~name:"table1/non-skip-graph-search"
+      (Staged.stage (fun () -> NoN.search_from_random non ~rng (Prng.int rng (100 * n))));
+    Test.make ~name:"table1/family-tree-search"
+      (Staged.stage (fun () -> FT.search ft ~from:(Prng.int rng n) (Prng.int rng (100 * n))));
+    Test.make ~name:"table1/det-skipnet-search"
+      (Staged.stage (fun () -> DS.search ds ~from:1 (Prng.int rng (100 * n))));
+    Test.make ~name:"table1/bucket-skip-graph-search"
+      (Staged.stage (fun () -> BSG.search bsg ~rng (Prng.int rng (100 * n))));
+    Test.make ~name:"table1/skipweb-blocked-query"
+      (Staged.stage (fun () -> B1.query b1 ~rng (Prng.int rng (100 * n))));
+    (* Theorem 2 / multi-dimensional queries. *)
+    Test.make ~name:"theorem2/quadtree-web-query"
+      (Staged.stage (fun () ->
+           HP2.query hp2 ~rng (Skipweb_geom.Point.create [ Prng.float rng 1.0; Prng.float rng 1.0 ])));
+    (* Lemma substrates. *)
+    Test.make ~name:"lemma1/list-conflicts"
+      (Staged.stage (fun () ->
+           L.conflict_count ~parent:keys ~child:keys (L.locate keys (Prng.int rng (100 * n)))));
+    Test.make ~name:"lemma3/quadtree-locate"
+      (Staged.stage (fun () ->
+           Cq.locate cq (Skipweb_geom.Point.create [ Prng.float rng 1.0; Prng.float rng 1.0 ])));
+    Test.make ~name:"lemma4/trie-locate"
+      (Staged.stage (fun () -> Ct.locate trie strs.(Prng.int rng (Array.length strs))));
+    Test.make ~name:"lemma5/trapmap-locate"
+      (Staged.stage (fun () -> TM.locate_opt tmap (Prng.float rng 1.0, Prng.float rng 1.0)));
+    (* Figure 1. *)
+    Test.make ~name:"figure1/skip-list-search"
+      (Staged.stage (fun () -> SL.Int.search_cost sl (Prng.int rng (100 * n))));
+    (* Figure 2 / construction cost. *)
+    Test.make ~name:"figure2/skipweb-build-256"
+      (Staged.stage (fun () ->
+           let ks = W.distinct_ints ~seed:9 ~n:256 ~bound:25_600 in
+           B1.build ~net:(Network.create ~hosts:256) ~seed:9 ~m:32 ks));
+  ]
+
+let run () =
+  Bench_common.section "Wall-clock micro-benchmarks (bechamel)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let grouped = Test.make_grouped ~name:"skipweb" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let tbl = Skipweb_util.Tables.create ~title:"time per operation" ~columns:[ "benchmark"; "ns/op" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (v :: _) -> Printf.sprintf "%.0f" v
+        | Some [] | None -> "n/a"
+      in
+      Skipweb_util.Tables.add_row tbl [ name; est ])
+    (List.sort compare rows);
+  Skipweb_util.Tables.print tbl

@@ -1,0 +1,42 @@
+(* The experiment harness: regenerates every table, figure, lemma and
+   theorem claim of the skip-webs paper (see DESIGN.md's experiment index
+   and EXPERIMENTS.md for the measured-vs-paper discussion).
+
+   Usage:
+     dune exec bench/main.exe                 # all experiments, default sizes
+     dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
+     dune exec bench/main.exe -- table1 lemmas   # selected experiments only
+     dune exec bench/main.exe -- --no-time    # skip wall-clock benches
+
+   Experiments: table1, lemmas, theorem2, updates, figures, congestion,
+   bucket, ablations, time. *)
+
+let experiments =
+  [
+    ("queries", fun cfg -> Exp_queries.run cfg);
+    ("table1", fun cfg -> Exp_table1.run cfg);
+    ("lemmas", fun cfg -> Exp_lemmas.run cfg);
+    ("theorem2", fun cfg -> Exp_theorem2.run cfg);
+    ("updates", fun cfg -> Exp_updates.run cfg);
+    ("figures", fun cfg -> Exp_figures.run cfg);
+    ("congestion", fun cfg -> Exp_congestion.run cfg);
+    ("bucket", fun cfg -> Exp_bucket.run cfg);
+    ("ablations", fun cfg -> Exp_ablations.run cfg);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_time = List.mem "--no-time" args in
+  let selected = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  let cfg = if quick then Bench_common.quick_config else Bench_common.default_config in
+  Printf.printf
+    "skip-webs reproduction harness — sizes: %s, %d queries, %d updates, %d seed(s)\n"
+    (String.concat "," (List.map string_of_int cfg.Bench_common.sizes))
+    cfg.Bench_common.queries cfg.Bench_common.updates
+    (List.length cfg.Bench_common.seeds);
+  let unknown = List.filter (fun s -> not (List.mem_assoc s experiments) && s <> "time") selected in
+  List.iter (fun s -> Printf.eprintf "warning: unknown experiment %S ignored\n" s) unknown;
+  let want name = selected = [] || List.mem name selected in
+  List.iter (fun (name, f) -> if want name then f cfg) experiments;
+  if (want "time" && not no_time) || List.mem "time" selected then Exp_time.run ()

@@ -1,0 +1,258 @@
+(* skipweb_cli: build any of the repository's distributed 1-d structures on
+   the simulated network, drive a workload over it, and print the measured
+   cost columns of Table 1 (M, C, Q, U).
+
+   Examples:
+     dune exec bin/skipweb_cli.exe -- query --structure skipweb -n 4096
+     dune exec bin/skipweb_cli.exe -- query --structure non -n 1024 --queries 500
+     dune exec bin/skipweb_cli.exe -- update --structure skipgraph -n 2048
+     dune exec bin/skipweb_cli.exe -- census -n 1024 *)
+
+module Network = Skipweb_net.Network
+module SG = Skipweb_skipgraph.Skip_graph
+module NoN = Skipweb_skipgraph.Non_skip_graph
+module FT = Skipweb_skipgraph.Family_tree
+module DS = Skipweb_skipgraph.Det_skipnet
+module BSG = Skipweb_skipgraph.Bucket_skip_graph
+module B1 = Skipweb_core.Blocked1d
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module Stats = Skipweb_util.Stats
+module Tables = Skipweb_util.Tables
+
+module HInt = H.Make (I.Ints)
+
+type structure =
+  | Skip_graph
+  | Non_skip_graph
+  | Family_tree
+  | Det_skipnet
+  | Bucket_skip_graph
+  | Skipweb
+  | Skipweb_generic
+
+let structures =
+  [
+    ("skipgraph", Skip_graph);
+    ("non", Non_skip_graph);
+    ("family", Family_tree);
+    ("detskipnet", Det_skipnet);
+    ("bucket", Bucket_skip_graph);
+    ("skipweb", Skipweb);
+    ("skipweb-generic", Skipweb_generic);
+  ]
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  max 1 (go 0)
+
+(* A uniform driver interface over all seven structures. *)
+type driver = {
+  describe : string;
+  query : int -> int;  (* returns messages *)
+  insert : int -> int;
+  delete : int -> int;
+  host_count : int;
+}
+
+let make_driver structure ~net_pad ~seed ~m ~buckets keys =
+  let n = Array.length keys in
+  match structure with
+  | Skip_graph ->
+      let net = Network.create ~hosts:(n + net_pad) in
+      let g = SG.create ~net ~seed ~keys in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = "skip graph (Aspnes-Shah) / SkipNet, H = n";
+        query = (fun q -> (SG.search_from_random g ~rng q).SG.messages);
+        insert = SG.insert g;
+        delete = SG.delete g;
+        host_count = Network.host_count net;
+      }
+  | Non_skip_graph ->
+      let net = Network.create ~hosts:(n + net_pad) in
+      let g = NoN.create ~net ~seed ~keys in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = "NoN skip graph (Manku-Naor-Wieder lookahead), H = n";
+        query = (fun q -> (NoN.search_from_random g ~rng q).NoN.messages);
+        insert = NoN.insert g;
+        delete = NoN.delete g;
+        host_count = Network.host_count net;
+      }
+  | Family_tree ->
+      let net = Network.create ~hosts:(n + net_pad) in
+      let g = FT.create ~net ~seed ~keys in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = "family tree comparator (constant-degree overlay), H = n";
+        query = (fun q -> (FT.search g ~from:(Prng.int rng (max 1 (FT.size g))) q).FT.messages);
+        insert = FT.insert g;
+        delete = FT.delete g;
+        host_count = Network.host_count net;
+      }
+  | Det_skipnet ->
+      let net = Network.create ~hosts:((2 * n) + net_pad + 4) in
+      let g = DS.create ~net ~keys in
+      {
+        describe = "deterministic SkipNet (1-2-3 skip list), H = n";
+        query = (fun q -> (DS.search g ~from:0 q).DS.messages);
+        insert = DS.insert g;
+        delete = DS.delete g;
+        host_count = Network.host_count net;
+      }
+  | Bucket_skip_graph ->
+      let hosts = match buckets with Some b -> b | None -> max 2 (n / log2i n) in
+      let net = Network.create ~hosts:(2 * hosts) in
+      let g = BSG.create ~net ~seed ~keys ~buckets:hosts in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = Printf.sprintf "bucket skip graph, H = %d < n" hosts;
+        query = (fun q -> (BSG.search g ~rng q).BSG.messages);
+        insert = (fun k -> BSG.insert g ~rng k);
+        delete = (fun k -> BSG.delete g ~rng k);
+        host_count = Network.host_count net;
+      }
+  | Skipweb ->
+      let net = Network.create ~hosts:(n + net_pad) in
+      let m = match m with Some m -> m | None -> 4 * log2i n in
+      let g = B1.build ~net ~seed ~m keys in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = Printf.sprintf "skip-web, blocked (§2.4.1), H = n, M = %d" m;
+        query = (fun q -> (B1.query g ~rng q).B1.messages);
+        insert = B1.insert g;
+        delete = B1.delete g;
+        host_count = Network.host_count net;
+      }
+  | Skipweb_generic ->
+      let net = Network.create ~hosts:(n + net_pad) in
+      let g = HInt.build ~net ~seed keys in
+      let rng = Prng.create (seed + 1) in
+      {
+        describe = "skip-web, arbitrary placement (§2.4 general)";
+        query =
+          (fun q ->
+            let _, stats = HInt.query g ~rng q in
+            stats.HInt.messages);
+        insert = HInt.insert g;
+        delete = HInt.remove g;
+        host_count = Network.host_count net;
+      }
+
+let run_query structure n queries seed m buckets =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets keys in
+  Printf.printf "structure: %s\n" d.describe;
+  Printf.printf "items: %d   hosts: %d   queries: %d\n\n" n d.host_count queries;
+  let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
+  let costs = Array.to_list (Array.map (fun q -> float_of_int (d.query q)) qs) in
+  let s = Stats.summarize costs in
+  let t = Tables.create ~title:"query message cost Q(n)" ~columns:[ "mean"; "p50"; "p90"; "p99"; "max" ] in
+  Tables.add_row t
+    [
+      Tables.cell_float s.Stats.mean;
+      Tables.cell_float s.Stats.p50;
+      Tables.cell_float s.Stats.p90;
+      Tables.cell_float s.Stats.p99;
+      Tables.cell_float s.Stats.max;
+    ];
+  Tables.print t;
+  0
+
+let run_update structure n updates seed m buckets =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets keys in
+  Printf.printf "structure: %s\n" d.describe;
+  let rng = Prng.create (seed + 3) in
+  let inserted = ref [] in
+  let insert_costs = ref [] in
+  let fresh () =
+    let rec go () =
+      let k = (100 * n) + Prng.int rng (100 * n) in
+      if List.mem k !inserted then go () else k
+    in
+    go ()
+  in
+  for _ = 1 to updates do
+    let k = fresh () in
+    insert_costs := float_of_int (d.insert k) :: !insert_costs;
+    inserted := k :: !inserted
+  done;
+  let delete_costs =
+    List.filter_map
+      (fun k -> try Some (float_of_int (d.delete k)) with Invalid_argument _ -> None)
+      !inserted
+  in
+  let t = Tables.create ~title:"update message cost U(n)" ~columns:[ "op"; "count"; "mean"; "max" ] in
+  let s = Stats.summarize !insert_costs in
+  Tables.add_row t [ "insert"; string_of_int s.Stats.count; Tables.cell_float s.Stats.mean; Tables.cell_float s.Stats.max ];
+  (match delete_costs with
+  | [] -> Tables.add_row t [ "delete"; "0"; "n/a"; "n/a" ]
+  | _ ->
+      let s = Stats.summarize delete_costs in
+      Tables.add_row t
+        [ "delete"; string_of_int s.Stats.count; Tables.cell_float s.Stats.mean; Tables.cell_float s.Stats.max ]);
+  Tables.print t;
+  0
+
+let run_census n seed =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let net = Network.create ~hosts:n in
+  let h = HInt.build ~net ~seed keys in
+  Printf.printf "1-d skip-web level census (Figure 2), n = %d\n\n" n;
+  let t =
+    Tables.create ~title:"levels" ~columns:[ "level"; "sets"; "elements"; "largest set" ]
+  in
+  for level = 0 to HInt.levels h - 1 do
+    let sizes = HInt.level_set_sizes h level in
+    Tables.add_row t
+      [
+        string_of_int level;
+        string_of_int (List.length sizes);
+        string_of_int (List.fold_left ( + ) 0 sizes);
+        string_of_int (List.fold_left max 0 sizes);
+      ]
+  done;
+  Tables.print t;
+  Printf.printf "total stored ranges: %d (O(n log n))\n" (HInt.total_storage h);
+  Printf.printf "busiest host stores: %d units (O(log n) under hashed placement)\n"
+    (Network.max_memory net);
+  0
+
+(* ---------------- command line ---------------- *)
+
+open Cmdliner
+
+let structure_arg =
+  let sconv = Arg.enum structures in
+  Arg.(value & opt sconv Skipweb & info [ "structure"; "s" ] ~docv:"NAME" ~doc:"Structure to drive: $(docv) is one of skipgraph, non, family, detskipnet, bucket, skipweb, skipweb-generic.")
+
+let n_arg = Arg.(value & opt int 1024 & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of stored keys.")
+let queries_arg = Arg.(value & opt int 200 & info [ "queries"; "q" ] ~docv:"Q" ~doc:"Number of queries.")
+let updates_arg = Arg.(value & opt int 50 & info [ "updates"; "u" ] ~docv:"U" ~doc:"Number of updates.")
+let seed_arg = Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc:"Per-host memory target for skip-webs (default 4 log n).")
+let buckets_arg = Arg.(value & opt (some int) None & info [ "buckets" ] ~docv:"H" ~doc:"Host count for bucket structures (default n / log n).")
+
+let query_cmd =
+  let doc = "Measure query message costs on a structure." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg)
+
+let update_cmd =
+  let doc = "Measure insert/delete message costs on a structure." in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(const run_update $ structure_arg $ n_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg)
+
+let census_cmd =
+  let doc = "Print the skip-web level census (Figure 2)." in
+  Cmd.v (Cmd.info "census" ~doc) Term.(const run_census $ n_arg $ seed_arg)
+
+let main =
+  let doc = "Drive the skip-webs reproduction's distributed structures." in
+  Cmd.group (Cmd.info "skipweb_cli" ~version:"1.0" ~doc) [ query_cmd; update_cmd; census_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/campus_map.ml: Array List Printf Skipweb_core Skipweb_geom Skipweb_net Skipweb_trapmap Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+examples/isbn_prefix.ml: Array List Printf Skipweb_core Skipweb_net Skipweb_trie Skipweb_util Skipweb_workload String

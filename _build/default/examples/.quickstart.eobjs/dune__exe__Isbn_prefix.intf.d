@@ -1,0 +1,1 @@
+examples/isbn_prefix.mli:

@@ -1,0 +1,1 @@
+examples/kiosk_finder.mli:

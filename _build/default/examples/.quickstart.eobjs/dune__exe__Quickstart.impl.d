@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Skipweb_core Skipweb_net Skipweb_util String

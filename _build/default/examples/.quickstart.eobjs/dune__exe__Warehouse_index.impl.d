@@ -1,0 +1,1 @@
+examples/warehouse_index.ml: Array Float List Printf Skipweb_core Skipweb_net Skipweb_skipgraph Skipweb_util Skipweb_workload

@@ -1,0 +1,71 @@
+(* Campus map point location: §3.3 builds skip-webs over trapezoidal maps
+   "as would be created by a campus or city map in a geographic
+   information system".
+
+   We build the trapezoidal map of a set of disjoint walls/paths, spread
+   it over hosts as a skip-web, and answer "which region of the map am I
+   standing in?" — planar point location in O(log n) messages.
+
+   Run with: dune exec examples/campus_map.exe *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module Segment = Skipweb_geom.Segment
+module Trapmap = Skipweb_trapmap.Trapmap
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+module Map_web = H.Make (I.Segments)
+
+let () =
+  let n = 80 in
+  let walls = W.disjoint_segments ~seed:77 ~n in
+  let net = Network.create ~hosts:256 in
+  let web = Map_web.build ~net ~seed:13 walls in
+  let oracle = Trapmap.build walls in
+  Printf.printf
+    "Campus map: %d walls -> %d trapezoids (3n+1 = %d), %d skip-web levels on %d hosts\n\n" n
+    (Trapmap.trap_count oracle)
+    ((3 * n) + 1)
+    (Map_web.levels web) (Network.host_count net);
+
+  let rng = Prng.create 21 in
+  let visitors = W.trapmap_query_points ~seed:99 ~n:6 in
+  Array.iter
+    (fun (x, y) ->
+      match Trapmap.locate_opt oracle (x, y) with
+      | None -> ()  (* standing exactly on a wall: skip *)
+      | Some _ ->
+          let answer, stats = Map_web.query web ~rng (x, y) in
+          let bound = function
+            | Some id -> Printf.sprintf "wall #%d" id
+            | None -> "the map edge"
+          in
+          let lo, hi = answer.I.xspan in
+          Printf.printf
+            "visitor at (%.3f, %.3f): region x∈[%.3f, %.3f], below %s, above %s — %d messages\n" x
+            y lo hi (bound answer.I.above) (bound answer.I.below) stats.Map_web.messages)
+    visitors;
+
+  (* A new wall is built. *)
+  let spare = W.disjoint_segments ~seed:78 ~n:(n + 30) in
+  let extra = spare.(n + 20) in
+  (match
+     List.find_opt
+       (fun s ->
+         List.for_all
+           (fun old ->
+             (not (Segment.crosses old s))
+             &&
+             let (ox0, _), (ox1, _) = Segment.endpoints old in
+             let (sx0, _), (sx1, _) = Segment.endpoints s in
+             ox0 <> sx0 && ox0 <> sx1 && ox1 <> sx0 && ox1 <> sx1)
+           (Array.to_list walls))
+       (Array.to_list (Array.sub spare n 30))
+   with
+  | Some wall ->
+      let cost = Map_web.insert web wall in
+      Printf.printf "\nbuilt %s: insert cost %d messages, map now has %d walls\n"
+        (Segment.to_string wall) cost (Map_web.size web)
+  | None -> ignore extra)

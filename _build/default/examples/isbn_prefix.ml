@@ -1,0 +1,53 @@
+(* Distributed book database: the paper's introduction motivates string
+   skip-webs with "a prefix query for ISBN numbers in a book database
+   could return all titles by a certain publisher".
+
+   We store ISBN-like identifiers in a trie skip-web spread over hosts and
+   run publisher-prefix queries: each one routes through O(log n) hosts
+   regardless of how deep the shared-prefix structure is.
+
+   Run with: dune exec examples/isbn_prefix.exe *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module Ctrie = Skipweb_trie.Ctrie
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+module Book_web = H.Make (I.Strings)
+
+let () =
+  let n = 800 in
+  let isbns = W.isbn_strings ~seed:2005 ~n ~publishers:12 in
+  let net = Network.create ~hosts:n in
+  let web = Book_web.build ~net ~seed:9 isbns in
+  Printf.printf "Book database: %d ISBNs on %d hosts, %d skip-web levels\n\n" (Book_web.size web)
+    (Network.host_count net) (Book_web.levels web);
+
+  let rng = Prng.create 5 in
+  (* Publisher prefix queries. *)
+  List.iter
+    (fun publisher ->
+      let prefix = Printf.sprintf "978-%d-" publisher in
+      let answer, stats = Book_web.query web ~rng prefix in
+      Printf.printf "titles by publisher %-2d (prefix %-7s): %4d matches, %2d messages\n" publisher
+        prefix answer.I.matches stats.Book_web.messages)
+    [ 0; 1; 2; 5; 11 ];
+
+  (* Exact-title lookup: the longest common prefix tells how close a typo
+     came to a real ISBN. *)
+  let oracle = Ctrie.build isbns in
+  let sample = isbns.(17) in
+  let typo = String.sub sample 0 (String.length sample - 1) ^ "X" in
+  let answer, stats = Book_web.query web ~rng typo in
+  Printf.printf "\nlookup %S (a typo of %S):\n  longest stored prefix %S, %d matches, %d messages\n"
+    typo sample answer.I.lcp answer.I.matches stats.Book_web.messages;
+  assert (answer.I.lcp = Ctrie.longest_common_prefix oracle typo);
+
+  (* New titles arrive. *)
+  let fresh = "978-3-999999" in
+  let cost = Book_web.insert web fresh in
+  let answer, _ = Book_web.query web ~rng fresh in
+  Printf.printf "\npublished %S: insert cost %d messages; lookup now matches %d title(s)\n" fresh
+    cost answer.I.matches

@@ -1,0 +1,60 @@
+(* Kiosk finder: the paper's introduction motivates skip-webs with
+   "a nearest-neighbor query in a two-dimensional point set could reveal
+   the closest open computer kiosk or empty parking space on a college
+   campus".
+
+   We scatter kiosks over a campus, build a quadtree skip-web over n
+   hosts, and answer "where is the closest open kiosk?" from arbitrary
+   hosts: the skip-web locates the query's quadtree cell in O(log n)
+   messages, and the located cell anchors a local neighborhood search.
+
+   Run with: dune exec examples/kiosk_finder.exe *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module Point = Skipweb_geom.Point
+module Cqtree = Skipweb_quadtree.Cqtree
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+module Kiosk_web = H.Make (I.Points2d)
+
+let () =
+  let n = 600 in
+  let rng = Prng.create 11 in
+  (* Kiosks cluster around campus buildings. *)
+  let kiosks = W.clustered_points ~seed:42 ~n ~dim:2 ~clusters:8 ~radius:0.08 in
+  let net = Network.create ~hosts:n in
+  let web = Kiosk_web.build ~net ~seed:3 kiosks in
+  Printf.printf "Campus kiosk map: %d kiosks on %d hosts, %d skip-web levels, %d stored ranges\n\n"
+    (Kiosk_web.size web) (Network.host_count net) (Kiosk_web.levels web)
+    (Kiosk_web.total_storage web);
+
+  (* A sequential quadtree over the same kiosks acts as the local
+     neighborhood index each host can consult once the cell is located;
+     here it doubles as the exact-answer oracle. *)
+  let oracle = Cqtree.build ~dim:2 kiosks in
+
+  let students =
+    [ (0.50, 0.50); (0.05, 0.95); (0.99, 0.01); (0.33, 0.66); (0.80, 0.40) ]
+  in
+  List.iter
+    (fun (x, y) ->
+      let q = Point.create [ x; y ] in
+      let answer, stats = Kiosk_web.query web ~rng q in
+      let exact =
+        match Cqtree.nearest oracle q with
+        | Some (p, d) -> Printf.sprintf "%s at distance %.3f" (Point.to_string p) d
+        | None -> "none"
+      in
+      Printf.printf
+        "student at (%.2f, %.2f): located cell depth %d in %d messages; nearest kiosk %s\n" x y
+        answer.I.cell_depth stats.Kiosk_web.messages exact)
+    students;
+
+  (* A kiosk goes offline; the structure updates in O(log n) messages. *)
+  let gone = kiosks.(0) in
+  let cost = Kiosk_web.remove web gone in
+  Printf.printf "\nkiosk %s went offline: removal cost %d messages, %d kiosks remain\n"
+    (Point.to_string gone) cost (Kiosk_web.size web)

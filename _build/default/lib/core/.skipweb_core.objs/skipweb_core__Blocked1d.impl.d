@@ -1,0 +1,1 @@
+lib/core/blocked1d.ml: Array Fun Hashtbl List Printf Skipweb_linklist Skipweb_net Skipweb_util

@@ -1,0 +1,1 @@
+lib/core/blocked1d.mli: Skipweb_net Skipweb_util

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Hashtbl List Range_structure Skipweb_net Skipweb_util

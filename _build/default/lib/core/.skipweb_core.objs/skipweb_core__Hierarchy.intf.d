@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Range_structure Skipweb_net Skipweb_util

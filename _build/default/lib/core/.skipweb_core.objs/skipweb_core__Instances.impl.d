@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Fun List Option Printf Range_structure Skipweb_geom Skipweb_linklist Skipweb_quadtree Skipweb_trapmap Skipweb_trie

@@ -1,0 +1,359 @@
+module Network = Skipweb_net.Network
+module Membership = Skipweb_util.Membership
+module Prng = Skipweb_util.Prng
+module L = Skipweb_linklist.Linklist
+
+(* Membership bits are derived from the key itself, so an element keeps its
+   level path across rebuilds. *)
+type t = {
+  net : Network.t;
+  vecs : Membership.t;
+  m : int;  (* per-host memory target M *)
+  stride : int;  (* L = ceil(log2 M): basic levels are multiples *)
+  mutable bsize : int;  (* ranges per block at basic levels *)
+  mutable keys : int array;  (* the ground set, sorted *)
+  mutable top : int;  (* K = ceil(log2 n) *)
+  sets : (int * int, int array) Hashtbl.t;  (* (level, prefix) -> sorted keys *)
+  blocks : (int * int * int, Network.host) Hashtbl.t;  (* basic (level, prefix, block) -> owner *)
+  replicas : (int * int, (int * int * Network.host) list) Hashtbl.t;
+      (* non-basic (level, prefix) -> cone intervals (code_lo, code_hi, host) *)
+  host_mem : (Network.host, int) Hashtbl.t;  (* what we charged, for rebuilds *)
+}
+
+let size t = Array.length t.keys
+let levels t = t.top + 1
+let block_size t = t.bsize
+
+let basic_levels t =
+  List.filter (fun l -> l mod t.stride = 0) (List.init (t.top + 1) Fun.id)
+
+let prefix t key level = Membership.prefix t.vecs ~id:key ~len:level
+
+let required_top n =
+  let rec go k = if 1 lsl k >= max 1 n then k else go (k + 1) in
+  go 0
+
+let charge t host units =
+  Network.charge_memory t.net host units;
+  Hashtbl.replace t.host_mem host ((try Hashtbl.find t.host_mem host with Not_found -> 0) + units)
+
+let uncharge_all t =
+  Hashtbl.iter (fun host units -> if units <> 0 then Network.charge_memory t.net host (-units)) t.host_mem;
+  Hashtbl.reset t.host_mem
+
+(* Key-interval endpoints of a code interval within a set array. *)
+let interval_span arr clo chi =
+  let lo, _ = L.span arr (L.decode clo) in
+  let _, hi = L.span arr (L.decode chi) in
+  (lo, hi)
+
+(* Codes of [arr] whose range intersects the closed key interval
+   [(lo, hi)] — the one-level conflict projection; conflict lists being
+   contiguous is what makes cones intervals. *)
+let codes_touching arr (lo, hi) =
+  let m = Array.length arr in
+  let lower_bound q =
+    let rec go a b = if a >= b then a else
+      let mid = (a + b) / 2 in
+      if arr.(mid) >= q then go a mid else go (mid + 1) b
+    in
+    go 0 m
+  in
+  let upper_index q =
+    let rec go a b = if a >= b then a - 1 else
+      let mid = (a + b) / 2 in
+      if arr.(mid) <= q then go (mid + 1) b else go a mid
+    in
+    go 0 m
+  in
+  let clo = match lo with L.Neg_inf -> 0 | L.Key k -> 2 * lower_bound k | L.Pos_inf -> 2 * m in
+  let chi =
+    match hi with L.Neg_inf -> 0 | L.Key k -> 2 * (upper_index k + 1) | L.Pos_inf -> 2 * m
+  in
+  (clo, chi)
+
+let rebuild t =
+  uncharge_all t;
+  Hashtbl.reset t.sets;
+  Hashtbl.reset t.blocks;
+  Hashtbl.reset t.replicas;
+  let n = size t in
+  t.top <- required_top n;
+  (* Level sets along every element's membership path. *)
+  for level = 0 to t.top do
+    let buckets = Hashtbl.create 64 in
+    Array.iter
+      (fun k ->
+        let b = prefix t k level in
+        Hashtbl.replace buckets b (k :: (try Hashtbl.find buckets b with Not_found -> [])))
+      t.keys;
+    Hashtbl.iter
+      (fun b ks ->
+        let arr = Array.of_list ks in
+        Array.sort compare arr;
+        Hashtbl.replace t.sets (level, b) arr)
+      buckets
+  done;
+  (* Size blocks so there is about one block per host (each block drags an
+     O(M)-sized cone along, so several blocks per host would overshoot the
+     memory budget). *)
+  let hosts = Network.host_count t.net in
+  let total_basic_codes =
+    Hashtbl.fold
+      (fun (l, _) arr acc -> if l mod t.stride = 0 then acc + L.num_ranges arr else acc)
+      t.sets 0
+  in
+  t.bsize <- max (max 2 (t.m / 4)) ((total_basic_codes + hosts - 1) / hosts);
+  let counter = ref 0 in
+  let cone_replicas = Hashtbl.create 64 in
+  for level = 0 to t.top do
+    if level mod t.stride = 0 then begin
+      let sets_here =
+        Hashtbl.fold (fun (l, b) arr acc -> if l = level then (b, arr) :: acc else acc) t.sets []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (b, arr) ->
+          let codes = L.num_ranges arr in
+          let nblocks = (codes + t.bsize - 1) / t.bsize in
+          for j = 0 to nblocks - 1 do
+            let host = !counter mod hosts in
+            incr counter;
+            Hashtbl.replace t.blocks (level, b, j) host;
+            let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
+            charge t host (chi - clo + 1);
+            (* The cone: for each non-basic level above, every descendant
+               set's ranges touching the block's key span. (This is the
+               conflict closure clamped to the block span; clamping keeps
+               per-host space O(M) while every range stays covered by the
+               block whose span it touches.) *)
+            let span_block = interval_span arr clo chi in
+            let lvl = ref (level + 1) in
+            while !lvl <= t.top && !lvl mod t.stride <> 0 do
+              let fan = 1 lsl (!lvl - level) in
+              for suffix = 0 to fan - 1 do
+                let cb = (b * fan) + suffix in
+                match Hashtbl.find_opt t.sets (!lvl, cb) with
+                | None -> ()
+                | Some child_arr ->
+                    let clo', chi' = codes_touching child_arr span_block in
+                    if clo' <= chi' then begin
+                      let key = (!lvl, cb) in
+                      Hashtbl.replace cone_replicas key
+                        ((clo', chi', host)
+                        :: (try Hashtbl.find cone_replicas key with Not_found -> []));
+                      charge t host (chi' - clo' + 1)
+                    end
+              done;
+              incr lvl
+            done
+          done)
+        sets_here
+    end
+  done;
+  Hashtbl.iter (fun key lst -> Hashtbl.replace t.replicas key lst) cone_replicas
+
+let build ~net ~seed ~m keys =
+  if m < 4 then invalid_arg "Blocked1d.build: m >= 4";
+  let xs = Array.copy keys in
+  Array.sort compare xs;
+  Array.iteri (fun i k -> if i > 0 && xs.(i - 1) = k then invalid_arg "Blocked1d.build: duplicate keys") xs;
+  let log2_ceil x =
+    let rec go k = if 1 lsl k >= x then k else go (k + 1) in
+    go 0
+  in
+  let stride = max 1 (log2_ceil m) in
+  let t =
+    {
+      net;
+      vecs = Membership.create ~seed;
+      m;
+      stride;
+      bsize = max 2 (m / 4);  (* refined by rebuild *)
+      keys = xs;
+      top = 0;
+      sets = Hashtbl.create 64;
+      blocks = Hashtbl.create 64;
+      replicas = Hashtbl.create 64;
+      host_mem = Hashtbl.create 64;
+    }
+  in
+  rebuild t;
+  t
+
+let total_storage t = Hashtbl.fold (fun _ arr acc -> acc + L.num_ranges arr) t.sets 0
+
+let replicated_storage t = Hashtbl.fold (fun _ units acc -> acc + units) t.host_mem 0
+
+let max_host_memory t = Hashtbl.fold (fun _ units acc -> max acc units) t.host_mem 0
+
+(* All hosts storing the range with this code. *)
+let hosts_of t level b code =
+  if level mod t.stride = 0 then [ Hashtbl.find t.blocks (level, b, code / t.bsize) ]
+  else
+    match Hashtbl.find_opt t.replicas (level, b) with
+    | None -> []
+    | Some lst -> List.filter_map (fun (lo, hi, h) -> if lo <= code && code <= hi then Some h else None) lst
+
+type search_result = {
+  predecessor : int option;
+  successor : int option;
+  nearest : int option;
+  messages : int;
+}
+
+(* The owner of the block that q's own position falls into at the next
+   basic level at or below [level] along the origin's set path — the host
+   a descending query will want to be on. *)
+let preferred_host t origin level q =
+  let base = level - (level mod t.stride) in
+  let b = prefix t origin base in
+  match Hashtbl.find_opt t.sets (base, b) with
+  | None -> None
+  | Some arr ->
+      let code = L.encode (L.locate arr q) in
+      Hashtbl.find_opt t.blocks (base, b, code / t.bsize)
+
+let query_from t origin q =
+  let b_top = prefix t origin t.top in
+  let arr_top = Hashtbl.find t.sets (t.top, b_top) in
+  let code_top = L.encode (L.locate arr_top q) in
+  let initial_hosts = hosts_of t t.top b_top code_top in
+  let pick level hosts current =
+    match hosts with
+    | [] -> current  (* defensive: unreplicated range, stay local *)
+    | [ h ] -> h
+    | h :: _ as hs ->
+        if List.mem current hs then current
+        else (
+          match preferred_host t origin level q with
+          | Some p when List.mem p hs -> p
+          | Some _ | None -> h)
+  in
+  let start = match initial_hosts with h :: _ -> h | [] -> 0 in
+  let session = Network.start t.net start in
+  let rec descend level =
+    if level >= 0 then begin
+      let b = prefix t origin level in
+      let arr = Hashtbl.find t.sets (level, b) in
+      let code = L.encode (L.locate arr q) in
+      let hs = hosts_of t level b code in
+      let target = pick level hs (Network.current session) in
+      Network.goto session target;
+      descend (level - 1)
+    end
+  in
+  descend t.top;
+  let predecessor = L.predecessor t.keys q in
+  let successor = L.successor t.keys q in
+  { predecessor; successor; nearest = L.nearest t.keys q; messages = Network.messages session }
+
+let query t ~rng q =
+  if size t = 0 then { predecessor = None; successor = None; nearest = None; messages = 0 }
+  else query_from t t.keys.(Prng.int rng (size t)) q
+
+let mem t k =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.keys.(mid) = k then true else if t.keys.(mid) < k then go (mid + 1) hi else go lo mid
+  in
+  go 0 (size t)
+
+(* Updates: the message bill is a locate plus O(1) messages per basic
+   level (§4 — non-basic copies live in the cones already co-located with
+   basic blocks; block splits amortize). The in-memory representation is
+   rebuilt, which the cost model does not meter. *)
+let update_cost t locate_messages = locate_messages + (2 * List.length (basic_levels t))
+
+let insert t k =
+  if mem t k then 0
+  else begin
+    let locate_msgs = if size t = 0 then 0 else (query t ~rng:(Prng.create (k + 13)) k).messages in
+    t.keys <- Array.of_list (List.sort compare (k :: Array.to_list t.keys));
+    rebuild t;
+    update_cost t locate_msgs
+  end
+
+let delete t k =
+  if not (mem t k) then 0
+  else begin
+    let locate_msgs = (query t ~rng:(Prng.create (k + 17)) k).messages in
+    t.keys <- Array.of_list (List.filter (fun x -> x <> k) (Array.to_list t.keys));
+    rebuild t;
+    update_cost t locate_msgs
+  end
+
+let check_invariants t =
+  let n = size t in
+  for level = 0 to t.top do
+    (* The level's sets partition the ground set. *)
+    let total =
+      Hashtbl.fold (fun (l, _) arr acc -> if l = level then acc + Array.length arr else acc) t.sets 0
+    in
+    if total <> n then failwith "Blocked1d: level sets do not partition the keys";
+    Hashtbl.iter
+      (fun (l, b) arr ->
+        if l = level then
+          Array.iter
+            (fun k -> if prefix t k level <> b then failwith "Blocked1d: key in wrong set")
+            arr)
+      t.sets
+  done;
+  (* Every range of every level is stored somewhere. *)
+  Hashtbl.iter
+    (fun (level, b) arr ->
+      for code = 0 to L.num_ranges arr - 1 do
+        match hosts_of t level b code with
+        | [] -> failwith (Printf.sprintf "Blocked1d: range uncovered at level %d" level)
+        | _ :: _ -> ()
+      done)
+    t.sets;
+  (* Conflict-chain soundness: on every level, the range containing a probe
+     key conflicts with the range containing it one level up. *)
+  if n > 0 then begin
+    let probes = [ t.keys.(0) - 1; t.keys.(n / 2); t.keys.(n - 1) + 1 ] in
+    List.iter
+      (fun q ->
+        let origin = t.keys.(n / 2) in
+        let rec walk level =
+          if level > 0 then begin
+            let b = prefix t origin level in
+            let child = Hashtbl.find t.sets (level, b) in
+            let parent = Hashtbl.find t.sets (level - 1, b / 2) in
+            let child_range = L.locate child q in
+            let plo, phi = L.conflict_interval ~parent ~child child_range in
+            let pcode = L.encode (L.locate parent q) in
+            if pcode < plo || pcode > phi then failwith "Blocked1d: conflict chain broken";
+            walk (level - 1)
+          end
+        in
+        walk t.top)
+      probes
+  end
+
+type range_result = { keys : int list; messages : int }
+
+let range t ~rng ~lo ~hi =
+  if lo > hi then invalid_arg "Blocked1d.range: lo > hi";
+  if size t = 0 then { keys = []; messages = 0 }
+  else begin
+    let locate = query t ~rng lo in
+    (* Walk the bottom level (the full set, prefix 0) from lo's range to
+       hi's: consecutive ranges share blocks except at block boundaries. *)
+    let arr = Hashtbl.find t.sets (0, 0) in
+    let clo, chi = L.range_codes arr ~lo ~hi in
+    let crossings = ref 0 in
+    let cur = ref (match hosts_of t 0 0 clo with h :: _ -> h | [] -> 0) in
+    let c = ref clo in
+    while !c <= chi do
+      (match hosts_of t 0 0 !c with
+      | h :: _ when h <> !cur ->
+          incr crossings;
+          cur := h
+      | _ :: _ | [] -> ());
+      incr c
+    done;
+    { keys = L.range_keys t.keys ~lo ~hi; messages = locate.messages + !crossings }
+  end

@@ -1,0 +1,76 @@
+(** One-dimensional skip-webs with the improved blocking strategy of
+    §2.4.1 — Table 1 rows 6 (skip-webs) and 7 (bucket skip-webs), and the
+    O(log n / log log n) clause of Theorem 2.
+
+    The level hierarchy is the same binary tree of randomly halved sets as
+    {!Hierarchy}, specialized to sorted integer sets whose ranges (nodes
+    and closed links) carry a dense code under which conflict lists are
+    contiguous intervals. Levels that are multiples of L = ⌈log₂ M⌉ are
+    {e basic}: their structures are cut into contiguous blocks of ranges,
+    each owned by one host. A host also stores the {e cone} of its block —
+    for every non-basic level above it (up to the next basic level), the
+    contiguous interval of ranges whose conflict chains reach the block.
+
+    A query therefore only crosses hosts when it moves past a basic level
+    (expected O(1) external hops each), giving O(log n / log M) expected
+    messages: O(log n / log log n) with M = Θ(log n) on H = n hosts
+    (row 6), and O(log_M H) with H < n hosts and M = n/H + Θ(log H)
+    (row 7, the bucket skip-web — same module, different parameters; with
+    M = n^ε the cost is O(1)).
+
+    Updates pay a locate plus O(1) messages per {e basic} level only —
+    the ranges of non-basic levels are co-located with basic blocks, and
+    block splits amortize against the insertions that grew them (§4). *)
+
+module Network = Skipweb_net.Network
+module Prng = Skipweb_util.Prng
+
+type t
+
+val build : net:Network.t -> seed:int -> m:int -> int array -> t
+(** [build ~net ~seed ~m keys]: distribute over all hosts of [net] with
+    per-host memory target [m] (the M parameter). Keys must be distinct.
+    Raises [Invalid_argument] if [m < 4]. *)
+
+val size : t -> int
+val levels : t -> int
+val basic_levels : t -> int list
+(** The basic level indices, ascending. *)
+
+val block_size : t -> int
+val total_storage : t -> int
+(** Ranges summed over all level structures (before replication). *)
+
+val replicated_storage : t -> int
+(** What hosts actually store: blocks plus cones. *)
+
+val max_host_memory : t -> int
+
+type search_result = {
+  predecessor : int option;
+  successor : int option;
+  nearest : int option;
+  messages : int;
+}
+
+val query : t -> rng:Prng.t -> int -> search_result
+(** Nearest-neighbor query from a random originating element's host. *)
+
+val insert : t -> int -> int
+(** Message cost: locate + O(1) per basic level. No-op cost 0 on
+    duplicates. *)
+
+val delete : t -> int -> int
+
+val check_invariants : t -> unit
+(** Level partitions, block coverage, replica coverage of non-basic
+    ranges, and conflict-chain soundness on samples. *)
+
+type range_result = { keys : int list; messages : int }
+
+val range : t -> rng:Prng.t -> lo:int -> hi:int -> range_result
+(** Range query (§1's "range queries over various numerical attributes"):
+    route to [lo] like a nearest-neighbor query, then walk the level-0
+    list rightwards to [hi]. Message cost is the locate cost plus one
+    message per level-0 block boundary crossed — O(log n / log log n + k/B)
+    for k reported keys and block size B. *)

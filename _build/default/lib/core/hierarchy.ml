@@ -1,0 +1,292 @@
+module Network = Skipweb_net.Network
+module Membership = Skipweb_util.Membership
+module Prng = Skipweb_util.Prng
+
+module Make (S : Range_structure.S) = struct
+  (* Level sets are identified by (level, prefix): the level-ℓ set with
+     ℓ-bit membership prefix b holds every element whose vector starts with
+     b. Level 0 is the full ground set. *)
+  type t = {
+    net : Network.t;
+    place_seed : int;
+    vecs : Membership.t;
+    structures : (int * int, S.t) Hashtbl.t;
+    members : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+    charged : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+    key_ids : (S.key, int) Hashtbl.t;
+    id_keys : (int, S.key) Hashtbl.t;
+    mutable ids : int array;  (* live element ids, for random origins *)
+    mutable top : int;  (* K = ceil(log2 n) *)
+    mutable next_id : int;
+  }
+
+  let size t = Hashtbl.length t.key_ids
+
+  let levels t = t.top + 1
+
+  let prefix t id len = Membership.prefix t.vecs ~id ~len
+
+  let set_key level b = (level, b)
+
+  let host_of_range t level b rid =
+    Prng.hash3 t.place_seed ((level * 0x100000) + b) rid mod Network.host_count t.net
+
+  (* Re-sync the memory charges of one level structure with its live
+     ranges. *)
+  let recharge t level b =
+    let key = set_key level b in
+    let old_charges =
+      match Hashtbl.find_opt t.charged key with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 16 in
+          Hashtbl.replace t.charged key h;
+          h
+    in
+    let live = Hashtbl.create 16 in
+    (match Hashtbl.find_opt t.structures key with
+    | None -> ()
+    | Some s -> List.iter (fun rid -> Hashtbl.replace live rid ()) (S.range_ids s));
+    Hashtbl.iter
+      (fun rid () ->
+        if not (Hashtbl.mem live rid) then Network.charge_memory t.net (host_of_range t level b rid) (-1))
+      old_charges;
+    Hashtbl.iter
+      (fun rid () ->
+        if not (Hashtbl.mem old_charges rid) then Network.charge_memory t.net (host_of_range t level b rid) 1)
+      live;
+    Hashtbl.replace t.charged key live
+
+  let member_table t level b =
+    let key = set_key level b in
+    match Hashtbl.find_opt t.members key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.replace t.members key h;
+        h
+
+  let refresh_ids t =
+    t.ids <- Array.of_seq (Hashtbl.to_seq_keys t.id_keys)
+
+  let required_top n =
+    let rec go k = if 1 lsl k >= max 1 n then k else go (k + 1) in
+    go 0
+
+  (* (Re)build the structure of one level set from its member keys. *)
+  let rebuild_set t level b =
+    let members = member_table t level b in
+    let key = set_key level b in
+    if Hashtbl.length members = 0 then Hashtbl.remove t.structures key
+    else begin
+      let ks =
+        Hashtbl.fold (fun id () acc -> Hashtbl.find t.id_keys id :: acc) members []
+      in
+      Hashtbl.replace t.structures key (S.build (Array.of_list ks))
+    end;
+    recharge t level b
+
+  let build ~net ~seed ?(p = 0.5) keys =
+    let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
+    let t =
+      {
+        net;
+        place_seed = seed + 0x5157;
+        vecs;
+        structures = Hashtbl.create 64;
+        members = Hashtbl.create 64;
+        charged = Hashtbl.create 64;
+        key_ids = Hashtbl.create 64;
+        id_keys = Hashtbl.create 64;
+        ids = [||];
+        top = 0;
+        next_id = 0;
+      }
+    in
+    Array.iter
+      (fun k ->
+        if not (Hashtbl.mem t.key_ids k) then begin
+          let id = t.next_id in
+          t.next_id <- id + 1;
+          Hashtbl.replace t.key_ids k id;
+          Hashtbl.replace t.id_keys id k
+        end)
+      keys;
+    refresh_ids t;
+    t.top <- required_top (size t);
+    for level = 0 to t.top do
+      Hashtbl.iter
+        (fun id _ -> Hashtbl.replace (member_table t level (prefix t id level)) id ())
+        t.id_keys;
+      (* Rebuild each set seen at this level. *)
+      let seen = Hashtbl.create 16 in
+      Hashtbl.iter (fun id _ -> Hashtbl.replace seen (prefix t id level) ()) t.id_keys;
+      Hashtbl.iter (fun b () -> rebuild_set t level b) seen
+    done;
+    t
+
+  let level_set_sizes t level =
+    Hashtbl.fold
+      (fun (l, _) s acc -> if l = level then S.size s :: acc else acc)
+      t.structures []
+
+  let total_storage t =
+    Hashtbl.fold (fun _ s acc -> acc + S.storage_units s) t.structures 0
+
+  type query_stats = { messages : int; ranges_visited : int; per_level_visits : int list }
+
+  let structure_exn t level b =
+    match Hashtbl.find_opt t.structures (set_key level b) with
+    | Some s -> s
+    | None -> failwith "Hierarchy: missing level structure on an element's path"
+
+  (* Route a query from the top-level set of the given element down to
+     level 0; the session's host pointer tracks where processing happens. *)
+  let query_from t origin_id q =
+    let b_top = prefix t origin_id t.top in
+    let s_top = structure_exn t t.top b_top in
+    let loc0, visited0 = S.locate s_top q in
+    let start_host =
+      match visited0 with
+      | rid :: _ -> host_of_range t t.top b_top rid
+      | [] -> host_of_range t t.top b_top 0
+    in
+    let session = Network.start t.net start_host in
+    List.iter (fun rid -> Network.goto session (host_of_range t t.top b_top rid)) visited0;
+    let per_level = ref [ List.length visited0 ] in
+    let total = ref (List.length visited0) in
+    let rec descend level loc s_above =
+      if level < 0 then (loc, s_above)
+      else begin
+        let b = prefix t origin_id level in
+        let s = structure_exn t level b in
+        let desc = S.describe s_above loc in
+        let loc', visited = S.refine s ~from:desc q in
+        List.iter (fun rid -> Network.goto session (host_of_range t level b rid)) visited;
+        per_level := List.length visited :: !per_level;
+        total := !total + List.length visited;
+        descend (level - 1) loc' s
+      end
+    in
+    let loc_final, s_final = descend (t.top - 1) loc0 s_top in
+    let answer = S.answer s_final loc_final q in
+    ( answer,
+      {
+        messages = Network.messages session;
+        ranges_visited = !total;
+        per_level_visits = List.rev !per_level;
+      } )
+
+  let query t ~rng q =
+    if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
+    let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
+    query_from t origin q
+
+  let grow_top t =
+    let wanted = required_top (size t) in
+    while t.top < wanted do
+      let level = t.top + 1 in
+      Hashtbl.iter
+        (fun id _ -> Hashtbl.replace (member_table t level (prefix t id level)) id ())
+        t.id_keys;
+      let seen = Hashtbl.create 16 in
+      Hashtbl.iter (fun id _ -> Hashtbl.replace seen (prefix t id level) ()) t.id_keys;
+      Hashtbl.iter (fun b () -> rebuild_set t level b) seen;
+      t.top <- level
+    done
+
+  let insert t k =
+    if Hashtbl.mem t.key_ids k then 0
+    else begin
+      (* Locate first (§4): route a probe query if the structure is not
+         empty, paying its message cost. *)
+      let locate_cost =
+        if size t = 0 then 0
+        else
+          let rng = Prng.create (t.next_id + 77) in
+          let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
+          let _, stats = query_from t origin (S.probe k) in
+          stats.messages
+      in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.key_ids k id;
+      Hashtbl.replace t.id_keys id k;
+      refresh_ids t;
+      for level = 0 to t.top do
+        let b = prefix t id level in
+        Hashtbl.replace (member_table t level b) id ();
+        (match Hashtbl.find_opt t.structures (set_key level b) with
+        | Some s -> S.insert s k
+        | None -> Hashtbl.replace t.structures (set_key level b) (S.build [| k |]));
+        recharge t level b
+      done;
+      let linking_cost = 2 * (t.top + 1) in
+      grow_top t;
+      locate_cost + linking_cost
+    end
+
+  let remove t k =
+    match Hashtbl.find_opt t.key_ids k with
+    | None -> 0
+    | Some id ->
+        let locate_cost =
+          let rng = Prng.create (id + 991) in
+          let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
+          let _, stats = query_from t origin (S.probe k) in
+          stats.messages
+        in
+        for level = 0 to t.top do
+          let b = prefix t id level in
+          Hashtbl.remove (member_table t level b) id;
+          (match Hashtbl.find_opt t.structures (set_key level b) with
+          | Some s ->
+              if Hashtbl.length (member_table t level b) = 0 then begin
+                Hashtbl.remove t.structures (set_key level b);
+                recharge t level b
+              end
+              else begin
+                S.remove s k;
+                recharge t level b
+              end
+          | None -> failwith "Hierarchy.remove: missing structure");
+          ignore b
+        done;
+        Hashtbl.remove t.key_ids k;
+        Hashtbl.remove t.id_keys id;
+        refresh_ids t;
+        locate_cost + (2 * (t.top + 1))
+
+  let mean_refinement_work t ~queries ~rng =
+    let total = ref 0 and count = ref 0 in
+    Array.iter
+      (fun q ->
+        let _, stats = query t ~rng q in
+        total := !total + stats.ranges_visited;
+        count := !count + List.length stats.per_level_visits)
+      queries;
+    if !count = 0 then 0.0 else float_of_int !total /. float_of_int !count
+
+  let check_invariants t =
+    let n = size t in
+    for level = 0 to t.top do
+      let covered = ref 0 in
+      Hashtbl.iter
+        (fun (l, b) members ->
+          if l = level then begin
+            covered := !covered + Hashtbl.length members;
+            (match Hashtbl.find_opt t.structures (set_key level b) with
+            | Some s ->
+                if S.size s <> Hashtbl.length members then
+                  failwith "Hierarchy: structure size disagrees with member set"
+            | None ->
+                if Hashtbl.length members > 0 then failwith "Hierarchy: missing structure");
+            Hashtbl.iter
+              (fun id () ->
+                if prefix t id level <> b then failwith "Hierarchy: member in wrong set")
+              members
+          end)
+        t.members;
+      if !covered <> n then failwith "Hierarchy: level does not partition the ground set"
+    done
+end

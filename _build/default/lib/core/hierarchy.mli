@@ -1,0 +1,62 @@
+(** The generic skip-web hierarchy (§2.3–§2.5, §4): a binary tree of level
+    sets produced by repeated random halving, one range-determined link
+    structure per set, searched top-down through conflict refinement.
+
+    Level 0 holds the full ground set S; each element's membership vector
+    routes it through one set per level, so level ℓ partitions S into 2^ℓ
+    sets and the top level K = ⌈log₂ n⌉ has expected-O(1)-size sets. A
+    query starts at the top-level structure of the originating element and
+    refines through K structures down to D(S); the set-halving lemma makes
+    each refinement O(1) expected ranges, so the expected message cost is
+    O(log n) under the arbitrary (hashed) blocking of §2.4 — Theorem 2's
+    general bound, for any {!Range_structure.S}.
+
+    Placement: every range of every level structure is assigned to one of
+    the H = n hosts by a deterministic hash (§2.4's "arbitrary
+    assignment"); per-host memory is then O(log n) w.h.p. The improved
+    contiguous blocking for one-dimensional data lives in {!Blocked1d}. *)
+
+module Network = Skipweb_net.Network
+
+module Make (S : Range_structure.S) : sig
+  type t
+
+  val build : net:Network.t -> seed:int -> ?p:float -> S.key array -> t
+  (** [build ~net ~seed keys] constructs the hierarchy over hosts of
+      [net]. [p] is the halving probability (default 0.5) — the A3
+      ablation knob: each membership bit is 1 with probability [p]. *)
+
+  val size : t -> int
+  val levels : t -> int
+  (** K + 1: the number of levels including level 0. *)
+
+  val level_set_sizes : t -> int -> int list
+  (** Sizes of the non-empty sets at a level (Figure 2 census). *)
+
+  val total_storage : t -> int
+  (** Total ranges across all level structures: the O(n log n) replicated
+      storage. *)
+
+  type query_stats = {
+    messages : int;
+    ranges_visited : int;
+    per_level_visits : int list;  (** visited ranges per level, top-down *)
+  }
+
+  val query : t -> rng:Skipweb_util.Prng.t -> S.query -> S.answer * query_stats
+  (** Route a query from a uniformly random originating element's host. *)
+
+  val insert : t -> S.key -> int
+  (** Add an element; returns the message cost (a locate plus O(1) linking
+      messages per level, §4). *)
+
+  val remove : t -> S.key -> int
+  (** Delete an element; returns the message cost. Raises if the underlying
+      structure does not support deletion. *)
+
+  val mean_refinement_work : t -> queries:S.query array -> rng:Skipweb_util.Prng.t -> float
+  (** Average ranges visited per level over a query batch — the empirical
+      set-halving constant (E12's inner measurement). *)
+
+  val check_invariants : t -> unit
+end

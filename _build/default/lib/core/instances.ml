@@ -1,0 +1,272 @@
+(** Instantiations of the skip-web framework (§3): one
+    {!Range_structure.S} per range-determined link structure the paper
+    treats — sorted lists (the running example of §2), compressed
+    quadtrees/octrees (§3.1), compressed tries (§3.2) and trapezoidal maps
+    (§3.3).
+
+    The 1-d instance here uses the {e arbitrary} placement of §2.4 (query
+    cost O(log n)); the improved blocked 1-d structure with
+    O(log n / log log n) queries is {!Blocked1d}. Comparing the two is
+    ablation A1. *)
+
+module Point = Skipweb_geom.Point
+module Segment = Skipweb_geom.Segment
+module L = Skipweb_linklist.Linklist
+module Cqtree = Skipweb_quadtree.Cqtree
+module Ctrie = Skipweb_trie.Ctrie
+module Trapmap = Skipweb_trapmap.Trapmap
+
+(** 1-d sorted sets: nearest-neighbor / predecessor / successor queries. *)
+module Ints :
+  Range_structure.S
+    with type key = int
+     and type query = int
+     and type answer = int option = struct
+  type key = int
+  type query = int
+  type answer = int option
+
+  type t = { mutable xs : int array }
+
+  type loc = L.range
+
+  (* The span of the located range: portable because child ranges map to
+     parent ranges by interval intersection. *)
+  type descriptor = L.bound * L.bound
+
+  let name = "sorted-list"
+
+  let build keys =
+    let xs = Array.copy keys in
+    Array.sort compare xs;
+    let dedup = Array.of_list (List.sort_uniq compare (Array.to_list xs)) in
+    { xs = dedup }
+
+  let size t = Array.length t.xs
+  let storage_units t = L.num_ranges t.xs
+  let range_ids t = List.init (L.num_ranges t.xs) Fun.id
+
+  let insert t k =
+    if not (L.check_subset ~parent:t.xs ~child:[| k |]) then begin
+      let n = Array.length t.xs in
+      let out = Array.make (n + 1) k in
+      let rec pos i = if i < n && t.xs.(i) < k then pos (i + 1) else i in
+      let p = pos 0 in
+      Array.blit t.xs 0 out 0 p;
+      Array.blit t.xs p out (p + 1) (n - p);
+      t.xs <- out
+    end
+
+  let remove t k =
+    if L.check_subset ~parent:t.xs ~child:[| k |] then
+      t.xs <- Array.of_list (List.filter (fun x -> x <> k) (Array.to_list t.xs))
+
+  let probe k = k
+
+  (* A full locate walks the distributed list from its head — every range
+     on the way is a hop. This is only used at the hierarchy's top level,
+     where sets are O(1) in expectation (it is exactly why skewing the
+     halving probability hurts: top sets grow, and so does this walk). *)
+  let locate t q =
+    let r = L.locate t.xs q in
+    let code = L.encode r in
+    (r, List.init ((code / 2) + 1) (fun i -> 2 * i) @ [ code ])
+
+  (* Refinement is conflict-guided: the hyperlinks of the child range name
+     the O(1) candidate parent ranges, and the query hops straight to the
+     containing one. *)
+  let refine t ~from q =
+    ignore from;
+    let r = L.locate t.xs q in
+    (r, [ L.encode r ])
+
+  let describe t loc = L.span t.xs loc
+
+  let answer t loc q = L.nearest_in_range t.xs loc q
+end
+
+(** Point location answer for quadtree/octree skip-webs. *)
+type cell_answer = {
+  cell_depth : int;  (** depth of the smallest node cube containing q *)
+  cell_point : Point.t option;  (** the stored point if q hit a leaf cell *)
+}
+
+(** d-dimensional point sets via compressed quadtrees/octrees (§3.1). *)
+module Points (D : sig
+  val dim : int
+end) :
+  Range_structure.S
+    with type key = Point.t
+     and type query = Point.t
+     and type answer = cell_answer = struct
+  type key = Point.t
+  type query = Point.t
+  type answer = cell_answer
+
+  type t = Cqtree.t
+  type loc = Cqtree.location
+  type descriptor = int * int array  (* the located node's cube *)
+
+  let name = Printf.sprintf "quadtree-%dd" D.dim
+
+  let build keys = Cqtree.build ~dim:D.dim keys
+  let size = Cqtree.size
+  let storage_units = Cqtree.node_count
+
+  let range_ids t =
+    let acc = ref [] in
+    Cqtree.iter_nodes t ~f:(fun n -> acc := Cqtree.node_id n :: !acc);
+    !acc
+
+  let insert t k = ignore (Cqtree.insert t k)
+  let remove t k = ignore (Cqtree.remove t k)
+  let probe k = k
+
+  let ids_of_path path = List.map Cqtree.node_id path
+
+  let locate t q =
+    let loc, path = Cqtree.locate t q in
+    (loc, ids_of_path path)
+
+  let refine t ~from q =
+    match Cqtree.node_of_cube t from with
+    | Some start ->
+        let loc, path = Cqtree.locate_from t start q in
+        (loc, ids_of_path path)
+    | None ->
+        (* The subset-node property guarantees this cannot happen for level
+           sets of the hierarchy; fall back to a full search defensively. *)
+        locate t q
+
+  let describe _t loc = Cqtree.node_cube loc.Cqtree.node
+
+  let answer _t loc q =
+    ignore q;
+    let depth, _ = Cqtree.node_cube loc.Cqtree.node in
+    { cell_depth = depth; cell_point = Cqtree.node_point loc.Cqtree.node }
+end
+
+module Points2d = Points (struct
+  let dim = 2
+end)
+
+module Points3d = Points (struct
+  let dim = 3
+end)
+
+(** Prefix-search answer for trie skip-webs. *)
+type trie_answer = {
+  lcp : string;  (** longest stored prefix of the query *)
+  matches : int;  (** stored strings extending the query *)
+}
+
+(** Character strings over fixed alphabets via compressed tries (§3.2). *)
+module Strings :
+  Range_structure.S
+    with type key = string
+     and type query = string
+     and type answer = trie_answer = struct
+  type key = string
+  type query = string
+  type answer = trie_answer
+
+  type t = Ctrie.t
+  type loc = Ctrie.location
+  type descriptor = string  (* the located node's string *)
+
+  let name = "trie"
+
+  let build = Ctrie.build
+  let size = Ctrie.size
+  let storage_units = Ctrie.node_count
+
+  let range_ids t =
+    let acc = ref [] in
+    Ctrie.iter_nodes t ~f:(fun n -> acc := Ctrie.node_id n :: !acc);
+    !acc
+
+  let insert t k = ignore (Ctrie.insert t k)
+  let remove t k = ignore (Ctrie.remove t k)
+  let probe k = k
+
+  let ids_of_path path = List.map Ctrie.node_id path
+
+  let locate t q =
+    let loc, path = Ctrie.locate t q in
+    (loc, ids_of_path path)
+
+  let refine t ~from q =
+    match Ctrie.node_of_string t from with
+    | Some start ->
+        let loc, path = Ctrie.locate_from t start q in
+        (loc, ids_of_path path)
+    | None -> locate t q
+
+  let describe _t loc = Ctrie.node_string loc.Ctrie.node
+
+  let answer t _loc q = { lcp = Ctrie.longest_common_prefix t q; matches = Ctrie.count_with_prefix t q }
+end
+
+(** Point-location answer for trapezoidal-map skip-webs. *)
+type trap_answer = {
+  above : int option;  (** id of the segment bounding the trapezoid above, if any *)
+  below : int option;
+  xspan : float * float;
+}
+
+(** Planar subdivisions by disjoint segments via trapezoidal maps (§3.3). *)
+module Segments :
+  Range_structure.S
+    with type key = Segment.t
+     and type query = float * float
+     and type answer = trap_answer = struct
+  type key = Segment.t
+  type query = float * float
+  type answer = trap_answer
+
+  type t = Trapmap.t
+  type loc = Trapmap.trap
+  type descriptor = Trapmap.trap
+
+  let name = "trapezoidal-map"
+
+  let build keys = Trapmap.build keys
+  let size = Trapmap.segment_count
+  let storage_units = Trapmap.trap_count
+
+  let range_ids t = List.map Trapmap.trap_id (Trapmap.traps t)
+
+  let insert t k = Trapmap.insert t k
+
+  let remove _t _k =
+    failwith "Segments.remove: trapezoidal-map deletion is out of scope (paper §4 amortizes insertions only)"
+
+  (* A point just above the segment's midpoint locates where the segment
+     will land. *)
+  let probe k =
+    let (x0, _), (x1, _) = Segment.endpoints k in
+    let xm = (x0 +. x1) /. 2.0 in
+    (xm, Segment.y_at k xm +. 1e-9)
+
+  let locate t q =
+    match Trapmap.locate_opt t q with
+    | Some tr -> (tr, [ Trapmap.trap_id tr ])
+    | None -> failwith "Segments.locate: query on the subdivision skeleton"
+
+  let refine t ~from q =
+    (* The conflict list of the child trapezoid contains the parent
+       trapezoid holding q (Lemma 5); the hyperlink hop goes straight to
+       it. *)
+    match List.find_opt (fun tr -> Trapmap.trap_contains tr q) (Trapmap.conflicts t from) with
+    | Some tr -> (tr, [ Trapmap.trap_id tr ])
+    | None -> locate t q
+
+  let describe _t loc = loc
+
+  let answer _t loc _q =
+    {
+      above = Option.map Segment.id (Trapmap.trap_top loc);
+      below = Option.map Segment.id (Trapmap.trap_bottom loc);
+      xspan = Trapmap.trap_xspan loc;
+    }
+end

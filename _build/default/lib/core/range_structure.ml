@@ -1,0 +1,85 @@
+(** The contract a data structure must satisfy to be skip-webbed (§2.1–2.2
+    of the paper, in operational form).
+
+    A {e range-determined link structure} [D(S)] is a deterministic
+    structure of nodes and links over a ground set [S], where every node
+    and link carries a range (a subset of the universe) and incidences are
+    range intersections. The skip-web framework additionally needs:
+
+    - {b canonicity}: [D(S)] depends only on the set [S] (paper: "a unique
+      link structure");
+    - {b the subset-node property}: for [T ⊆ S], the location of a query
+      in [D(T)] can be mapped to a starting point in [D(S)] from which the
+      search continues — concretely, the maximal range containing the query
+      in [D(T)] corresponds (via {!describe}/{!refine}) to a range of
+      [D(S)] whose conflict neighborhood contains the answer;
+    - {b a set-halving lemma} (§2.2): when [T] is a random half of [S],
+      continuing the search in [D(S)] from a [D(T)] location touches O(1)
+      ranges in expectation. The framework does not consume the lemma as
+      code — it is what makes the measured costs logarithmic, and the
+      lemma experiments (E8–E11) validate it per structure.
+
+    Visited-range accounting: [locate] and [refine] return the integer ids
+    of every node/link the search inspects, in order. The hierarchy maps
+    each id to a host and charges one message per host boundary crossed, so
+    a structure implementation must report honest visit sequences even when
+    it takes CPU shortcuts. *)
+
+module type S = sig
+  type key
+  type query
+  type answer
+
+  type t
+  (** A mutable instance of the structure over one level set. *)
+
+  type loc
+  (** A located maximal range for some query. *)
+
+  type descriptor
+  (** A portable description of a located range, meaningful to the
+      structure built over any superset (e.g. a quadtree cube, a trie node
+      string, a trapezoid). *)
+
+  val name : string
+
+  val build : key array -> t
+  (** Canonical build; duplicates are ignored. *)
+
+  val size : t -> int
+  (** Number of keys currently stored. *)
+
+  val storage_units : t -> int
+  (** Nodes + links currently allocated — what a host pays to store a piece
+      of this structure. *)
+
+  val range_ids : t -> int list
+  (** Ids of all live ranges (for host placement and memory accounting). *)
+
+  val insert : t -> key -> unit
+  (** Add a key (no-op on duplicates). Creates O(1) new ranges for the
+      structures of this repository. *)
+
+  val remove : t -> key -> unit
+  (** Delete a key (no-op if absent). Raises [Failure] for structures whose
+      deletions are out of scope (trapezoidal maps, per §4's hedge). *)
+
+  val probe : key -> query
+  (** A query that routes to the place a key occupies (or would occupy) —
+      the locate step of an update (§4). *)
+
+  val locate : t -> query -> loc * int list
+  (** Search from the structure's root: the maximal range containing the
+      query, plus the visited range ids in order. *)
+
+  val refine : t -> from:descriptor -> query -> loc * int list
+  (** Continue a search in this structure given the location the query had
+      in the structure over a {e subset} of this structure's keys. The
+      subset-node property guarantees the descriptor maps into this
+      structure. Returns the location here and the visited ids. *)
+
+  val describe : t -> loc -> descriptor
+
+  val answer : t -> loc -> query -> answer
+  (** Extract the final answer at level 0. *)
+end

@@ -1,0 +1,40 @@
+type t = float array
+
+let dim = Array.length
+
+let create cs =
+  let p = Array.of_list cs in
+  Array.iter
+    (fun c -> if not (c >= 0.0 && c < 1.0) then invalid_arg "Point.create: coordinate out of [0,1)")
+    p;
+  p
+
+let dist_sq a b =
+  if dim a <> dim b then invalid_arg "Point.dist: dimension mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let dist a b = sqrt (dist_sq a b)
+
+let equal a b = dim a = dim b && Array.for_all2 (fun x y -> x = y) a b
+
+let to_string p =
+  "(" ^ String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.4f") p)) ^ ")"
+
+let grid_bits = 30
+
+let grid_size = 1 lsl grid_bits
+
+let to_grid p =
+  Array.map
+    (fun c ->
+      let g = int_of_float (c *. float_of_int grid_size) in
+      if g < 0 then 0 else if g >= grid_size then grid_size - 1 else g)
+    p
+
+let of_grid g =
+  Array.map (fun i -> (float_of_int i +. 0.5) /. float_of_int grid_size) g

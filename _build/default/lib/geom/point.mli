@@ -1,0 +1,37 @@
+(** Points in d-dimensional space.
+
+    Structures that need exact arithmetic (compressed quadtrees/octrees)
+    work on grid points: coordinates scaled to integers in
+    [\[0, 2^{grid_bits})]. Floating-point points in the unit cube convert
+    losslessly enough for all experiments (resolution 2^-30). *)
+
+type t = float array
+(** A point; length is its dimension. Coordinates live in [\[0, 1)]. *)
+
+val dim : t -> int
+
+val create : float list -> t
+(** Validates every coordinate is in [\[0, 1)]. *)
+
+val dist : t -> t -> float
+(** Euclidean distance. Dimensions must agree. *)
+
+val dist_sq : t -> t -> float
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+(** {1 Grid coordinates} *)
+
+val grid_bits : int
+(** Resolution of the integer grid: 30 bits per coordinate. *)
+
+val grid_size : int
+(** [2 ^ grid_bits]. *)
+
+val to_grid : t -> int array
+(** Scale to integers in [\[0, grid_size)]. *)
+
+val of_grid : int array -> t
+(** Centers of grid cells, inverse of {!to_grid} up to resolution. *)

@@ -1,0 +1,1 @@
+lib/linklist/linklist.mli:

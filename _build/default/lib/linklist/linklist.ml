@@ -1,0 +1,140 @@
+type range = Node of int | Link of int
+
+type bound = Neg_inf | Key of int | Pos_inf
+
+let num_ranges a = (2 * Array.length a) + 1
+
+let encode = function Link i -> 2 * i | Node i -> (2 * i) + 1
+
+let decode c = if c land 1 = 0 then Link (c / 2) else Node (c / 2)
+
+let valid a r =
+  let m = Array.length a in
+  match r with Node i -> i >= 0 && i < m | Link i -> i >= 0 && i <= m
+
+let span a r =
+  assert (valid a r);
+  let m = Array.length a in
+  match r with
+  | Node i -> (Key a.(i), Key a.(i))
+  | Link i ->
+      let lo = if i = 0 then Neg_inf else Key a.(i - 1) in
+      let hi = if i = m then Pos_inf else Key a.(i) in
+      (lo, hi)
+
+let bound_le_key b q = match b with Neg_inf -> true | Key k -> k <= q | Pos_inf -> false
+
+let key_le_bound q b = match b with Neg_inf -> false | Key k -> q <= k | Pos_inf -> true
+
+let contains a r q =
+  let lo, hi = span a r in
+  bound_le_key lo q && key_le_bound q hi
+
+(* First index with a.(i) >= q, or m. *)
+let lower_bound a q =
+  let m = Array.length a in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) >= q then go lo mid else go (mid + 1) hi
+  in
+  go 0 m
+
+(* Last index with a.(i) <= q, or -1. *)
+let upper_index a q =
+  let m = Array.length a in
+  let rec go lo hi =
+    (* invariant: a.(lo-1) <= q (or lo=0), a.(hi) > q (or hi=m) *)
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= q then go (mid + 1) hi else go lo mid
+  in
+  go 0 m
+
+let locate a q =
+  let i = lower_bound a q in
+  if i < Array.length a && a.(i) = q then Node i else Link i
+
+let conflict_interval ~parent ~child r =
+  assert (valid child r);
+  let lo, hi = span child r in
+  (* k_lo: first parent index with key >= lo; k_hi: last with key <= hi. *)
+  let k_lo = match lo with Neg_inf -> 0 | Key k -> lower_bound parent k | Pos_inf -> Array.length parent in
+  let k_hi =
+    match hi with
+    | Neg_inf -> -1
+    | Key k -> upper_index parent k
+    | Pos_inf -> Array.length parent - 1
+  in
+  (* Conflicting parent ranges: links k_lo .. k_hi+1 and nodes k_lo .. k_hi,
+     i.e. codes 2*k_lo .. 2*(k_hi+1). Degenerate spans still conflict with
+     the link they fall inside. *)
+  if k_hi < k_lo then begin
+    (* The child span contains no parent key: it lies strictly inside parent
+       link k_lo. Only that link conflicts. *)
+    let c = encode (Link k_lo) in
+    (c, c)
+  end
+  else (encode (Link k_lo), encode (Link (k_hi + 1)))
+
+let conflicts ~parent ~child r =
+  let lo, hi = conflict_interval ~parent ~child r in
+  let rec go c acc = if c < lo then acc else go (c - 1) (decode c :: acc) in
+  go hi []
+
+let conflict_count ~parent ~child r =
+  let lo, hi = conflict_interval ~parent ~child r in
+  hi - lo + 1
+
+let intersection_size ~parent ~child r =
+  let lo, hi = span child r in
+  let k_lo =
+    match lo with Neg_inf -> 0 | Key k -> lower_bound parent k | Pos_inf -> Array.length parent
+  in
+  let k_hi =
+    match hi with Neg_inf -> -1 | Key k -> upper_index parent k | Pos_inf -> Array.length parent - 1
+  in
+  max 0 (k_hi - k_lo + 1)
+
+let predecessor a q =
+  let i = upper_index a q in
+  if i >= 0 then Some a.(i) else None
+
+let successor a q =
+  let i = lower_bound a q in
+  if i < Array.length a then Some a.(i) else None
+
+let nearest a q =
+  match (predecessor a q, successor a q) with
+  | None, None -> None
+  | Some p, None -> Some p
+  | None, Some s -> Some s
+  | Some p, Some s -> if q - p <= s - q then Some p else Some s
+
+let nearest_in_range a r q =
+  assert (valid a r);
+  match r with
+  | Node i -> Some a.(i)
+  | Link _ -> (
+      match span a r with
+      | Neg_inf, Neg_inf | Pos_inf, _ | _, Neg_inf -> assert false
+      | Neg_inf, Key k | Key k, Pos_inf -> Some k
+      | Neg_inf, Pos_inf -> None
+      | Key p, Key s -> if q - p <= s - q then Some p else Some s)
+
+let check_subset ~parent ~child =
+  Array.for_all
+    (fun k ->
+      let i = lower_bound parent k in
+      i < Array.length parent && parent.(i) = k)
+    child
+
+let range_keys a ~lo ~hi =
+  let start = lower_bound a lo in
+  let last = upper_index a hi in
+  let rec go i acc = if i > last then List.rev acc else go (i + 1) (a.(i) :: acc) in
+  if last < start then [] else go start []
+
+let range_codes a ~lo ~hi = (encode (locate a lo), encode (locate a hi))

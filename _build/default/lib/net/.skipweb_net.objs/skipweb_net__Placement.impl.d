@@ -1,0 +1,1 @@
+lib/net/placement.ml: Network Skipweb_util

@@ -1,0 +1,1 @@
+lib/net/placement.mli: Network

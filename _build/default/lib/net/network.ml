@@ -1,0 +1,76 @@
+type host = int
+
+type t = {
+  hosts : int;
+  memory : int array;
+  traffic : int array;
+  mutable total_messages : int;
+  mutable sessions : int;
+}
+
+let create ~hosts =
+  if hosts < 1 then invalid_arg "Network.create: need at least one host";
+  { hosts; memory = Array.make hosts 0; traffic = Array.make hosts 0; total_messages = 0; sessions = 0 }
+
+let host_count t = t.hosts
+
+let check_host t h =
+  if h < 0 || h >= t.hosts then invalid_arg (Printf.sprintf "Network: bad host %d (H=%d)" h t.hosts)
+
+let charge_memory t h k =
+  check_host t h;
+  t.memory.(h) <- t.memory.(h) + k;
+  assert (t.memory.(h) >= 0)
+
+let memory t h =
+  check_host t h;
+  t.memory.(h)
+
+let max_memory t = Array.fold_left max 0 t.memory
+
+let total_memory t = Array.fold_left ( + ) 0 t.memory
+
+let mean_memory t = float_of_int (total_memory t) /. float_of_int t.hosts
+
+type session = { net : t; mutable at : host; mutable msgs : int }
+
+let start t h =
+  check_host t h;
+  t.sessions <- t.sessions + 1;
+  t.traffic.(h) <- t.traffic.(h) + 1;
+  { net = t; at = h; msgs = 0 }
+
+let current s = s.at
+
+let goto s h =
+  check_host s.net h;
+  if h <> s.at then begin
+    s.msgs <- s.msgs + 1;
+    s.net.total_messages <- s.net.total_messages + 1;
+    s.net.traffic.(h) <- s.net.traffic.(h) + 1;
+    s.at <- h
+  end
+
+let messages s = s.msgs
+
+let total_messages t = t.total_messages
+
+let sessions_started t = t.sessions
+
+let traffic t h =
+  check_host t h;
+  t.traffic.(h)
+
+let max_traffic t = Array.fold_left max 0 t.traffic
+
+let mean_traffic t =
+  float_of_int (Array.fold_left ( + ) 0 t.traffic) /. float_of_int t.hosts
+
+let reset_traffic t =
+  Array.fill t.traffic 0 t.hosts 0;
+  t.total_messages <- 0;
+  t.sessions <- 0
+
+let congestion t ~items =
+  let worst = max_memory t in
+  float_of_int worst +. (float_of_int items /. float_of_int t.hosts)

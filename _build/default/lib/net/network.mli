@@ -1,0 +1,78 @@
+(** A message-counting simulator of the paper's peer-to-peer cost model
+    (§1.1).
+
+    The model: [H] hosts, each able to send a message to any other host;
+    hosts do not fail. A distributed structure maps its nodes and links onto
+    hosts; traversing a pointer whose target lives on a different host costs
+    exactly one message, while intra-host pointer chasing is free. Per-host
+    memory is measured in stored items / nodes / pointers / host IDs.
+
+    Every query or update runs inside a {!session}, which tracks the host
+    currently processing the operation and counts boundary crossings. The
+    network accumulates per-host traffic (visits) across sessions for
+    congestion reporting, and per-host memory charges for the [M] and [C(n)]
+    columns of Table 1. *)
+
+type t
+
+type host = int
+(** Hosts are identified by integers in [\[0, host_count)]. *)
+
+val create : hosts:int -> t
+(** [create ~hosts] makes a network of [hosts] failure-free hosts.
+    Requires [hosts >= 1]. *)
+
+val host_count : t -> int
+
+(** {1 Memory accounting} *)
+
+val charge_memory : t -> host -> int -> unit
+(** [charge_memory net h k] records that host [h] stores [k] more units
+    (items, structure nodes, pointers or host IDs). [k] may be negative
+    (deletion). *)
+
+val memory : t -> host -> int
+val max_memory : t -> int
+val mean_memory : t -> float
+val total_memory : t -> int
+
+(** {1 Sessions: one query or update} *)
+
+type session
+
+val start : t -> host -> session
+(** Begin an operation at host [h] (the host owning the operation's root
+    pointer). The starting visit is recorded for congestion but costs no
+    message. *)
+
+val current : session -> host
+
+val goto : session -> host -> unit
+(** [goto s h] moves the locus of processing to host [h]. Costs one message
+    (and one unit of traffic at [h]) iff [h] differs from the current
+    host. *)
+
+val messages : session -> int
+(** Messages sent so far in this session. *)
+
+(** {1 Traffic / congestion} *)
+
+val total_messages : t -> int
+(** Sum of messages over all sessions since the last {!reset_traffic}. *)
+
+val sessions_started : t -> int
+
+val traffic : t -> host -> int
+(** Number of session visits host [h] has served. *)
+
+val max_traffic : t -> int
+val mean_traffic : t -> float
+
+val reset_traffic : t -> unit
+(** Zero all traffic counters and the global message total (memory charges
+    are kept: they describe the structure, not the workload). *)
+
+val congestion : t -> items:int -> float
+(** The paper's static congestion measure for the most loaded host:
+    references stored at the host (we use its memory charge) plus the
+    [items/H] expected query-start share. *)

@@ -1,0 +1,16 @@
+type t = int -> Network.host
+
+let one_per_host i = i
+
+let modulo ~hosts i = i mod hosts
+
+let chunked ~chunk ~hosts i =
+  if chunk < 1 then invalid_arg "Placement.chunked: chunk must be >= 1";
+  i / chunk mod hosts
+
+let hashed ~seed ~hosts i = Skipweb_util.Prng.hash2 seed i mod hosts
+
+let charge_all net place ~items =
+  for i = 0 to items - 1 do
+    Network.charge_memory net (place i) 1
+  done

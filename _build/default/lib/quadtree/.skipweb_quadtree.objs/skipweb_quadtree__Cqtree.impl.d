@@ -1,0 +1,1 @@
+lib/quadtree/cqtree.ml: Array Hashtbl List Obj Printf Skipweb_geom

@@ -1,0 +1,1 @@
+lib/quadtree/cqtree.mli: Skipweb_geom

@@ -1,0 +1,1 @@
+lib/quadtree/skip_qtree.ml: Array Cqtree List Skipweb_geom Skipweb_util

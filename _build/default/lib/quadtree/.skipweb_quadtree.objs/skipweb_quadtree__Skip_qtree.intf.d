@@ -1,0 +1,1 @@
+lib/quadtree/skip_qtree.mli: Cqtree Skipweb_geom

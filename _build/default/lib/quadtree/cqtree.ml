@@ -1,0 +1,550 @@
+module Point = Skipweb_geom.Point
+
+let bits = Point.grid_bits
+
+type node = {
+  id : int;
+  ndepth : int;  (* cube depth: side = 2^(bits - ndepth) grid cells *)
+  corner : int array;  (* aligned grid coordinates of the low corner *)
+  mutable children : (int * node) list;  (* quadrant index -> child *)
+  mutable npoint : int array option;  (* grid point; Some iff leaf *)
+  mutable size : int;  (* points in the subtree *)
+  mutable parent : node option;
+}
+
+type t = {
+  tdim : int;
+  root : node;
+  cube_index : (int * int list, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable npoints : int;
+  mutable nnodes : int;
+}
+
+type slot = At_point | Empty_quadrant of int | Outside_child of int
+
+type location = { node : node; slot : slot }
+
+let dim t = t.tdim
+let size t = t.npoints
+let node_count t = t.nnodes
+let root t = t.root
+let node_id n = n.id
+let node_cube n = (n.ndepth, n.corner)
+let subtree_size n = n.size
+
+let node_point n =
+  match n.npoint with None -> None | Some g -> Some (Point.of_grid g)
+
+let cube_key ndepth corner = (ndepth, Array.to_list corner)
+
+let rec bitlen x = if x = 0 then 0 else 1 + bitlen (x lsr 1)
+
+(* Does the cube (depth k, corner) contain grid point p? *)
+let cube_contains ~ndepth ~corner p =
+  let shift = bits - ndepth in
+  let ok = ref true in
+  for i = 0 to Array.length p - 1 do
+    if p.(i) lsr shift <> corner.(i) lsr shift then ok := false
+  done;
+  !ok
+
+(* Quadrant index of p within a cube at depth k (0 <= k < bits). *)
+let quadrant ~ndepth p =
+  let pos = bits - ndepth - 1 in
+  let q = ref 0 in
+  for i = 0 to Array.length p - 1 do
+    q := !q lor (((p.(i) lsr pos) land 1) lsl i)
+  done;
+  !q
+
+(* Is cube (d2, c2) contained in cube (d1, c1)? *)
+let cube_subset ~outer:(d1, c1) ~inner:(d2, c2) =
+  d2 >= d1 && cube_contains ~ndepth:d1 ~corner:c1 c2
+
+let fresh_node t ~ndepth ~corner ~npoint =
+  let n =
+    { id = t.next_id; ndepth; corner; children = []; npoint; size = 0; parent = None }
+  in
+  t.next_id <- t.next_id + 1;
+  t.nnodes <- t.nnodes + 1;
+  Hashtbl.replace t.cube_index (cube_key ndepth corner) n;
+  n
+
+let drop_node t n =
+  Hashtbl.remove t.cube_index (cube_key n.ndepth n.corner);
+  t.nnodes <- t.nnodes - 1
+
+let attach_child parent quad child =
+  assert (not (List.mem_assoc quad parent.children));
+  parent.children <- (quad, child) :: parent.children;
+  child.parent <- Some parent
+
+let replace_child parent quad child =
+  assert (List.mem_assoc quad parent.children);
+  parent.children <- (quad, child) :: List.remove_assoc quad parent.children;
+  child.parent <- Some parent
+
+let detach_child parent quad =
+  assert (List.mem_assoc quad parent.children);
+  parent.children <- List.remove_assoc quad parent.children
+
+(* Smallest aligned cube containing a non-empty set of grid points: depth
+   is the shortest per-dimension common bit prefix. *)
+let enclosing_cube dimension pts =
+  let lo = Array.make dimension max_int and hi = Array.make dimension 0 in
+  List.iter
+    (fun p ->
+      for i = 0 to dimension - 1 do
+        if p.(i) < lo.(i) then lo.(i) <- p.(i);
+        if p.(i) > hi.(i) then hi.(i) <- p.(i)
+      done)
+    pts;
+  let depth = ref bits in
+  for i = 0 to dimension - 1 do
+    let common = bits - bitlen (lo.(i) lxor hi.(i)) in
+    if common < !depth then depth := common
+  done;
+  let k = !depth in
+  let shift = bits - k in
+  let corner = Array.map (fun c -> (c lsr shift) lsl shift) lo in
+  (k, corner)
+
+let group_by_quadrant ~ndepth pts =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let q = quadrant ~ndepth p in
+      Hashtbl.replace tbl q (p :: (try Hashtbl.find tbl q with Not_found -> [])))
+    pts;
+  Hashtbl.fold (fun q ps acc -> (q, ps) :: acc) tbl []
+
+let rec build_sub t pts =
+  match pts with
+  | [] -> assert false
+  | [ p ] ->
+      let leaf = fresh_node t ~ndepth:bits ~corner:p ~npoint:(Some p) in
+      leaf.size <- 1;
+      leaf
+  | _ ->
+      let k, corner = enclosing_cube t.tdim pts in
+      assert (k < bits);
+      let node = fresh_node t ~ndepth:k ~corner ~npoint:None in
+      let groups = group_by_quadrant ~ndepth:k pts in
+      assert (List.length groups >= 2);
+      List.iter
+        (fun (q, ps) ->
+          let child = build_sub t ps in
+          attach_child node q child;
+          node.size <- node.size + child.size)
+        groups;
+      node
+
+let build ~dim:dimension points =
+  if dimension < 1 then invalid_arg "Cqtree.build: dim >= 1";
+  Array.iter
+    (fun p ->
+      if Point.dim p <> dimension then invalid_arg "Cqtree.build: dimension mismatch")
+    points;
+  let seen = Hashtbl.create (Array.length points) in
+  let grid_pts =
+    Array.to_list points
+    |> List.filter_map (fun p ->
+           let g = Point.to_grid p in
+           let key = Array.to_list g in
+           if Hashtbl.mem seen key then None
+           else begin
+             Hashtbl.add seen key ();
+             Some g
+           end)
+  in
+  let t =
+    {
+      tdim = dimension;
+      root =
+        {
+          id = 0;
+          ndepth = 0;
+          corner = Array.make dimension 0;
+          children = [];
+          npoint = None;
+          size = 0;
+          parent = None;
+        };
+      cube_index = Hashtbl.create 64;
+      next_id = 1;
+      npoints = 0;
+      nnodes = 1;
+    }
+  in
+  Hashtbl.replace t.cube_index (cube_key 0 t.root.corner) t.root;
+  (match grid_pts with
+  | [] -> ()
+  | pts ->
+      let top = build_sub t pts in
+      if top.ndepth = 0 then begin
+        (* The enclosing cube is the unit cube itself: merge into root. *)
+        t.root.children <- top.children;
+        List.iter (fun (_, c) -> c.parent <- Some t.root) top.children;
+        t.root.npoint <- top.npoint;
+        t.root.size <- top.size;
+        drop_node t top;
+        Hashtbl.replace t.cube_index (cube_key 0 t.root.corner) t.root
+      end
+      else begin
+        attach_child t.root (quadrant ~ndepth:0 top.corner) top;
+        t.root.size <- top.size
+      end);
+  t.npoints <- t.root.size;
+  t
+
+let node_of_cube t (ndepth, corner) =
+  Hashtbl.find_opt t.cube_index (cube_key ndepth corner)
+
+let locate_grid_from _t start g =
+  assert (cube_contains ~ndepth:start.ndepth ~corner:start.corner g);
+  let rec desc v path =
+    let path = v :: path in
+    match v.npoint with
+    | Some p ->
+        (* A leaf cube is a single grid cell, so containment means equality. *)
+        assert (p = g || v.ndepth < bits);
+        if p = g then ({ node = v; slot = At_point }, List.rev path)
+        else ({ node = v; slot = Empty_quadrant (quadrant ~ndepth:v.ndepth g) }, List.rev path)
+    | None ->
+        if v.ndepth >= bits then ({ node = v; slot = At_point }, List.rev path)
+        else
+          let q = quadrant ~ndepth:v.ndepth g in
+          (match List.assoc_opt q v.children with
+          | None -> ({ node = v; slot = Empty_quadrant q }, List.rev path)
+          | Some c ->
+              if cube_contains ~ndepth:c.ndepth ~corner:c.corner g then desc c path
+              else ({ node = v; slot = Outside_child q }, List.rev path))
+  in
+  desc start []
+
+let locate_from t start p = locate_grid_from t start (Point.to_grid p)
+
+let locate t p = locate_from t t.root p
+
+let rec tree_depth n =
+  match n.children with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun acc (_, c) -> max acc (tree_depth c)) 0 cs
+
+let depth t = tree_depth t.root
+
+let rec max_cube_depth_node n =
+  let own = if n.npoint = None then n.ndepth else 0 in
+  List.fold_left (fun acc (_, c) -> max acc (max_cube_depth_node c)) own n.children
+
+let max_cube_depth t = max_cube_depth_node t.root
+
+let insert t p =
+  let g = Point.to_grid p in
+  if Point.dim p <> t.tdim then invalid_arg "Cqtree.insert: dimension mismatch";
+  if Hashtbl.mem t.cube_index (cube_key bits g) then false
+  else begin
+    let bump_sizes_from n =
+      let rec go = function
+        | None -> ()
+        | Some v ->
+            v.size <- v.size + 1;
+            go v.parent
+      in
+      go (Some n)
+    in
+    let loc, _path = locate_grid_from t t.root g in
+    let v = loc.node in
+    (match loc.slot with
+    | At_point -> assert false  (* duplicate handled above *)
+    | Empty_quadrant q ->
+        let leaf = fresh_node t ~ndepth:bits ~corner:g ~npoint:(Some g) in
+        leaf.size <- 1;
+        if v.npoint <> None then begin
+          (* v is a leaf other than the root: impossible to have an empty
+             quadrant slot below it unless v is the root-as-leaf; leaves
+             are located via Outside_child of their parent. The only leaf
+             that can be a location node is one whose cube properly
+             contains g, which cannot happen at full depth. *)
+          assert false
+        end;
+        attach_child v q leaf;
+        bump_sizes_from v
+    | Outside_child q ->
+        let c = List.assoc q v.children in
+        (* New internal node: smallest cube containing both g and c's cube. *)
+        let k =
+          let d = ref c.ndepth in
+          for i = 0 to t.tdim - 1 do
+            let common = bits - bitlen (g.(i) lxor c.corner.(i)) in
+            if common < !d then d := common
+          done;
+          !d
+        in
+        assert (k > v.ndepth && k < c.ndepth);
+        let shift = bits - k in
+        let corner = Array.map (fun x -> (x lsr shift) lsl shift) g in
+        let w = fresh_node t ~ndepth:k ~corner ~npoint:None in
+        let leaf = fresh_node t ~ndepth:bits ~corner:g ~npoint:(Some g) in
+        leaf.size <- 1;
+        w.size <- c.size;
+        replace_child v q w;
+        attach_child w (quadrant ~ndepth:k c.corner) c;
+        attach_child w (quadrant ~ndepth:k g) leaf;
+        bump_sizes_from w);
+    t.npoints <- t.npoints + 1;
+    true
+  end
+
+let remove t p =
+  let g = Point.to_grid p in
+  match Hashtbl.find_opt t.cube_index (cube_key bits g) with
+  | None -> false
+  | Some leaf when leaf.npoint = None -> false
+  | Some leaf ->
+      let rec shrink_sizes = function
+        | None -> ()
+        | Some v ->
+            v.size <- v.size - 1;
+            shrink_sizes v.parent
+      in
+      (match leaf.parent with
+      | None ->
+          (* The leaf is the root-resident point: clear it. *)
+          leaf.npoint <- None;
+          leaf.size <- 0
+      | Some v ->
+          shrink_sizes (Some v);
+          let q = quadrant ~ndepth:v.ndepth g in
+          detach_child v q;
+          drop_node t leaf;
+          (* Splice v if it became a chain node (single child, internal,
+             not the root). *)
+          (match (v.children, v.parent, v.npoint) with
+          | [ (_, only) ], Some grandparent, None ->
+              let vq = quadrant ~ndepth:grandparent.ndepth v.corner in
+              replace_child grandparent vq only;
+              drop_node t v
+          | _ -> ()));
+      t.npoints <- t.npoints - 1;
+      true
+
+let iter_points t ~f =
+  let rec go n =
+    (match n.npoint with Some g -> f (Point.of_grid g) | None -> ());
+    List.iter (fun (_, c) -> go c) n.children
+  in
+  go t.root
+
+(* Count stored points lying inside an arbitrary aligned cube. *)
+let count_in_cube t (ndepth, corner) =
+  let rec go n =
+    if cube_subset ~outer:(ndepth, corner) ~inner:(n.ndepth, n.corner) then n.size
+    else if
+      (* The query cube could be strictly inside n's cube. *)
+      cube_subset ~outer:(n.ndepth, n.corner) ~inner:(ndepth, corner)
+    then List.fold_left (fun acc (_, c) -> acc + go c) 0 n.children
+    else 0
+  in
+  go t.root
+
+let points_in_located_gap t ~location_cube ~child_cubes =
+  let inside = count_in_cube t location_cube in
+  let covered =
+    List.fold_left
+      (fun acc cube ->
+        if cube_subset ~outer:location_cube ~inner:cube then acc + count_in_cube t cube
+        else acc)
+      0 child_cubes
+  in
+  inside - covered
+
+(* Exact nearest neighbor: best-first search with cube distance bounds. *)
+let cube_dist_sq t (ndepth, corner) (q : Point.t) =
+  let side = float_of_int (1 lsl (bits - ndepth)) /. float_of_int Point.grid_size in
+  let acc = ref 0.0 in
+  for i = 0 to t.tdim - 1 do
+    let lo = float_of_int corner.(i) /. float_of_int Point.grid_size in
+    let hi = lo +. side in
+    let d = if q.(i) < lo then lo -. q.(i) else if q.(i) > hi then q.(i) -. hi else 0.0 in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+module Frontier = struct
+  (* A tiny binary min-heap of (priority, node). *)
+  type elt = float * node
+
+  type heap = { mutable data : elt array; mutable len : int }
+
+  let create () = { data = Array.make 16 (0.0, Obj.magic 0); len = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h e =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      h.data.(0) <- h.data.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let nearest t q =
+  if t.npoints = 0 then None
+  else begin
+    let heap = Frontier.create () in
+    Frontier.push heap (0.0, t.root);
+    let best = ref None in
+    let best_d = ref infinity in
+    let rec loop () =
+      match Frontier.pop heap with
+      | None -> ()
+      | Some (bound, _) when bound >= !best_d -> ()
+      | Some (_, n) ->
+          (match n.npoint with
+          | Some g ->
+              let p = Point.of_grid g in
+              let d = Point.dist_sq p q in
+              if d < !best_d then begin
+                best_d := d;
+                best := Some p
+              end
+          | None -> ());
+          List.iter
+            (fun (_, c) ->
+              let bound = cube_dist_sq t (c.ndepth, c.corner) q in
+              if bound < !best_d then Frontier.push heap (bound, c))
+            n.children;
+          loop ()
+    in
+    loop ();
+    match !best with None -> None | Some p -> Some (p, sqrt !best_d)
+  end
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec go n =
+    (* Corner alignment. *)
+    let shift = bits - n.ndepth in
+    Array.iter
+      (fun c -> if (c lsr shift) lsl shift <> c then fail "Cqtree: corner not aligned")
+      n.corner;
+    (match n.npoint with
+    | Some g ->
+        if n.ndepth <> bits then fail "Cqtree: leaf not at full depth";
+        if g <> n.corner then fail "Cqtree: leaf corner mismatch";
+        if n.children <> [] then fail "Cqtree: leaf with children";
+        if n.size <> 1 then fail "Cqtree: leaf size <> 1"
+    | None ->
+        if n.parent <> None && List.length n.children < 2 then
+          fail "Cqtree: internal non-root node with < 2 children (not compressed)";
+        let child_sum = List.fold_left (fun acc (_, c) -> acc + c.size) 0 n.children in
+        if n.size <> child_sum then fail "Cqtree: size %d <> child sum %d" n.size child_sum);
+    List.iter
+      (fun (q, c) ->
+        if c.ndepth <= n.ndepth then fail "Cqtree: child not deeper than parent";
+        if not (cube_contains ~ndepth:n.ndepth ~corner:n.corner c.corner) then
+          fail "Cqtree: child cube outside parent";
+        if quadrant ~ndepth:n.ndepth c.corner <> q then fail "Cqtree: child in wrong quadrant";
+        (match c.parent with
+        | Some p when p == n -> ()
+        | Some _ | None -> fail "Cqtree: broken parent pointer");
+        go c)
+      n.children
+  in
+  go t.root;
+  if t.root.size <> t.npoints then fail "Cqtree: root size out of sync"
+
+let iter_nodes t ~f =
+  let rec go n =
+    f n;
+    List.iter (fun (_, c) -> go c) n.children
+  in
+  go t.root
+
+let node_children_cubes n = List.map (fun (_, c) -> (c.ndepth, c.corner)) n.children
+
+(* Axis-aligned box queries over the compressed tree: prune on cube/box
+   disjointness, take whole subtrees on containment. *)
+let box_of_points lo hi =
+  let glo = Point.to_grid lo and ghi = Point.to_grid hi in
+  Array.iteri (fun i g -> if g > ghi.(i) then invalid_arg "Cqtree: empty box") glo;
+  (glo, ghi)
+
+let cube_box_relation ~ndepth ~corner (glo, ghi) =
+  (* 0 = disjoint, 1 = cube inside box, 2 = partial overlap *)
+  let side = 1 lsl (bits - ndepth) in
+  let disjoint = ref false and inside = ref true in
+  Array.iteri
+    (fun i c ->
+      let clo = c and chi = c + side - 1 in
+      if chi < glo.(i) || clo > ghi.(i) then disjoint := true;
+      if clo < glo.(i) || chi > ghi.(i) then inside := false)
+    corner;
+  if !disjoint then 0 else if !inside then 1 else 2
+
+let range_fold t ~lo ~hi ~init ~leaf ~subtree =
+  let box = box_of_points lo hi in
+  let rec go n acc =
+    match cube_box_relation ~ndepth:n.ndepth ~corner:n.corner box with
+    | 0 -> acc
+    | 1 -> subtree acc n
+    | _ -> (
+        match n.npoint with
+        | Some g ->
+            let glo, ghi = box in
+            let inside = ref true in
+            Array.iteri (fun i c -> if c < glo.(i) || c > ghi.(i) then inside := false) g;
+            if !inside then leaf acc g else acc
+        | None -> List.fold_left (fun acc (_, c) -> go c acc) acc n.children)
+  in
+  go t.root init
+
+let range_count t ~lo ~hi =
+  range_fold t ~lo ~hi ~init:0 ~leaf:(fun acc _ -> acc + 1) ~subtree:(fun acc n -> acc + n.size)
+
+let range_report t ~lo ~hi =
+  let collect acc n =
+    let pts = ref acc in
+    let rec walk m =
+      (match m.npoint with Some g -> pts := Point.of_grid g :: !pts | None -> ());
+      List.iter (fun (_, c) -> walk c) m.children
+    in
+    walk n;
+    !pts
+  in
+  List.rev
+    (range_fold t ~lo ~hi ~init:[] ~leaf:(fun acc g -> Point.of_grid g :: acc) ~subtree:collect)

@@ -1,0 +1,127 @@
+(** Compressed quadtrees and octrees for point sets in R^d (§3.1).
+
+    The tree is defined over the aligned hypercube hierarchy of the unit
+    cube: a cube at depth [k] has side [2^-k]; its [2^d] children halve the
+    side. The root is always the unit cube. Internal nodes are the
+    {e interesting} cubes — minimal enclosing aligned cubes of subsets that
+    occupy at least two child quadrants; chains of uninteresting cubes are
+    compressed into single links. Leaves sit at the maximum grid depth and
+    hold exactly one point. The tree has O(n) nodes but may have Θ(n)
+    depth — which is why the skip-web hierarchy on top of it matters.
+
+    As a range-determined link structure: the range of a node is its cube,
+    the range of a link is the cube of its child endpoint (§3.1).
+
+    Coordinates are handled exactly: points are snapped to a 2^30 grid
+    (see {!Skipweb_geom.Point.to_grid}), and all cube computations are
+    bit manipulations on integers. *)
+
+type t
+
+type node
+
+(** Where a point-location query terminates. *)
+type slot =
+  | At_point  (** the query coincides with the leaf's point *)
+  | Empty_quadrant of int  (** quadrant [i] of the node has no child *)
+  | Outside_child of int
+      (** quadrant [i] has a (compressed) child cube that does not contain
+          the query *)
+
+type location = { node : node; slot : slot }
+
+val build : dim:int -> Skipweb_geom.Point.t array -> t
+(** Build from points in the unit cube. Duplicate grid points are ignored
+    beyond the first occurrence. [dim >= 1]; every point must have
+    dimension [dim]. *)
+
+val dim : t -> int
+val size : t -> int
+(** Number of stored (distinct) points. *)
+
+val node_count : t -> int
+(** Total nodes including root and leaves: the structure's storage units. *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf path in {e tree edges} (compressed
+    links count as one). *)
+
+val max_cube_depth : t -> int
+(** Deepest cube depth among internal nodes (uncompressed geometric
+    depth) — Θ(n) for adversarial inputs even when {!depth} is small. *)
+
+(** {1 Nodes} *)
+
+val node_id : node -> int
+(** Dense-ish stable identifier (creation order), for host placement. *)
+
+val node_cube : node -> int * int array
+(** [(depth, corner)] of the node's cube in grid coordinates. *)
+
+val node_point : node -> Skipweb_geom.Point.t option
+(** The stored point, for leaves. *)
+
+val subtree_size : node -> int
+(** Number of points under the node. *)
+
+val root : t -> node
+
+(** {1 Queries} *)
+
+val locate : t -> Skipweb_geom.Point.t -> location * node list
+(** Full point location from the root: the smallest node region containing
+    the query, together with the descent path (for message accounting). *)
+
+val locate_from : t -> node -> Skipweb_geom.Point.t -> location * node list
+(** Point location starting at an internal node whose cube contains the
+    query — the refine step of the skip-web hierarchy. *)
+
+val node_of_cube : t -> int * int array -> node option
+(** Find the node with exactly this cube, if present. Every node cube of a
+    compressed quadtree over [T ⊆ S] is a node cube of the tree over [S],
+    which is what makes skip-web refinement work. *)
+
+val nearest : t -> Skipweb_geom.Point.t -> (Skipweb_geom.Point.t * float) option
+(** Exact nearest neighbor by best-first search over cubes (a sequential
+    utility for examples and test oracles; not part of the message-counted
+    distributed path). *)
+
+val points_in_located_gap : t -> location_cube:int * int array -> child_cubes:(int * int array) list -> int
+(** [points_in_located_gap s ~location_cube ~child_cubes] counts the points
+    of this tree that lie inside [location_cube] but in none of
+    [child_cubes] — the "visible in the gap" quantity whose expectation
+    Lemma 3 bounds by O(1) when the location comes from a random-half
+    subtree. *)
+
+(** {1 Updates} *)
+
+val insert : t -> Skipweb_geom.Point.t -> bool
+(** Adds a point; [false] if its grid cell is already occupied. O(1) new
+    nodes are created (one leaf, possibly one new internal node), after a
+    locate. *)
+
+val remove : t -> Skipweb_geom.Point.t -> bool
+(** Removes a point; splices out its parent if it becomes redundant. *)
+
+val check_invariants : t -> unit
+(** Validates: cube alignment, children within parent quadrants, interior
+    nodes interesting (>= 2 children or the root), subtree sizes, leaf
+    depth. Raises [Failure] on violation. *)
+
+val iter_points : t -> f:(Skipweb_geom.Point.t -> unit) -> unit
+
+val iter_nodes : t -> f:(node -> unit) -> unit
+(** Visit every node (root, internal, leaves) — used by the skip-web
+    hierarchy for host placement and memory accounting. *)
+
+val node_children_cubes : node -> (int * int array) list
+(** Cubes of the node's (compressed) children — the regions already covered
+    by finer ranges, used by the Lemma 3 gap measurement. *)
+
+val range_count : t -> lo:Skipweb_geom.Point.t -> hi:Skipweb_geom.Point.t -> int
+(** Number of stored points inside the axis-aligned closed box
+    [\[lo, hi\]] — O(sqrt n + k)-flavored tree search (exact, used as the
+    oracle for approximate range queries over the skip-web). *)
+
+val range_report : t -> lo:Skipweb_geom.Point.t -> hi:Skipweb_geom.Point.t -> Skipweb_geom.Point.t list
+(** The points themselves. *)

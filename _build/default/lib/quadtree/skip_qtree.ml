@@ -1,0 +1,112 @@
+module Point = Skipweb_geom.Point
+module Prng = Skipweb_util.Prng
+
+(* Level i holds the points whose tower height is > i; towers are
+   geometric(1/2), derived deterministically from (seed, grid point) so a
+   point keeps its height across rebuilds. *)
+type t = {
+  tdim : int;
+  seed : int;
+  mutable trees : Cqtree.t list;  (* level 0 first (densest) *)
+}
+
+let dim t = t.tdim
+
+let size t = match t.trees with tree :: _ -> Cqtree.size tree | [] -> 0
+
+let levels t = List.length t.trees
+
+let height ~seed p =
+  let g = Point.to_grid p in
+  let key = Array.fold_left (fun acc c -> Prng.hash2 acc c) seed g in
+  let rec count h bits = if bits land 1 = 1 then count (h + 1) (bits lsr 1) else h in
+  1 + count 0 (Prng.hash2 key 0x51)
+
+let rebuild_levels ~seed ~dim pts =
+  let rec go level acc =
+    let here = Array.of_list (List.filter (fun p -> height ~seed p > level) (Array.to_list pts)) in
+    if Array.length here = 0 && level > 0 then List.rev acc
+    else go (level + 1) (Cqtree.build ~dim here :: acc)
+  in
+  go 0 []
+
+let build ?(seed = 2005) ~dim pts = { tdim = dim; seed; trees = rebuild_levels ~seed ~dim pts }
+
+let locate t q =
+  match List.rev t.trees with
+  | [] -> invalid_arg "Skip_qtree.locate: empty structure"
+  | top :: below ->
+      (* Locate in the sparsest tree, then refine downward from the
+         corresponding cube in each denser tree. *)
+      let loc0, path0 = Cqtree.locate top q in
+      let steps = ref (List.length path0) in
+      let final =
+        List.fold_left
+          (fun loc tree ->
+            let start =
+              match Cqtree.node_of_cube tree (Cqtree.node_cube loc.Cqtree.node) with
+              | Some node -> node
+              | None -> Cqtree.root tree
+            in
+            let loc', path = Cqtree.locate_from tree start q in
+            steps := !steps + List.length path;
+            loc')
+          loc0 below
+      in
+      (final, !steps)
+
+let nearest t q = match t.trees with tree :: _ -> Cqtree.nearest tree q | [] -> None
+
+let insert t p =
+  match t.trees with
+  | [] -> invalid_arg "Skip_qtree: no level-0 tree"
+  | tree :: _ ->
+      if Cqtree.insert tree p then begin
+        let h = height ~seed:t.seed p in
+        let rec extend level = function
+          | [] ->
+              if level < h then Cqtree.build ~dim:t.tdim [| p |] :: extend (level + 1) []
+              else []
+          | tr :: rest ->
+              if level > 0 && level < h then ignore (Cqtree.insert tr p);
+              tr :: extend (level + 1) rest
+        in
+        t.trees <- extend 0 t.trees;
+        true
+      end
+      else false
+
+let remove t p =
+  match t.trees with
+  | [] -> false
+  | tree :: rest ->
+      if Cqtree.remove tree p then begin
+        List.iter (fun tr -> ignore (Cqtree.remove tr p)) rest;
+        (* Drop empty top levels (keep level 0). *)
+        let rec trim = function
+          | [ tr0 ] -> [ tr0 ]
+          | trs -> (
+              match List.rev trs with
+              | top :: lower when Cqtree.size top = 0 -> trim (List.rev lower)
+              | _ -> trs)
+        in
+        t.trees <- trim t.trees;
+        true
+      end
+      else false
+
+let check_invariants t =
+  List.iter Cqtree.check_invariants t.trees;
+  (* Nesting: every point of level i+1 appears in level i. *)
+  let rec pairs = function
+    | lower :: (upper :: _ as rest) ->
+        Cqtree.iter_points upper ~f:(fun p ->
+            let loc, _ = Cqtree.locate lower p in
+            match loc.Cqtree.slot with
+            | Cqtree.At_point -> ()
+            | Cqtree.Empty_quadrant _ | Cqtree.Outside_child _ ->
+                failwith "Skip_qtree: levels not nested");
+        pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs t.trees

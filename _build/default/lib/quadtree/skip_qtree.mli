@@ -1,0 +1,45 @@
+(** The sequential skip quadtree (Eppstein–Goodrich–Sun, SoCG 2005) — the
+    paper's reference [6], whose analysis supplies Lemma 3 and whose
+    distributed analogue the quadtree skip-web is (§3.1).
+
+    A skip quadtree keeps a sequence of compressed quadtrees Q_0 ⊇ Q_1 ⊇ …
+    over nested random halves of the point set. A point-location query
+    starts in the sparsest tree and refines downward: locate in Q_i, map
+    the located cube into Q_{i-1} (every node cube of a subset's tree is a
+    node cube of the superset's), and continue — O(1) expected work per
+    level, O(log n) expected total, even when Q_0 has Θ(n) depth.
+
+    This is the sequential, single-machine sibling of
+    {!Skipweb_core.Hierarchy} over points: no hosts, no messages, just
+    O(log n) expected locate steps. It serves as a fast local index in
+    examples and as a reference implementation for [6]. *)
+
+type t
+
+val build : ?seed:int -> dim:int -> Skipweb_geom.Point.t array -> t
+(** Duplicate grid points are ignored. *)
+
+val dim : t -> int
+val size : t -> int
+
+val levels : t -> int
+(** Number of quadtree levels (the sparsest non-empty one is the top). *)
+
+val locate : t -> Skipweb_geom.Point.t -> Cqtree.location * int
+(** Point location in the full (level-0) quadtree; the integer is the
+    total number of tree nodes inspected across all levels — O(log n)
+    expected, vs Θ(depth) for a single-tree descent. *)
+
+val nearest : t -> Skipweb_geom.Point.t -> (Skipweb_geom.Point.t * float) option
+(** Exact nearest neighbor (delegates to the level-0 tree's best-first
+    search; the skip structure accelerates the initial locate). *)
+
+val insert : t -> Skipweb_geom.Point.t -> bool
+(** Insert into a random prefix of levels (each point is promoted with
+    probability 1/2 per level, like a skip list tower). *)
+
+val remove : t -> Skipweb_geom.Point.t -> bool
+
+val check_invariants : t -> unit
+(** Level trees are nested subsets and each satisfies the compressed
+    quadtree invariants. *)

@@ -1,0 +1,1 @@
+lib/skipgraph/bucket_skip_graph.ml: Array Hashtbl List Skip_graph Skipweb_net Skipweb_util

@@ -1,0 +1,1 @@
+lib/skipgraph/det_skipnet.ml: Array Fun Hashtbl List Printf Skipweb_net

@@ -1,0 +1,1 @@
+lib/skipgraph/det_skipnet.mli: Skipweb_net

@@ -1,0 +1,1 @@
+lib/skipgraph/family_tree.ml: Array Skipweb_net Skipweb_util

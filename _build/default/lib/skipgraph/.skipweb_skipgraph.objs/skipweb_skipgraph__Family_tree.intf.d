@@ -1,0 +1,1 @@
+lib/skipgraph/family_tree.mli: Skipweb_net

@@ -1,0 +1,1 @@
+lib/skipgraph/level_lists.ml: Array Fun Hashtbl List Skipweb_linklist Skipweb_util

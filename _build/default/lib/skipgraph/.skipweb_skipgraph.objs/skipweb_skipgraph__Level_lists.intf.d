@@ -1,0 +1,1 @@
+lib/skipgraph/level_lists.mli: Skipweb_util

@@ -1,0 +1,1 @@
+lib/skipgraph/non_skip_graph.ml: Hashtbl Level_lists List Skipweb_net Skipweb_util

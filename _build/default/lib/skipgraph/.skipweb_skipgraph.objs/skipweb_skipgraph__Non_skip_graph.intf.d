@@ -1,0 +1,1 @@
+lib/skipgraph/non_skip_graph.mli: Skipweb_net Skipweb_util

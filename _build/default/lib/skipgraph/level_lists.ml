@@ -1,0 +1,188 @@
+module Membership = Skipweb_util.Membership
+module L = Skipweb_linklist.Linklist
+
+type t = {
+  vecs : Membership.t;
+  mutable xs : int array;  (* keys, ascending *)
+  mutable ids : int array;  (* parallel stable ids *)
+  mutable next_id : int;
+  mutable heights : int array option;  (* cache: top participating level per position *)
+  mutable tables : (int array * int array) array option;
+      (* cache: per level, (left, right) neighbor positions, -1 for none *)
+}
+
+let create ~seed ~keys =
+  let xs = Array.copy keys in
+  Array.sort compare xs;
+  Array.iteri
+    (fun i k -> if i > 0 && xs.(i - 1) = k then invalid_arg "Level_lists.create: duplicate keys")
+    xs;
+  let n = Array.length xs in
+  {
+    vecs = Membership.create ~seed;
+    xs;
+    ids = Array.init n (fun i -> i);
+    next_id = n;
+    heights = None;
+    tables = None;
+  }
+
+let size t = Array.length t.xs
+let key t i = t.xs.(i)
+let id t i = t.ids.(i)
+let keys t = Array.copy t.xs
+let vectors t = t.vecs
+
+let common_prefix t i j = Membership.common_prefix t.vecs t.ids.(i) t.ids.(j)
+
+(* An element participates with neighbors at level L iff its L-bit prefix
+   group still has at least two members; its top level is the deepest such
+   L. Computed for all positions by recursive group splitting. *)
+let compute_heights t =
+  let n = size t in
+  let h = Array.make n 0 in
+  let rec split level members =
+    match members with
+    | [] | [ _ ] -> ()
+    | _ :: _ :: _ ->
+        List.iter (fun i -> h.(i) <- level) members;
+        if level < 59 then begin
+          let zeros, ones =
+            List.partition (fun i -> not (Membership.bit t.vecs ~id:t.ids.(i) ~level)) members
+          in
+          split (level + 1) zeros;
+          split (level + 1) ones
+        end
+  in
+  split 0 (List.init n Fun.id);
+  h
+
+let heights t =
+  match t.heights with
+  | Some h -> h
+  | None ->
+      let h = compute_heights t in
+      t.heights <- Some h;
+      h
+
+let top_level t i = (heights t).(i)
+
+let levels t = Array.fold_left max 0 (heights t) + 1
+
+(* Per-level doubly-linked lists materialized as arrays: one O(n) sweep per
+   level, linking each element to the previous one sharing its prefix. *)
+let neighbor_tables t =
+  match t.tables with
+  | Some tabs -> tabs
+  | None ->
+      let n = size t in
+      let lv = levels t in
+      let tabs =
+        Array.init lv (fun level ->
+            let left = Array.make n (-1) and right = Array.make n (-1) in
+            let last = Hashtbl.create 64 in
+            for i = 0 to n - 1 do
+              let p = Membership.prefix t.vecs ~id:t.ids.(i) ~len:level in
+              (match Hashtbl.find_opt last p with
+              | Some j ->
+                  left.(i) <- j;
+                  right.(j) <- i
+              | None -> ());
+              Hashtbl.replace last p i
+            done;
+            (left, right))
+      in
+      t.tables <- Some tabs;
+      tabs
+
+(* No pair of elements shares a prefix of length >= levels (that would put
+   both heights at that length), so levels outside the tables have no
+   neighbors. *)
+let right_neighbor t i level =
+  let tabs = neighbor_tables t in
+  if level < 0 || level >= Array.length tabs then None
+  else
+    let _, right = tabs.(level) in
+    if right.(i) >= 0 then Some right.(i) else None
+
+let left_neighbor t i level =
+  let tabs = neighbor_tables t in
+  if level < 0 || level >= Array.length tabs then None
+  else
+    let left, _ = tabs.(level) in
+    if left.(i) >= 0 then Some left.(i) else None
+
+let position t k =
+  let n = size t in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.xs.(mid) < k then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let mem t k =
+  let p = position t k in
+  p < size t && t.xs.(p) = k
+
+let splice_in t k =
+  let pos = position t k in
+  if pos < size t && t.xs.(pos) = k then invalid_arg "Level_lists.splice_in: duplicate key";
+  let n = size t in
+  let xs = Array.make (n + 1) 0 and ids = Array.make (n + 1) 0 in
+  Array.blit t.xs 0 xs 0 pos;
+  Array.blit t.ids 0 ids 0 pos;
+  xs.(pos) <- k;
+  ids.(pos) <- t.next_id;
+  t.next_id <- t.next_id + 1;
+  Array.blit t.xs pos xs (pos + 1) (n - pos);
+  Array.blit t.ids pos ids (pos + 1) (n - pos);
+  t.xs <- xs;
+  t.ids <- ids;
+  t.heights <- None;
+  t.tables <- None;
+  pos
+
+let splice_out t k =
+  let pos = position t k in
+  if pos >= size t || t.xs.(pos) <> k then invalid_arg "Level_lists.splice_out: absent key";
+  let n = size t in
+  let xs = Array.make (n - 1) 0 and ids = Array.make (n - 1) 0 in
+  Array.blit t.xs 0 xs 0 pos;
+  Array.blit t.ids 0 ids 0 pos;
+  Array.blit t.xs (pos + 1) xs pos (n - pos - 1);
+  Array.blit t.ids (pos + 1) ids pos (n - pos - 1);
+  t.xs <- xs;
+  t.ids <- ids;
+  t.heights <- None;
+  t.tables <- None;
+  pos
+
+let predecessor t q = L.predecessor t.xs q
+let successor t q = L.successor t.xs q
+let nearest t q = L.nearest t.xs q
+
+let check_invariants t =
+  let n = size t in
+  if Array.length t.ids <> n then failwith "Level_lists: ids length";
+  for i = 1 to n - 1 do
+    if t.xs.(i - 1) >= t.xs.(i) then failwith "Level_lists: keys not sorted"
+  done;
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun id ->
+      if Hashtbl.mem seen id then failwith "Level_lists: duplicate id";
+      Hashtbl.add seen id ())
+    t.ids;
+  (* Neighbor symmetry at low levels. *)
+  for i = 0 to n - 1 do
+    for level = 0 to 3 do
+      match right_neighbor t i level with
+      | Some j -> (
+          match left_neighbor t j level with
+          | Some i' when i' = i -> ()
+          | Some _ | None -> failwith "Level_lists: neighbor asymmetry")
+      | None -> ()
+    done
+  done

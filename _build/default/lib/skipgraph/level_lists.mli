@@ -1,0 +1,64 @@
+(** Shared substrate for the skip graph family: a sorted key sequence whose
+    elements carry membership vectors, partitioned at every level ℓ into
+    lists of elements sharing an ℓ-bit vector prefix.
+
+    All the Table 1 randomized baselines (skip graphs, NoN skip graphs) and
+    the skip-web level hierarchy use this element/level discipline; this
+    module owns the arrays and neighbor queries so each structure only
+    implements its routing and cost accounting. *)
+
+module Membership = Skipweb_util.Membership
+
+type t
+
+val create : seed:int -> keys:int array -> t
+(** Distinct keys (any order); elements are assigned stable ids 0.. in key
+    order. *)
+
+val size : t -> int
+val key : t -> int -> int
+(** Key of the element at sorted position [i]. *)
+
+val id : t -> int -> int
+(** Stable id of the element at sorted position [i] (used as its host). *)
+
+val keys : t -> int array
+val vectors : t -> Membership.t
+
+val top_level : t -> int -> int
+(** The deepest level at which position [i]'s prefix group still has at
+    least two members — the element's tower height, i.e. the level a search
+    from this element starts at. *)
+
+val heights : t -> int array
+(** {!top_level} for every position (cached; invalidated by splices). *)
+
+val levels : t -> int
+(** Levels in use across the structure. *)
+
+val right_neighbor : t -> int -> int -> int option
+(** [right_neighbor t i l]: nearest position [j > i] sharing an [l]-bit
+    prefix with [i], or [None]. *)
+
+val left_neighbor : t -> int -> int -> int option
+
+val common_prefix : t -> int -> int -> int
+(** Of the elements at two positions. *)
+
+val position : t -> int -> int
+(** Sorted position a key occupies or would occupy. *)
+
+val mem : t -> int -> bool
+
+val splice_in : t -> int -> int
+(** [splice_in t k] inserts key [k] with a fresh id; returns its position.
+    Raises [Invalid_argument] on duplicates. *)
+
+val splice_out : t -> int -> int
+(** [splice_out t k] removes key [k]; returns its former position. *)
+
+val predecessor : t -> int -> int option
+val successor : t -> int -> int option
+val nearest : t -> int -> int option
+
+val check_invariants : t -> unit

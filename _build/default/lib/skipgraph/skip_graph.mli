@@ -1,0 +1,67 @@
+(** Skip graphs (Aspnes–Shah, SODA 2003) / SkipNet (Harvey et al.) — the
+    baseline of Table 1 row 1.
+
+    Each element lives on its own host (H = n). Element [x] has an infinite
+    random membership vector m(x); the level-ℓ lists partition the elements
+    by the first ℓ bits of their vectors, each list sorted by key. An
+    element keeps left/right neighbor pointers in each of its lists, which
+    is O(log n) pointers in expectation.
+
+    A search starts at the {e originating element's} own position and top
+    level, moves as far as possible toward the target within each level,
+    and drops a level when stuck — exactly the skip list search pattern,
+    except that every host can be the entry point. Expected search and
+    update cost O(log n) messages; memory and congestion O(log n).
+
+    This implementation is array-backed: neighbor tables are materialized
+    from the membership vectors, and rebuilt incrementally on update, while
+    {e message costs are counted per the distributed protocol} (each
+    neighbor-to-neighbor hop that crosses hosts costs one message via
+    {!Skipweb_net.Network}). CPU-time shortcuts never touch the message
+    meter. *)
+
+module Network = Skipweb_net.Network
+
+type t
+
+val create : net:Network.t -> seed:int -> keys:int array -> t
+(** Build over distinct sorted keys; element [i] is placed on host [i] of
+    [net] (which must have at least [Array.length keys] hosts, and at least
+    one host). Charges per-host memory for keys and neighbor pointers. *)
+
+val size : t -> int
+val levels : t -> int
+(** Number of levels actually in use (lists of size >= 2, plus level 0). *)
+
+val keys : t -> int array
+(** Current keys, ascending. *)
+
+type search_result = {
+  predecessor : int option;
+  successor : int option;
+  nearest : int option;
+  messages : int;
+}
+
+val search : t -> from:int -> int -> search_result
+(** [search t ~from q] routes a nearest-neighbor query for [q] from the
+    element with index [from] (its host's own entry point). *)
+
+val search_from_random : t -> rng:Skipweb_util.Prng.t -> int -> search_result
+
+val insert : t -> int -> int
+(** [insert t k] adds key [k]; returns the number of messages the
+    distributed insertion protocol would send (search to position + linking
+    in at every level). Raises [Invalid_argument] if the key exists or the
+    network has no spare host. *)
+
+val delete : t -> int -> int
+(** [delete t k] removes the key, returning the message cost (search +
+    unlink at each level). Raises [Invalid_argument] if absent. *)
+
+val host_of_index : t -> int -> Network.host
+
+val memory_per_host : t -> int list
+(** The O(log n)-shaped per-host memory charges (for the M column). *)
+
+val check_invariants : t -> unit

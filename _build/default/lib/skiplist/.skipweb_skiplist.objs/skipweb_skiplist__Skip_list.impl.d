@@ -1,0 +1,1 @@
+lib/skiplist/skip_list.ml: Array List Option Printf Skipweb_util Stdlib

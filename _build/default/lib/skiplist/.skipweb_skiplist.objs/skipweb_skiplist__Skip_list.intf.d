@@ -1,0 +1,1 @@
+lib/skiplist/skip_list.mli: Stdlib

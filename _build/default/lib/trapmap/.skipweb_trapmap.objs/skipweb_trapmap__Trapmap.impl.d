@@ -1,0 +1,1 @@
+lib/trapmap/trapmap.ml: Array Float Hashtbl List Printf Skipweb_geom

@@ -1,0 +1,1 @@
+lib/trapmap/trapmap.mli: Skipweb_geom

@@ -1,0 +1,1 @@
+lib/trie/ctrie.ml: Array Hashtbl List Printf String

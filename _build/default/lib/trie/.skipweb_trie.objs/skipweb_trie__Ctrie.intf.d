@@ -1,0 +1,1 @@
+lib/trie/ctrie.mli:

@@ -1,0 +1,316 @@
+type node = {
+  id : int;
+  str : string;  (* the full string leading to this node *)
+  mutable children : (char * edge) list;  (* sorted by key character *)
+  mutable terminal : bool;
+  mutable parent : node option;
+  mutable size : int;  (* stored strings at or below this node *)
+}
+
+and edge = { label : string; target : node }
+
+type t = {
+  root : node;
+  index : (string, node) Hashtbl.t;
+  mutable next_id : int;
+  mutable nstrings : int;
+  mutable nnodes : int;
+}
+
+type slot = Exact | In_edge of { key : char; matched : int } | No_child of char
+
+type location = { node : node; slot : slot }
+
+let create () =
+  let root =
+    { id = 0; str = ""; children = []; terminal = false; parent = None; size = 0 }
+  in
+  let t = { root; index = Hashtbl.create 64; next_id = 1; nstrings = 0; nnodes = 1 } in
+  Hashtbl.replace t.index "" root;
+  t
+
+let size t = t.nstrings
+let node_count t = t.nnodes
+let root t = t.root
+let node_id n = n.id
+let node_string n = n.str
+let node_terminal n = n.terminal
+let subtree_size n = n.size
+let node_of_string t s = Hashtbl.find_opt t.index s
+
+let fresh_node t ~str ~terminal =
+  let n = { id = t.next_id; str; children = []; terminal; parent = None; size = 0 } in
+  t.next_id <- t.next_id + 1;
+  t.nnodes <- t.nnodes + 1;
+  Hashtbl.replace t.index str n;
+  n
+
+let drop_node t n =
+  Hashtbl.remove t.index n.str;
+  t.nnodes <- t.nnodes - 1
+
+let sorted_add children key edge =
+  let rec go = function
+    | [] -> [ (key, edge) ]
+    | (k, _) :: _ as rest when key < k -> (key, edge) :: rest
+    | pair :: rest -> pair :: go rest
+  in
+  go children
+
+let set_child parent key edge =
+  parent.children <- sorted_add (List.remove_assoc key parent.children) key edge;
+  edge.target.parent <- Some parent
+
+(* Longest common prefix length of [label] and the suffix of [q] starting
+   at [off]. *)
+let match_len label q off =
+  let limit = min (String.length label) (String.length q - off) in
+  let rec go k = if k < limit && label.[k] = q.[off + k] then go (k + 1) else k in
+  go 0
+
+let locate_from _t start q =
+  assert (String.length start.str <= String.length q);
+  assert (String.sub q 0 (String.length start.str) = start.str);
+  let rec desc v path =
+    let path = v :: path in
+    let off = String.length v.str in
+    if off = String.length q then ({ node = v; slot = Exact }, List.rev path)
+    else
+      let c = q.[off] in
+      match List.assoc_opt c v.children with
+      | None -> ({ node = v; slot = No_child c }, List.rev path)
+      | Some e ->
+          let k = match_len e.label q off in
+          if k = String.length e.label then desc e.target path
+          else ({ node = v; slot = In_edge { key = c; matched = k } }, List.rev path)
+  in
+  desc start []
+
+let locate t q = locate_from t t.root q
+
+let mem t q =
+  let loc, _ = locate t q in
+  match loc.slot with Exact -> loc.node.terminal | In_edge _ | No_child _ -> false
+
+(* If the query is a prefix of stored content, the node whose subtree holds
+   exactly the strings extending it. *)
+let prefix_subtree t q =
+  let loc, _ = locate t q in
+  match loc.slot with
+  | Exact -> Some loc.node
+  | In_edge { key; matched } ->
+      let off = String.length loc.node.str in
+      if off + matched = String.length q then
+        (* q exhausted inside the edge: everything under the edge target
+           extends q. *)
+        let e = List.assoc key loc.node.children in
+        Some e.target
+      else None
+  | No_child _ -> None
+
+let count_with_prefix t q =
+  match prefix_subtree t q with None -> 0 | Some n -> n.size
+
+let rec first_terminal n =
+  if n.terminal then Some n.str
+  else
+    let rec try_children = function
+      | [] -> None
+      | (_, e) :: rest -> (
+          match first_terminal e.target with Some s -> Some s | None -> try_children rest)
+    in
+    try_children n.children
+
+let first_with_prefix t q =
+  match prefix_subtree t q with None -> None | Some n -> first_terminal n
+
+let longest_common_prefix t q =
+  let loc, _ = locate t q in
+  match loc.slot with
+  | Exact -> q
+  | No_child _ -> loc.node.str
+  | In_edge { matched; _ } -> String.sub q 0 (String.length loc.node.str + matched)
+
+let path_node_count t ~from_string ~to_string =
+  let start =
+    match node_of_string t from_string with
+    | Some n -> n
+    | None -> invalid_arg "Ctrie.path_node_count: from_string is not a node"
+  in
+  if
+    String.length from_string > String.length to_string
+    || String.sub to_string 0 (String.length from_string) <> from_string
+  then invalid_arg "Ctrie.path_node_count: from_string not a prefix of to_string";
+  let rec go v count =
+    if String.length v.str = String.length to_string then count
+    else
+      let c = to_string.[String.length v.str] in
+      match List.assoc_opt c v.children with
+      | None -> invalid_arg "Ctrie.path_node_count: to_string not reachable"
+      | Some e ->
+          let k = match_len e.label to_string (String.length v.str) in
+          if k <> String.length e.label then
+            invalid_arg "Ctrie.path_node_count: to_string not a node"
+          else go e.target (count + 1)
+  in
+  go start 1
+
+let bump_sizes_from n delta =
+  let rec go = function
+    | None -> ()
+    | Some v ->
+        v.size <- v.size + delta;
+        go v.parent
+  in
+  go (Some n)
+
+let insert t q =
+  let loc, _ = locate t q in
+  let v = loc.node in
+  match loc.slot with
+  | Exact ->
+      if v.terminal then false
+      else begin
+        v.terminal <- true;
+        bump_sizes_from v 1;
+        t.nstrings <- t.nstrings + 1;
+        true
+      end
+  | No_child _c ->
+      let off = String.length v.str in
+      let leaf = fresh_node t ~str:q ~terminal:true in
+      leaf.size <- 1;
+      set_child v q.[off] { label = String.sub q off (String.length q - off); target = leaf };
+      bump_sizes_from v 1;
+      t.nstrings <- t.nstrings + 1;
+      true
+  | In_edge { key; matched } ->
+      let off = String.length v.str in
+      let e = List.assoc key v.children in
+      let w = e.target in
+      (* Split the edge at [matched] characters. *)
+      let mid_str = v.str ^ String.sub e.label 0 matched in
+      let mid = fresh_node t ~str:mid_str ~terminal:false in
+      mid.size <- w.size;
+      let rest = String.sub e.label matched (String.length e.label - matched) in
+      set_child v key { label = String.sub e.label 0 matched; target = mid };
+      set_child mid rest.[0] { label = rest; target = w };
+      if String.length q = String.length mid_str then mid.terminal <- true
+      else begin
+        let leaf = fresh_node t ~str:q ~terminal:true in
+        leaf.size <- 1;
+        let tail_off = off + matched in
+        set_child mid q.[tail_off] { label = String.sub q tail_off (String.length q - tail_off); target = leaf }
+      end;
+      bump_sizes_from mid 1;
+      t.nstrings <- t.nstrings + 1;
+      true
+
+(* Merge a chain node: v (non-root, non-terminal, single child) disappears,
+   its incoming and outgoing labels concatenate. *)
+let splice t v =
+  match (v.parent, v.children) with
+  | Some parent, [ (_, out_edge) ] when (not v.terminal) && v.str <> "" ->
+      let in_key = v.str.[String.length parent.str] in
+      let in_edge = List.assoc in_key parent.children in
+      assert (in_edge.target == v);
+      set_child parent in_key { label = in_edge.label ^ out_edge.label; target = out_edge.target };
+      drop_node t v
+  | (Some _ | None), _ -> ()
+
+let remove t q =
+  match node_of_string t q with
+  | None -> false
+  | Some v when not v.terminal -> false
+  | Some v ->
+      v.terminal <- false;
+      bump_sizes_from v (-1);
+      t.nstrings <- t.nstrings - 1;
+      (match (v.children, v.parent) with
+      | [], Some parent ->
+          (* Leaf: detach, then maybe splice the parent. *)
+          let key = v.str.[String.length parent.str] in
+          parent.children <- List.remove_assoc key parent.children;
+          drop_node t v;
+          splice t parent
+      | [], None -> ()  (* empty-string key stored at the root *)
+      | [ _ ], _ -> splice t v
+      | _ :: _ :: _, _ -> ());
+      true
+
+let build strings =
+  let t = create () in
+  Array.iter (fun s -> ignore (insert t s)) strings;
+  t
+
+let iter t ~f =
+  let rec go n =
+    if n.terminal then f n.str;
+    List.iter (fun (_, e) -> go e.target) n.children
+  in
+  go t.root
+
+let rec depth_node n =
+  match n.children with
+  | [] -> 0
+  | cs -> 1 + List.fold_left (fun acc (_, e) -> max acc (depth_node e.target)) 0 cs
+
+let depth t = depth_node t.root
+
+let rec max_string_depth_node n =
+  List.fold_left
+    (fun acc (_, e) -> max acc (max_string_depth_node e.target))
+    (String.length n.str) n.children
+
+let max_string_depth t = max_string_depth_node t.root
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec go n =
+    let rec check_sorted = function
+      | (k1, _) :: ((k2, _) :: _ as rest) ->
+          if k1 >= k2 then fail "Ctrie: children not sorted";
+          check_sorted rest
+      | [ _ ] | [] -> ()
+    in
+    check_sorted n.children;
+    if n.str <> "" && (not n.terminal) && List.length n.children < 2 then
+      fail "Ctrie: redundant chain node %S" n.str;
+    let child_sum = List.fold_left (fun acc (_, e) -> acc + e.target.size) 0 n.children in
+    let expected = child_sum + if n.terminal then 1 else 0 in
+    if n.size <> expected then fail "Ctrie: size %d <> %d at %S" n.size expected n.str;
+    (match Hashtbl.find_opt t.index n.str with
+    | Some m when m == n -> ()
+    | Some _ | None -> fail "Ctrie: index out of sync at %S" n.str);
+    List.iter
+      (fun (k, e) ->
+        if String.length e.label = 0 then fail "Ctrie: empty edge label";
+        if e.label.[0] <> k then fail "Ctrie: child key mismatch";
+        if e.target.str <> n.str ^ e.label then fail "Ctrie: string concatenation broken";
+        (match e.target.parent with
+        | Some p when p == n -> ()
+        | Some _ | None -> fail "Ctrie: broken parent pointer");
+        go e.target)
+      n.children
+  in
+  go t.root;
+  if t.root.size <> t.nstrings then fail "Ctrie: root size out of sync"
+
+let iter_nodes t ~f =
+  let rec go n =
+    f n;
+    List.iter (fun (_, e) -> go e.target) n.children
+  in
+  go t.root
+
+let strings_with_prefix t q =
+  match prefix_subtree t q with
+  | None -> []
+  | Some n ->
+      let acc = ref [] in
+      let rec walk m =
+        if m.terminal then acc := m.str :: !acc;
+        List.iter (fun (_, e) -> walk e.target) m.children
+      in
+      walk n;
+      List.rev !acc

@@ -1,0 +1,110 @@
+(** Compressed digital tries over a fixed alphabet (§3.2).
+
+    A node corresponds to a string (the characters on the path from the
+    root); edges carry non-empty labels; chains are compressed so that each
+    internal non-root node either stores a string (is terminal) or branches
+    (has at least two children). The trie over [n] strings has O(n) nodes
+    but may have Θ(n) depth — the skip-web hierarchy on top restores
+    O(log n)-message searches.
+
+    As a range-determined link structure: the range of a node [v] is the
+    singleton containing the string leading to [v]; the range of an edge
+    [(v, w)] is the set of strings [xy] where [x] leads to [v] and [y] is a
+    prefix of the edge label (§2.1).
+
+    For [T ⊆ S], every node string of [D(T)] is a node string of [D(S)]
+    (branching points and terminals survive supersets), which is what makes
+    skip-web refinement work: {!node_of_string} always finds the
+    corresponding start node in the denser trie. *)
+
+type t
+
+type node
+
+(** Where a search terminates. *)
+type slot =
+  | Exact  (** the located node's string equals the query *)
+  | In_edge of { key : char; matched : int }
+      (** the query diverges from (or exhausts inside) the edge starting
+          with [key], after [matched] label characters *)
+  | No_child of char  (** the node has no edge starting with this char *)
+
+type location = { node : node; slot : slot }
+
+val create : unit -> t
+val build : string array -> t
+(** Duplicates are ignored. The empty string is a valid key. *)
+
+val size : t -> int
+(** Number of stored strings. *)
+
+val node_count : t -> int
+val depth : t -> int
+(** Longest root-to-node path in tree edges (compressed). *)
+
+val max_string_depth : t -> int
+(** Longest node string — the uncompressed depth, Θ(total length) for
+    adversarial inputs. *)
+
+(** {1 Nodes} *)
+
+val root : t -> node
+val node_id : node -> int
+val node_string : node -> string
+val node_terminal : node -> bool
+val subtree_size : node -> int
+(** Number of stored strings at or below the node. *)
+
+val node_of_string : t -> string -> node option
+
+(** {1 Queries} *)
+
+val locate : t -> string -> location * node list
+(** Search from the root; returns the termination point and the node path
+    (for message accounting). *)
+
+val locate_from : t -> node -> string -> location * node list
+(** Search starting at a node whose string is a prefix of the query — the
+    skip-web refine step. *)
+
+val mem : t -> string -> bool
+
+val count_with_prefix : t -> string -> int
+(** Number of stored strings having the query as a prefix — the paper's
+    prefix query (e.g. all ISBNs of one publisher). *)
+
+val first_with_prefix : t -> string -> string option
+(** Lexicographically least stored string with the given prefix. *)
+
+val longest_common_prefix : t -> string -> string
+(** The longest prefix of the query that is a prefix of some stored
+    string: "the first place where a query substring differs" (§3.2). *)
+
+val path_node_count : t -> from_string:string -> to_string:string -> int
+(** Number of nodes on this trie's path between two of its node strings
+    ([from_string] must be a prefix of [to_string]); both endpoints
+    inclusive. This is the [|P|] of Lemma 4's proof: the path in [D(S)]
+    corresponding to a single edge of [D(T)]. *)
+
+(** {1 Updates} *)
+
+val insert : t -> string -> bool
+(** [false] if already present. Creates O(1) nodes. *)
+
+val remove : t -> string -> bool
+(** Removes a string; splices redundant nodes. *)
+
+val iter : t -> f:(string -> unit) -> unit
+(** All stored strings in lexicographic order. *)
+
+val check_invariants : t -> unit
+(** Validates compression (no redundant chain nodes), label non-emptiness,
+    child keying, sizes, parent pointers. Raises [Failure] on violation. *)
+
+val iter_nodes : t -> f:(node -> unit) -> unit
+(** Visit every node (including the root) — used by the skip-web hierarchy
+    for host placement and memory accounting. *)
+
+val strings_with_prefix : t -> string -> string list
+(** All stored strings extending the query, lexicographically — the
+    paper's "all titles by a certain publisher" query, in full. *)

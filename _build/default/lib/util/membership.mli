@@ -1,0 +1,35 @@
+(** Membership vectors: the per-element infinite random bit strings used by
+    skip graphs, SkipNet and skip-webs to assign elements to levels.
+
+    Rather than materializing bit arrays, bits are derived on demand from a
+    structure seed and a stable element identifier, so that an element keeps
+    the same vector across rebuilds, inserts and deletes — exactly the
+    behaviour required by the Aspnes–Shah skip graph and by the skip-web
+    level hierarchy of §2.3 of the paper. *)
+
+type t
+(** A family of membership vectors, one per element id, determined by a
+    seed. *)
+
+val create : seed:int -> t
+
+val bit : t -> id:int -> level:int -> bool
+(** [bit v ~id ~level] is bit [level] (0-based) of element [id]'s membership
+    vector. Deterministic in [(seed, id, level)]. *)
+
+val prefix : t -> id:int -> len:int -> int
+(** [prefix v ~id ~len] packs the first [len] bits into an integer, most
+    significant bit first: the index of the level-[len] set the element
+    belongs to. Requires [0 <= len < 60]. *)
+
+val common_prefix : t -> int -> int -> int
+(** [common_prefix v a b] is the length of the longest common prefix of the
+    vectors of elements [a] and [b] (capped at 60). This is the highest skip
+    graph level at which [a] and [b] share a list. *)
+
+val biased : seed:int -> p:float -> t
+(** [biased ~seed ~p] draws each bit as 1 with probability [p] instead of
+    1/2 — used by the halving-probability ablation (A3). A bit of value 1
+    means "promoted out of the 0-branch"; for the skip-web set tree the
+    split is into the subset of elements whose next bit is 0 vs 1, so [p]
+    skews the two branch sizes. *)

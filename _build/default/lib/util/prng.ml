@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The SplitMix64 finalizer: a bijective mixer with good avalanche. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let next64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g = { state = mix64 (Int64.logxor (next64 g) 0xA3EC647659359ACDL) }
+
+let bits g = Int64.to_int (Int64.shift_right_logical (next64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias: [bits] is uniform over
+     [0, max_int]; reject the top partial block of size
+     (max_int + 1) mod n. *)
+  let rem = ((max_int mod n) + 1) mod n in
+  let rec draw () =
+    let r = bits g in
+    if rem > 0 && r > max_int - rem then draw () else r mod n
+  in
+  draw ()
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 g) 11) in
+  x *. (r /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.compare (Int64.logand (next64 g) 1L) 0L <> 0
+
+let coin g ~p =
+  assert (p >= 0.0 && p <= 1.0);
+  float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher–Yates over a fresh index array. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let hash2 a b =
+  let h = mix64 (Int64.add (mix64 (Int64.of_int a)) (Int64.of_int b)) in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+let hash3 a b c =
+  let h = mix64 (Int64.add (mix64 (Int64.add (mix64 (Int64.of_int a)) (Int64.of_int b))) (Int64.of_int c)) in
+  Int64.to_int (Int64.shift_right_logical h 2)

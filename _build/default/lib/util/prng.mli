@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generation for reproducible
+    experiments.
+
+    All randomized structures in this repository (skip lists, skip graphs,
+    skip-webs, randomized incremental constructions) draw their coins from
+    this module rather than from [Stdlib.Random], so that every experiment
+    is reproducible from a single integer seed.
+
+    The generator is SplitMix64 (Steele, Lea, Flood 2014): a tiny,
+    high-quality 64-bit mixer that supports cheap splitting, which we use to
+    derive independent streams per element, per level, and per trial. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Equal seeds
+    yield equal streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    (for practical purposes) independent of the rest of [g]'s stream. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** [bits g] is a non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val coin : t -> p:float -> bool
+(** [coin g ~p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement g k n] draws [k] distinct indices uniformly
+    from [\[0, n)]. Requires [0 <= k <= n]. *)
+
+val hash2 : int -> int -> int
+(** [hash2 a b] deterministically mixes two integers into a non-negative
+    integer; used to derive per-element random bits from (seed, element id)
+    without storing explicit bit vectors. *)
+
+val hash3 : int -> int -> int -> int
+(** Three-argument variant of {!hash2}. *)

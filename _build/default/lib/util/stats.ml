@@ -1,0 +1,125 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let n = float_of_int (List.length xs) in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sqrt (ss /. (n -. 1.0))
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if q <= 0.0 then sorted.(0)
+  else if q >= 1.0 then sorted.(n - 1)
+  else
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty sample"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      {
+        count = Array.length a;
+        mean = mean xs;
+        stddev = stddev xs;
+        min = a.(0);
+        max = a.(Array.length a - 1);
+        p50 = percentile a 0.5;
+        p90 = percentile a 0.9;
+        p99 = percentile a 0.99;
+      }
+
+let summarize_ints xs = summarize (List.map float_of_int xs)
+
+module Fit = struct
+  type model = Constant | Log | Log_over_loglog | Log_squared | Linear
+
+  let all = [ Constant; Log; Log_over_loglog; Log_squared; Linear ]
+
+  let name = function
+    | Constant -> "O(1)"
+    | Log -> "O(log n)"
+    | Log_over_loglog -> "O(log n / log log n)"
+    | Log_squared -> "O(log^2 n)"
+    | Linear -> "O(n)"
+
+  let log2 x = Float.log x /. Float.log 2.0
+
+  let eval m n =
+    match m with
+    | Constant -> 1.0
+    | Log -> log2 n
+    | Log_over_loglog ->
+        let l = log2 n in
+        if l <= 2.0 then l else l /. log2 l
+    | Log_squared -> log2 n ** 2.0
+    | Linear -> n
+
+  let fit_constant m series =
+    (* Least squares for y = c g(n): c = sum(y g) / sum(g^2). *)
+    let num, den =
+      List.fold_left
+        (fun (num, den) (n, y) ->
+          let g = eval m n in
+          (num +. (y *. g), den +. (g *. g)))
+        (0.0, 0.0) series
+    in
+    if den = 0.0 then 0.0 else num /. den
+
+  let rmse m ~c series =
+    let sq_rel =
+      List.map
+        (fun (n, y) ->
+          let pred = c *. eval m n in
+          let denom = if Float.abs y > 1e-9 then y else 1.0 in
+          ((y -. pred) /. denom) ** 2.0)
+        series
+    in
+    sqrt (mean sq_rel)
+
+  let best series =
+    if List.length series < 2 then invalid_arg "Fit.best: need >= 2 points";
+    let scored =
+      List.map
+        (fun m ->
+          let c = fit_constant m series in
+          (m, c, rmse m ~c series))
+        all
+    in
+    let best =
+      List.fold_left
+        (fun (bm, bc, be) (m, c, e) -> if e < be then (m, c, e) else (bm, bc, be))
+        (match scored with x :: _ -> x | [] -> assert false)
+        scored
+    in
+    let m, c, _ = best in
+    (m, c)
+
+  let report series =
+    let m, c = best series in
+    let e = rmse m ~c series in
+    Printf.sprintf "%s (c=%.3f, rmse=%.1f%%)" (name m) c (100.0 *. e)
+end

@@ -1,0 +1,63 @@
+(** Descriptive statistics and asymptotic growth-shape fitting.
+
+    The experiments in this repository validate *shapes* of cost curves
+    (who grows like [log n], who like [log n / log log n], who like
+    [log^2 n]) rather than absolute constants. {!Fit} provides a small
+    least-squares fitter over a fixed family of growth models so each bench
+    can report the best-fitting model next to the paper's predicted one. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Summary statistics of a non-empty sample. Raises [Invalid_argument] on
+    an empty list. *)
+
+val summarize_ints : int list -> summary
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
+    ascending. Linear interpolation between ranks. *)
+
+(** Growth-model fitting. *)
+module Fit : sig
+  type model =
+    | Constant  (** y = c *)
+    | Log  (** y = c log2 n *)
+    | Log_over_loglog  (** y = c log2 n / log2 log2 n *)
+    | Log_squared  (** y = c (log2 n)^2 *)
+    | Linear  (** y = c n *)
+
+  val all : model list
+  val name : model -> string
+
+  val eval : model -> float -> float
+  (** [eval m n] is the model shape g(n) with unit constant. *)
+
+  val fit_constant : model -> (float * float) list -> float
+  (** [fit_constant m series] is the least-squares multiplier c minimizing
+      sum (y - c g(n))^2 over the [(n, y)] series. *)
+
+  val rmse : model -> c:float -> (float * float) list -> float
+  (** Root-mean-square relative error of the fit. *)
+
+  val best : (float * float) list -> model * float
+  (** [best series] is the model (with its multiplier) minimizing relative
+      RMSE over {!all}. The series must contain at least two points with
+      n >= 4. *)
+
+  val report : (float * float) list -> string
+  (** One-line human-readable description of the best fit, e.g.
+      ["log n (c=1.43, rmse=2.1%)"]. *)
+end

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Char Float Hashtbl List Printf Skipweb_geom Skipweb_util String

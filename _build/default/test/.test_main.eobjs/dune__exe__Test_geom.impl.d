@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array Float QCheck QCheck_alcotest Skipweb_geom Skipweb_util

@@ -1,0 +1,1 @@
+test/test_linklist.ml: Alcotest Array Float Fun Hashtbl List Printf QCheck QCheck_alcotest Skipweb_linklist Skipweb_util String

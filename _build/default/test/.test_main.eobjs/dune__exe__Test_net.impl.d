@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Gen List QCheck QCheck_alcotest Skipweb_net

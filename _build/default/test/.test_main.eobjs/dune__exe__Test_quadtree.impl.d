@@ -1,0 +1,1 @@
+test/test_quadtree.ml: Alcotest Array Float List QCheck QCheck_alcotest Skipweb_geom Skipweb_quadtree Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+test/test_skipgraph.ml: Alcotest Array Int List QCheck QCheck_alcotest Set Skipweb_linklist Skipweb_net Skipweb_skipgraph Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Float Gen Hashtbl Int List Map Option QCheck QCheck_alcotest Skipweb_skiplist Skipweb_util String

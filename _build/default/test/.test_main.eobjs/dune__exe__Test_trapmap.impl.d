@@ -1,0 +1,1 @@
+test/test_trapmap.ml: Alcotest Array List QCheck QCheck_alcotest Skipweb_geom Skipweb_trapmap Skipweb_util Skipweb_workload

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Array Gen List QCheck QCheck_alcotest Set Skipweb_trie Skipweb_util Skipweb_workload String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Hashtbl List QCheck QCheck_alcotest Skipweb_util String

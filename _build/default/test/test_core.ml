@@ -1,0 +1,501 @@
+(* Tests for Skipweb_core: the generic hierarchy (§2.3–2.5, §4), its four
+   instantiations (§3), and the blocked 1-d structure (§2.4.1). *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module B1 = Skipweb_core.Blocked1d
+module Lk = Skipweb_linklist.Linklist
+module Cq = Skipweb_quadtree.Cqtree
+module Ct = Skipweb_trie.Ctrie
+module TM = Skipweb_trapmap.Trapmap
+module Point = Skipweb_geom.Point
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+
+module HInt = H.Make (I.Ints)
+module HP2 = H.Make (I.Points2d)
+module HP3 = H.Make (I.Points3d)
+module HStr = H.Make (I.Strings)
+module HSeg = H.Make (I.Segments)
+
+let keys n = W.distinct_ints ~seed:5 ~n ~bound:(100 * n)
+
+(* ------- generic hierarchy over sorted sets ------- *)
+
+let test_hint_build () =
+  let net = Network.create ~hosts:256 in
+  let h = HInt.build ~net ~seed:3 (keys 256) in
+  HInt.check_invariants h;
+  checki "size" 256 (HInt.size h);
+  checkb "levels = ceil log2 n + 1" true (HInt.levels h = 9);
+  checkb "storage O(n log n)" true
+    (HInt.total_storage h > 256 && HInt.total_storage h < 40 * 256)
+
+let test_hint_level_halving () =
+  let net = Network.create ~hosts:1024 in
+  let h = HInt.build ~net ~seed:4 (keys 1024) in
+  (* Figure 2: each level's sets together hold every element, and the mean
+     set size halves per level. *)
+  for level = 0 to HInt.levels h - 1 do
+    let sizes = HInt.level_set_sizes h level in
+    checki "level partitions" 1024 (List.fold_left ( + ) 0 sizes)
+  done;
+  let top_sizes = HInt.level_set_sizes h (HInt.levels h - 1) in
+  let top_max = List.fold_left max 0 top_sizes in
+  checkb "top-level sets O(1)" true (top_max <= 8)
+
+let test_hint_query_correct () =
+  let net = Network.create ~hosts:512 in
+  let ks = keys 512 in
+  let h = HInt.build ~net ~seed:6 ks in
+  let rng = Prng.create 7 in
+  let queries = W.query_mix ~seed:8 ~keys:ks ~n:300 ~bound:51_200 in
+  Array.iter
+    (fun q ->
+      let answer, stats = HInt.query h ~rng q in
+      check_opt "nearest" (Lk.nearest ks q) answer;
+      checkb "visited >= levels" true (stats.HInt.ranges_visited >= HInt.levels h);
+      checki "per-level list length" (HInt.levels h) (List.length stats.HInt.per_level_visits))
+    queries
+
+let test_hint_messages_logarithmic () =
+  let net = Network.create ~hosts:4096 in
+  let ks = keys 4096 in
+  let h = HInt.build ~net ~seed:9 ks in
+  let rng = Prng.create 10 in
+  let total = ref 0 in
+  for i = 0 to 199 do
+    let _, stats = HInt.query h ~rng (i * 997) in
+    total := !total + stats.HInt.messages
+  done;
+  let mean = float_of_int !total /. 200.0 in
+  (* 13 levels; ~1-2 messages per level under hashed placement. *)
+  checkb "messages O(log n)" true (mean > 4.0 && mean < 45.0)
+
+let test_hint_memory_balanced () =
+  let net = Network.create ~hosts:512 in
+  let _ = HInt.build ~net ~seed:11 (keys 512) in
+  (* Hashed placement: max per-host memory is O(log n) w.h.p. *)
+  checkb "max host memory O(log n)" true (Network.max_memory net <= 8 * 10)
+
+let test_hint_insert_remove () =
+  let net = Network.create ~hosts:128 in
+  let ks = keys 128 in
+  let h = HInt.build ~net ~seed:12 ks in
+  let cost = HInt.insert h 987_654 in
+  checkb "insert cost positive" true (cost > 0);
+  HInt.check_invariants h;
+  checki "size grew" 129 (HInt.size h);
+  let rng = Prng.create 13 in
+  let answer, _ = HInt.query h ~rng 987_654 in
+  check_opt "inserted key found" (Some 987_654) answer;
+  let dcost = HInt.remove h 987_654 in
+  checkb "remove cost positive" true (dcost > 0);
+  HInt.check_invariants h;
+  checki "size restored" 128 (HInt.size h);
+  checki "duplicate insert is free" 0 (HInt.insert h ks.(0));
+  checki "absent remove is free" 0 (HInt.remove h 555_555_555)
+
+let test_hint_grow_from_empty () =
+  let net = Network.create ~hosts:64 in
+  let h = HInt.build ~net ~seed:14 [||] in
+  for k = 1 to 40 do
+    ignore (HInt.insert h (k * 11))
+  done;
+  HInt.check_invariants h;
+  checki "all inserted" 40 (HInt.size h);
+  checkb "levels grew" true (HInt.levels h >= 6);
+  let rng = Prng.create 15 in
+  let answer, _ = HInt.query h ~rng 112 in
+  check_opt "nearest after growth" (Some 110) answer
+
+let test_hint_halving_ablation () =
+  (* A3: a biased halving probability still yields a correct structure. *)
+  let net = Network.create ~hosts:256 in
+  let ks = keys 256 in
+  let h = HInt.build ~net ~seed:16 ~p:0.25 ks in
+  HInt.check_invariants h;
+  let rng = Prng.create 17 in
+  Array.iter
+    (fun q ->
+      let answer, _ = HInt.query h ~rng q in
+      check_opt "nearest under p=0.25" (Lk.nearest ks q) answer)
+    (W.query_mix ~seed:18 ~keys:ks ~n:100 ~bound:25_600)
+
+(* ------- hierarchy over quadtrees (Theorem 2 for §3.1) ------- *)
+
+let test_hp2_point_location () =
+  let net = Network.create ~hosts:512 in
+  let pts = W.uniform_points ~seed:19 ~n:512 ~dim:2 in
+  let h = HP2.build ~net ~seed:20 pts in
+  HP2.check_invariants h;
+  let oracle = Cq.build ~dim:2 pts in
+  let rng = Prng.create 21 in
+  let queries = W.uniform_query_points ~seed:22 ~n:150 ~dim:2 in
+  Array.iter
+    (fun q ->
+      let answer, _ = HP2.query h ~rng q in
+      let loc, _ = Cq.locate oracle q in
+      let depth, _ = Cq.node_cube loc.Cq.node in
+      checki "same located cell depth" depth answer.I.cell_depth)
+    queries
+
+let test_hp2_deep_input_stays_logarithmic () =
+  (* Theorem 2's punchline: O(log n) messages even when the underlying
+     quadtree has linear depth. *)
+  let net = Network.create ~hosts:64 in
+  let pts = W.diagonal_points ~n:25 ~dim:2 in
+  let h = HP2.build ~net ~seed:23 pts in
+  let oracle = Cq.build ~dim:2 pts in
+  checkb "oracle is deep" true (Cq.depth oracle >= 20);
+  let rng = Prng.create 24 in
+  let total = ref 0 in
+  let queries = W.uniform_query_points ~seed:25 ~n:100 ~dim:2 in
+  Array.iter
+    (fun q ->
+      let _, stats = HP2.query h ~rng q in
+      total := !total + stats.HP2.ranges_visited)
+    queries;
+  let mean = float_of_int !total /. 100.0 in
+  (* levels = 5; expect a small constant per level, far below depth 20. *)
+  checkb "visits stay logarithmic on deep input" true (mean < 18.0)
+
+let test_hp3_octree () =
+  let net = Network.create ~hosts:256 in
+  let pts = W.uniform_points ~seed:26 ~n:256 ~dim:3 in
+  let h = HP3.build ~net ~seed:27 pts in
+  HP3.check_invariants h;
+  let oracle = Cq.build ~dim:3 pts in
+  let rng = Prng.create 28 in
+  Array.iter
+    (fun q ->
+      let answer, _ = HP3.query h ~rng q in
+      let loc, _ = Cq.locate oracle q in
+      let depth, _ = Cq.node_cube loc.Cq.node in
+      checki "octree located cell depth" depth answer.I.cell_depth)
+    (W.uniform_query_points ~seed:29 ~n:80 ~dim:3)
+
+let test_hp2_insert_remove () =
+  let net = Network.create ~hosts:128 in
+  let pts = W.uniform_points ~seed:30 ~n:100 ~dim:2 in
+  let h = HP2.build ~net ~seed:31 pts in
+  let extra = Point.create [ 0.111; 0.222 ] in
+  let cost = HP2.insert h extra in
+  checkb "insert cost positive" true (cost > 0);
+  HP2.check_invariants h;
+  let rng = Prng.create 32 in
+  let answer, _ = HP2.query h ~rng extra in
+  checkb "inserted point located" true
+    (match answer.I.cell_point with Some p -> Point.dist p extra < 1e-6 | None -> false);
+  ignore (HP2.remove h extra);
+  HP2.check_invariants h;
+  checki "size restored" 100 (HP2.size h)
+
+(* ------- hierarchy over tries (Theorem 2 for §3.2) ------- *)
+
+let test_hstr_answers () =
+  let net = Network.create ~hosts:512 in
+  let strs = W.random_strings ~seed:33 ~n:400 ~alphabet:3 ~len:8 in
+  let h = HStr.build ~net ~seed:34 strs in
+  HStr.check_invariants h;
+  let oracle = Ct.build strs in
+  let rng = Prng.create 35 in
+  Array.iter
+    (fun q ->
+      let answer, _ = HStr.query h ~rng q in
+      Alcotest.(check string) "lcp" (Ct.longest_common_prefix oracle q) answer.I.lcp;
+      checki "matches" (Ct.count_with_prefix oracle q) answer.I.matches)
+    (W.string_queries ~seed:36 ~keys:strs ~n:200)
+
+let test_hstr_deep_input () =
+  let net = Network.create ~hosts:64 in
+  let strs = W.prefix_heavy_strings ~seed:37 ~n:48 ~alphabet:4 in
+  let h = HStr.build ~net ~seed:38 strs in
+  let oracle = Ct.build strs in
+  checkb "oracle trie is deep" true (Ct.max_string_depth oracle >= 48);
+  let rng = Prng.create 39 in
+  let total = ref 0 in
+  Array.iter
+    (fun q ->
+      let _, stats = HStr.query h ~rng q in
+      total := !total + stats.HStr.ranges_visited)
+    (W.string_queries ~seed:40 ~keys:strs ~n:100);
+  checkb "visits logarithmic on deep trie" true (float_of_int !total /. 100.0 < 25.0)
+
+let test_hstr_insert_remove () =
+  let net = Network.create ~hosts:64 in
+  let strs = W.random_strings ~seed:41 ~n:60 ~alphabet:3 ~len:6 in
+  let h = HStr.build ~net ~seed:42 strs in
+  ignore (HStr.insert h "zzzybra");
+  HStr.check_invariants h;
+  let rng = Prng.create 43 in
+  let answer, _ = HStr.query h ~rng "zzzybra" in
+  Alcotest.(check string) "inserted string found" "zzzybra" answer.I.lcp;
+  ignore (HStr.remove h "zzzybra");
+  HStr.check_invariants h;
+  checki "size restored" 60 (HStr.size h)
+
+(* ------- hierarchy over trapezoidal maps (Theorem 2 for §3.3) ------- *)
+
+let test_hseg_point_location () =
+  let net = Network.create ~hosts:256 in
+  let segs = W.disjoint_segments ~seed:44 ~n:60 in
+  let h = HSeg.build ~net ~seed:45 segs in
+  HSeg.check_invariants h;
+  let oracle = TM.build segs in
+  let rng = Prng.create 46 in
+  Array.iter
+    (fun q ->
+      match TM.locate_opt oracle q with
+      | None -> ()
+      | Some tr ->
+          let answer, stats = HSeg.query h ~rng q in
+          Alcotest.(check (option int))
+            "same bounding segment above"
+            (Option.map Skipweb_geom.Segment.id (TM.trap_top tr))
+            answer.I.above;
+          Alcotest.(check (option int))
+            "same bounding segment below"
+            (Option.map Skipweb_geom.Segment.id (TM.trap_bottom tr))
+            answer.I.below;
+          checkb "one range visited per level" true
+            (stats.HSeg.ranges_visited <= 3 * HSeg.levels h))
+    (W.trapmap_query_points ~seed:47 ~n:150)
+
+let test_hseg_insert () =
+  let net = Network.create ~hosts:128 in
+  let segs = W.disjoint_segments ~seed:48 ~n:41 in
+  let h = HSeg.build ~net ~seed:49 (Array.sub segs 0 40) in
+  let cost = HSeg.insert h segs.(40) in
+  checkb "segment insert cost positive" true (cost > 0);
+  HSeg.check_invariants h;
+  checki "size grew" 41 (HSeg.size h)
+
+(* ------- blocked 1-d skip-web (§2.4.1) ------- *)
+
+let test_blocked_build () =
+  let net = Network.create ~hosts:256 in
+  let b = B1.build ~net ~seed:50 ~m:16 (keys 256) in
+  B1.check_invariants b;
+  checki "size" 256 (B1.size b);
+  checkb "has basic levels" true (List.length (B1.basic_levels b) >= 2);
+  checkb "replication only a constant factor" true
+    (B1.replicated_storage b < 4 * B1.total_storage b)
+
+let test_blocked_query_correct () =
+  let net = Network.create ~hosts:512 in
+  let ks = keys 512 in
+  let b = B1.build ~net ~seed:51 ~m:16 ks in
+  let rng = Prng.create 52 in
+  Array.iter
+    (fun q ->
+      let r = B1.query b ~rng q in
+      check_opt "pred" (Lk.predecessor ks q) r.B1.predecessor;
+      check_opt "succ" (Lk.successor ks q) r.B1.successor;
+      check_opt "nearest" (Lk.nearest ks q) r.B1.nearest)
+    (W.query_mix ~seed:53 ~keys:ks ~n:300 ~bound:51_200)
+
+let test_blocked_fewer_messages_than_generic () =
+  (* Ablation A1: contiguous blocking beats hashed placement. *)
+  let n = 4096 in
+  let net1 = Network.create ~hosts:n and net2 = Network.create ~hosts:n in
+  let ks = keys n in
+  let blocked = B1.build ~net:net1 ~seed:54 ~m:(4 * 13) ks in
+  let generic = HInt.build ~net:net2 ~seed:54 ks in
+  let rng1 = Prng.create 55 and rng2 = Prng.create 55 in
+  let mb = ref 0 and mg = ref 0 in
+  for i = 0 to 199 do
+    let q = i * 1999 in
+    mb := !mb + (B1.query blocked ~rng:rng1 q).B1.messages;
+    let _, stats = HInt.query generic ~rng:rng2 q in
+    mg := !mg + stats.HInt.messages
+  done;
+  checkb "blocking reduces messages" true (!mb < !mg)
+
+let test_blocked_memory_within_budget () =
+  let net = Network.create ~hosts:1024 in
+  let m = 40 in
+  let b = B1.build ~net ~seed:56 ~m (keys 1024) in
+  (* Blocks + cones should stay within a small multiple of M. *)
+  checkb "per-host memory near target" true (B1.max_host_memory b <= 8 * m)
+
+let test_blocked_insert_delete () =
+  let net = Network.create ~hosts:128 in
+  let ks = keys 128 in
+  let b = B1.build ~net ~seed:57 ~m:16 ks in
+  let cost = B1.insert b 777_777 in
+  checkb "insert cost positive" true (cost > 0);
+  B1.check_invariants b;
+  let rng = Prng.create 58 in
+  check_opt "inserted found" (Some 777_777) (B1.query b ~rng 777_777).B1.nearest;
+  let dcost = B1.delete b 777_777 in
+  checkb "delete cost positive" true (dcost > 0);
+  B1.check_invariants b;
+  checki "size restored" 128 (B1.size b);
+  checki "duplicate insert free" 0 (B1.insert b ks.(0))
+
+let test_blocked_bucket_regime () =
+  (* Row 7: H << n with big buckets; queries still correct, and messages
+     drop well below the H = n regime. *)
+  let n = 2048 in
+  let ks = keys n in
+  let net_small = Network.create ~hosts:16 in
+  let b_small = B1.build ~net:net_small ~seed:59 ~m:(n / 8) ks in
+  B1.check_invariants b_small;
+  let rng = Prng.create 60 in
+  let total = ref 0 in
+  Array.iter
+    (fun q ->
+      let r = B1.query b_small ~rng q in
+      check_opt "bucket regime correct" (Lk.nearest ks q) r.B1.nearest;
+      total := !total + r.B1.messages)
+    (W.query_mix ~seed:61 ~keys:ks ~n:200 ~bound:(100 * n));
+  checkb "near-constant messages with M = n/8" true (float_of_int !total /. 200.0 < 6.0)
+
+
+let test_blocked_range_query () =
+  let net = Network.create ~hosts:256 in
+  let ks = keys 256 in
+  let b = B1.build ~net ~seed:62 ~m:16 ks in
+  let rng = Prng.create 63 in
+  List.iter
+    (fun (lo, hi) ->
+      let r = B1.range b ~rng ~lo ~hi in
+      Alcotest.(check (list int)) "range keys" (Lk.range_keys ks ~lo ~hi) r.B1.keys;
+      checkb "message cost covers locate" true (r.B1.messages >= 0))
+    [ (0, 100); (1000, 5000); (0, max_int - 1); (777, 777) ];
+  (* Cost grows with the answer size (block-boundary crossings). *)
+  let small = (B1.range b ~rng ~lo:ks.(10) ~hi:ks.(12)).B1.messages in
+  let large = (B1.range b ~rng ~lo:ks.(10) ~hi:ks.(250)).B1.messages in
+  checkb "bigger answers cross more blocks" true (large > small)
+
+let qcheck_blocked_matches_oracle =
+  QCheck.Test.make ~name:"blocked skip-web = sorted-array oracle" ~count:40
+    QCheck.(triple small_int (int_range 1 200) (int_range 0 30_000))
+    (fun (seed, n, q) ->
+      let ks = W.distinct_ints ~seed:(seed + 3) ~n ~bound:30_000 in
+      let net = Network.create ~hosts:(max 4 (n / 2)) in
+      let b = B1.build ~net ~seed ~m:8 ks in
+      let r = B1.query b ~rng:(Prng.create seed) q in
+      r.B1.predecessor = Lk.predecessor ks q && r.B1.successor = Lk.successor ks q)
+
+let qcheck_hierarchy_int_matches_oracle =
+  QCheck.Test.make ~name:"generic hierarchy = sorted-array oracle" ~count:40
+    QCheck.(triple small_int (int_range 1 150) (int_range 0 30_000))
+    (fun (seed, n, q) ->
+      let ks = W.distinct_ints ~seed:(seed + 4) ~n ~bound:30_000 in
+      let net = Network.create ~hosts:(n + 4) in
+      let h = HInt.build ~net ~seed ks in
+      let answer, _ = HInt.query h ~rng:(Prng.create seed) q in
+      answer = Lk.nearest ks q)
+
+let suite =
+  [
+    Alcotest.test_case "hierarchy int build" `Quick test_hint_build;
+    Alcotest.test_case "hierarchy level halving (Fig 2)" `Quick test_hint_level_halving;
+    Alcotest.test_case "hierarchy int query correct" `Quick test_hint_query_correct;
+    Alcotest.test_case "hierarchy int messages log" `Quick test_hint_messages_logarithmic;
+    Alcotest.test_case "hierarchy memory balanced" `Quick test_hint_memory_balanced;
+    Alcotest.test_case "hierarchy insert/remove" `Quick test_hint_insert_remove;
+    Alcotest.test_case "hierarchy grows from empty" `Quick test_hint_grow_from_empty;
+    Alcotest.test_case "hierarchy p ablation (A3)" `Quick test_hint_halving_ablation;
+    Alcotest.test_case "quadtree web point location" `Quick test_hp2_point_location;
+    Alcotest.test_case "quadtree web deep input (Thm 2)" `Quick test_hp2_deep_input_stays_logarithmic;
+    Alcotest.test_case "octree web (3d)" `Quick test_hp3_octree;
+    Alcotest.test_case "quadtree web insert/remove" `Quick test_hp2_insert_remove;
+    Alcotest.test_case "trie web answers" `Quick test_hstr_answers;
+    Alcotest.test_case "trie web deep input (Thm 2)" `Quick test_hstr_deep_input;
+    Alcotest.test_case "trie web insert/remove" `Quick test_hstr_insert_remove;
+    Alcotest.test_case "trapmap web point location" `Quick test_hseg_point_location;
+    Alcotest.test_case "trapmap web insert" `Quick test_hseg_insert;
+    Alcotest.test_case "blocked build" `Quick test_blocked_build;
+    Alcotest.test_case "blocked query correct" `Quick test_blocked_query_correct;
+    Alcotest.test_case "blocked beats generic (A1)" `Quick test_blocked_fewer_messages_than_generic;
+    Alcotest.test_case "blocked memory within budget" `Quick test_blocked_memory_within_budget;
+    Alcotest.test_case "blocked insert/delete" `Quick test_blocked_insert_delete;
+    Alcotest.test_case "blocked bucket regime (row 7)" `Quick test_blocked_bucket_regime;
+    Alcotest.test_case "blocked range query" `Quick test_blocked_range_query;
+    QCheck_alcotest.to_alcotest qcheck_blocked_matches_oracle;
+    QCheck_alcotest.to_alcotest qcheck_hierarchy_int_matches_oracle;
+  ]
+
+
+(* ------- mixed-workload soak: interleaved queries and updates ------- *)
+
+let test_soak_blocked_1d () =
+  let rng = Prng.create 70 in
+  let net = Network.create ~hosts:64 in
+  let b = B1.build ~net ~seed:71 ~m:8 [||] in
+  let module IS = Set.Make (Int) in
+  let model = ref IS.empty in
+  for step = 1 to 400 do
+    let k = Prng.int rng 5000 in
+    (match Prng.int rng 3 with
+    | 0 ->
+        if not (IS.mem k !model) then begin
+          ignore (B1.insert b k);
+          model := IS.add k !model
+        end
+    | 1 ->
+        if IS.mem k !model then begin
+          ignore (B1.delete b k);
+          model := IS.remove k !model
+        end
+    | _ ->
+        if not (IS.is_empty !model) then begin
+          let r = B1.query b ~rng k in
+          let expected =
+            let below = IS.filter (fun x -> x <= k) !model in
+            if IS.is_empty below then None else Some (IS.max_elt below)
+          in
+          check_opt "soak predecessor" expected r.B1.predecessor
+        end);
+    if step mod 50 = 0 then B1.check_invariants b
+  done;
+  checki "model size agrees" (IS.cardinal !model) (B1.size b)
+
+let test_soak_hierarchy_int () =
+  let rng = Prng.create 72 in
+  let net = Network.create ~hosts:64 in
+  let h = HInt.build ~net ~seed:73 [||] in
+  let module IS = Set.Make (Int) in
+  let model = ref IS.empty in
+  for step = 1 to 300 do
+    let k = Prng.int rng 5000 in
+    (match Prng.int rng 3 with
+    | 0 ->
+        ignore (HInt.insert h k);
+        model := IS.add k !model
+    | 1 ->
+        ignore (HInt.remove h k);
+        model := IS.remove k !model
+    | _ ->
+        if not (IS.is_empty !model) then begin
+          let answer, _ = HInt.query h ~rng k in
+          let expected =
+            let pred = IS.filter (fun x -> x <= k) !model in
+            let succ = IS.filter (fun x -> x >= k) !model in
+            match (IS.is_empty pred, IS.is_empty succ) with
+            | true, true -> None
+            | false, true -> Some (IS.max_elt pred)
+            | true, false -> Some (IS.min_elt succ)
+            | false, false ->
+                let p = IS.max_elt pred and s = IS.min_elt succ in
+                if k - p <= s - k then Some p else Some s
+          in
+          check_opt "soak nearest" expected answer
+        end);
+    if step mod 50 = 0 then HInt.check_invariants h
+  done;
+  checki "model size agrees" (IS.cardinal !model) (HInt.size h)
+
+let soak_suite =
+  [
+    Alcotest.test_case "soak: blocked 1-d mixed workload" `Quick test_soak_blocked_1d;
+    Alcotest.test_case "soak: generic hierarchy mixed workload" `Quick test_soak_hierarchy_int;
+  ]

@@ -1,0 +1,18 @@
+(* Aggregated alcotest runner for the skip-webs reproduction. *)
+
+let () =
+  Alcotest.run "skipweb"
+    [
+      ("util", Test_util.suite);
+      ("net", Test_net.suite);
+      ("geom", Test_geom.suite);
+      ("linklist", Test_linklist.suite);
+      ("skiplist", Test_skiplist.suite);
+      ("quadtree", Test_quadtree.suite);
+      ("trie", Test_trie.suite);
+      ("trapmap", Test_trapmap.suite);
+      ("workload", Test_workload.suite);
+      ("skipgraph", Test_skipgraph.suite);
+      ("core", Test_core.suite);
+      ("soak", Test_core.soak_suite);
+    ]

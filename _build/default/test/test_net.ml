@@ -1,0 +1,151 @@
+(* Tests for Skipweb_net: the message-counting cost model. *)
+
+module Network = Skipweb_net.Network
+module Placement = Skipweb_net.Placement
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_create_bounds () =
+  Alcotest.check_raises "zero hosts" (Invalid_argument "Network.create: need at least one host")
+    (fun () -> ignore (Network.create ~hosts:0));
+  checki "host count" 5 (Network.host_count (Network.create ~hosts:5))
+
+let test_session_counts_crossings () =
+  let net = Network.create ~hosts:4 in
+  let s = Network.start net 0 in
+  checki "no messages at start" 0 (Network.messages s);
+  Network.goto s 0;
+  checki "same host is free" 0 (Network.messages s);
+  Network.goto s 1;
+  checki "crossing costs one" 1 (Network.messages s);
+  Network.goto s 1;
+  checki "staying is free" 0 (Network.messages s - 1);
+  Network.goto s 2;
+  Network.goto s 3;
+  Network.goto s 0;
+  checki "four crossings total" 4 (Network.messages s);
+  checki "current host" 0 (Network.current s)
+
+let test_total_messages_accumulate () =
+  let net = Network.create ~hosts:3 in
+  let s1 = Network.start net 0 in
+  Network.goto s1 1;
+  let s2 = Network.start net 2 in
+  Network.goto s2 0;
+  Network.goto s2 1;
+  checki "global total" 3 (Network.total_messages net);
+  checki "sessions" 2 (Network.sessions_started net)
+
+let test_traffic_tracking () =
+  let net = Network.create ~hosts:3 in
+  let s = Network.start net 0 in
+  Network.goto s 1;
+  Network.goto s 2;
+  Network.goto s 1;
+  checki "host 1 visited twice" 2 (Network.traffic net 1);
+  checki "host 0 visited once (start)" 1 (Network.traffic net 0);
+  checki "max traffic" 2 (Network.max_traffic net);
+  Network.reset_traffic net;
+  checki "reset clears traffic" 0 (Network.traffic net 1);
+  checki "reset clears totals" 0 (Network.total_messages net)
+
+let test_memory_accounting () =
+  let net = Network.create ~hosts:4 in
+  Network.charge_memory net 0 10;
+  Network.charge_memory net 1 4;
+  Network.charge_memory net 0 (-3);
+  checki "memory at 0" 7 (Network.memory net 0);
+  checki "max memory" 7 (Network.max_memory net);
+  checki "total memory" 11 (Network.total_memory net);
+  Alcotest.(check (float 1e-9)) "mean memory" 2.75 (Network.mean_memory net)
+
+let test_memory_survives_traffic_reset () =
+  let net = Network.create ~hosts:2 in
+  Network.charge_memory net 0 5;
+  Network.reset_traffic net;
+  checki "memory kept" 5 (Network.memory net 0)
+
+let test_congestion_measure () =
+  let net = Network.create ~hosts:10 in
+  Network.charge_memory net 3 20;
+  Alcotest.(check (float 1e-9)) "congestion = max mem + n/H" 30.0 (Network.congestion net ~items:100)
+
+let test_bad_host_rejected () =
+  let net = Network.create ~hosts:2 in
+  Alcotest.check_raises "bad host" (Invalid_argument "Network: bad host 2 (H=2)") (fun () ->
+      Network.charge_memory net 2 1)
+
+let test_placement_one_per_host () = checki "identity" 7 (Placement.one_per_host 7)
+
+let test_placement_modulo () =
+  checki "wraps" 1 (Placement.modulo ~hosts:3 7);
+  checki "small" 2 (Placement.modulo ~hosts:3 2)
+
+let test_placement_chunked () =
+  let p = Placement.chunked ~chunk:4 ~hosts:3 in
+  checki "first chunk" 0 (p 3);
+  checki "second chunk" 1 (p 4);
+  checki "wraps around" 0 (p 12);
+  Alcotest.check_raises "chunk >= 1" (Invalid_argument "Placement.chunked: chunk must be >= 1")
+    (fun () -> ignore (Placement.chunked ~chunk:0 ~hosts:3 1))
+
+let test_placement_hashed_deterministic () =
+  let p = Placement.hashed ~seed:9 ~hosts:16 in
+  checki "stable" (p 123) (p 123);
+  let q = Placement.hashed ~seed:10 ~hosts:16 in
+  (* Different seeds should disagree on at least one of a few probes. *)
+  checkb "seed matters" true (List.exists (fun i -> p i <> q i) [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_placement_hashed_spreads () =
+  let hosts = 8 in
+  let p = Placement.hashed ~seed:3 ~hosts in
+  let counts = Array.make hosts 0 in
+  for i = 0 to 7999 do
+    let h = p i in
+    counts.(h) <- counts.(h) + 1
+  done;
+  Array.iter (fun c -> checkb "roughly uniform" true (c > 700 && c < 1300)) counts
+
+let test_charge_all () =
+  let net = Network.create ~hosts:4 in
+  Placement.charge_all net (Placement.modulo ~hosts:4) ~items:10;
+  checki "host 0 gets ceil share" 3 (Network.memory net 0);
+  checki "host 3 gets floor share" 2 (Network.memory net 3);
+  checki "total" 10 (Network.total_memory net)
+
+let qcheck_goto_nonnegative =
+  QCheck.Test.make ~name:"message count equals host changes" ~count:300
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 0 50) (int_range 0 19)))
+    (fun (hosts, moves) ->
+      let moves = List.map (fun m -> m mod hosts) moves in
+      let net = Network.create ~hosts in
+      let s = Network.start net 0 in
+      let expected = ref 0 in
+      let cur = ref 0 in
+      List.iter
+        (fun h ->
+          if h <> !cur then incr expected;
+          cur := h;
+          Network.goto s h)
+        moves;
+      Network.messages s = !expected)
+
+let suite =
+  [
+    Alcotest.test_case "create bounds" `Quick test_create_bounds;
+    Alcotest.test_case "session counts crossings" `Quick test_session_counts_crossings;
+    Alcotest.test_case "total messages accumulate" `Quick test_total_messages_accumulate;
+    Alcotest.test_case "traffic tracking" `Quick test_traffic_tracking;
+    Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+    Alcotest.test_case "memory survives traffic reset" `Quick test_memory_survives_traffic_reset;
+    Alcotest.test_case "congestion measure" `Quick test_congestion_measure;
+    Alcotest.test_case "bad host rejected" `Quick test_bad_host_rejected;
+    Alcotest.test_case "placement one per host" `Quick test_placement_one_per_host;
+    Alcotest.test_case "placement modulo" `Quick test_placement_modulo;
+    Alcotest.test_case "placement chunked" `Quick test_placement_chunked;
+    Alcotest.test_case "placement hashed deterministic" `Quick test_placement_hashed_deterministic;
+    Alcotest.test_case "placement hashed spreads" `Quick test_placement_hashed_spreads;
+    Alcotest.test_case "charge all" `Quick test_charge_all;
+    QCheck_alcotest.to_alcotest qcheck_goto_nonnegative;
+  ]

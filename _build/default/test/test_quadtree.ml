@@ -1,0 +1,402 @@
+(* Tests for Skipweb_quadtree: compressed quadtrees/octrees (§3.1). *)
+
+module Q = Skipweb_quadtree.Cqtree
+module Point = Skipweb_geom.Point
+module Workload = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let pts2 xs = Array.of_list (List.map (fun (x, y) -> Point.create [ x; y ]) xs)
+
+let test_empty () =
+  let t = Q.build ~dim:2 [||] in
+  checki "no points" 0 (Q.size t);
+  checki "just the root" 1 (Q.node_count t);
+  Q.check_invariants t
+
+let test_singleton () =
+  let t = Q.build ~dim:2 (pts2 [ (0.3, 0.7) ]) in
+  checki "one point" 1 (Q.size t);
+  checki "root + leaf" 2 (Q.node_count t);
+  Q.check_invariants t
+
+let test_duplicates_collapse () =
+  let t = Q.build ~dim:2 (pts2 [ (0.3, 0.7); (0.3, 0.7); (0.1, 0.1) ]) in
+  checki "two distinct points" 2 (Q.size t);
+  Q.check_invariants t
+
+let test_four_corners () =
+  let t = Q.build ~dim:2 (pts2 [ (0.1, 0.1); (0.9, 0.1); (0.1, 0.9); (0.9, 0.9) ]) in
+  checki "four points" 4 (Q.size t);
+  Q.check_invariants t;
+  (* The root splits immediately: its four children are the four leaves'
+     top-level structures. *)
+  checkb "shallow tree" true (Q.depth t <= 2)
+
+let test_node_count_linear () =
+  let pts = Workload.uniform_points ~seed:3 ~n:1000 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  Q.check_invariants t;
+  checkb "O(n) nodes" true (Q.node_count t <= 2 * Q.size t + 1)
+
+let test_diagonal_is_deep () =
+  let pts = Workload.diagonal_points ~n:25 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  Q.check_invariants t;
+  checkb "adversarial input is deep" true (Q.depth t >= 20);
+  checkb "cube depth grows with n" true (Q.max_cube_depth t >= 20)
+
+let test_locate_contains_query () =
+  let pts = Workload.uniform_points ~seed:5 ~n:300 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let queries = Workload.uniform_query_points ~seed:6 ~n:100 ~dim:2 in
+  Array.iter
+    (fun q ->
+      let loc, path = Q.locate t q in
+      let depth_of n = fst (Q.node_cube n) in
+      (* The path is strictly descending and starts at the root. *)
+      (match path with
+      | first :: _ -> checki "path starts at root" (Q.node_id (Q.root t)) (Q.node_id first)
+      | [] -> Alcotest.fail "empty path");
+      let rec strictly_deeper = function
+        | a :: (b :: _ as rest) ->
+            checkb "descending" true (depth_of a < depth_of b);
+            strictly_deeper rest
+        | [ _ ] | [] -> ()
+      in
+      strictly_deeper path;
+      (* Last path node is the located node. *)
+      match List.rev path with
+      | last :: _ -> checki "path ends at location" (Q.node_id loc.Q.node) (Q.node_id last)
+      | [] -> Alcotest.fail "empty path")
+    queries
+
+let test_locate_exact_point () =
+  let pts = Workload.uniform_points ~seed:7 ~n:50 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  Array.iter
+    (fun p ->
+      let loc, _ = Q.locate t p in
+      match loc.Q.slot with
+      | Q.At_point -> (
+          match Q.node_point loc.Q.node with
+          | Some stored -> checkb "found the right leaf" true (Point.dist stored p < 1e-6)
+          | None -> Alcotest.fail "located non-leaf for a stored point")
+      | Q.Empty_quadrant _ | Q.Outside_child _ -> Alcotest.fail "stored point not located")
+    pts
+
+let test_incremental_matches_bulk () =
+  (* The compressed quadtree is canonical: bulk build and incremental
+     inserts must produce identical cube sets. *)
+  let pts = Workload.uniform_points ~seed:8 ~n:200 ~dim:2 in
+  let bulk = Q.build ~dim:2 pts in
+  let inc = Q.build ~dim:2 [||] in
+  Array.iter (fun p -> ignore (Q.insert inc p)) pts;
+  Q.check_invariants inc;
+  checki "same node count" (Q.node_count bulk) (Q.node_count inc);
+  checki "same size" (Q.size bulk) (Q.size inc);
+  checki "same depth" (Q.depth bulk) (Q.depth inc);
+  (* Every bulk node cube exists in the incremental tree. *)
+  Array.iter
+    (fun p ->
+      let loc_b, _ = Q.locate bulk p in
+      let loc_i, _ = Q.locate inc p in
+      checkb "same located cube" true (Q.node_cube loc_b.Q.node = Q.node_cube loc_i.Q.node))
+    pts
+
+let test_insert_then_remove_roundtrip () =
+  let pts = Workload.uniform_points ~seed:9 ~n:150 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let before = Q.node_count t in
+  let extra = Point.create [ 0.123456; 0.654321 ] in
+  checkb "insert ok" true (Q.insert t extra);
+  checkb "insert dup rejected" false (Q.insert t extra);
+  Q.check_invariants t;
+  checkb "remove ok" true (Q.remove t extra);
+  checkb "remove twice rejected" false (Q.remove t extra);
+  Q.check_invariants t;
+  checki "node count restored" before (Q.node_count t);
+  checki "size restored" 150 (Q.size t)
+
+let test_remove_all () =
+  let pts = Workload.uniform_points ~seed:10 ~n:64 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  Array.iter (fun p -> checkb "removed" true (Q.remove t p)) pts;
+  Q.check_invariants t;
+  checki "empty again" 0 (Q.size t);
+  checki "only root remains" 1 (Q.node_count t)
+
+let test_three_dimensions () =
+  let pts = Workload.uniform_points ~seed:11 ~n:400 ~dim:3 in
+  let t = Q.build ~dim:3 pts in
+  Q.check_invariants t;
+  checki "octree holds all" 400 (Q.size t);
+  let q = Point.create [ 0.5; 0.5; 0.5 ] in
+  let _loc, path = Q.locate t q in
+  checkb "octree locate terminates quickly" true (List.length path <= Q.depth t + 1)
+
+let test_nearest_matches_brute_force () =
+  let pts = Workload.uniform_points ~seed:12 ~n:500 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let queries = Workload.uniform_query_points ~seed:13 ~n:50 ~dim:2 in
+  Array.iter
+    (fun q ->
+      match Q.nearest t q with
+      | None -> Alcotest.fail "nonempty tree"
+      | Some (_, d) ->
+          let brute = Array.fold_left (fun acc p -> Float.min acc (Point.dist p q)) infinity pts in
+          Alcotest.(check (float 1e-9)) "exact NN distance" brute d)
+    queries
+
+let test_node_of_cube_lookup () =
+  let pts = Workload.uniform_points ~seed:14 ~n:100 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let loc, path = Q.locate t (Point.create [ 0.25; 0.75 ]) in
+  ignore loc;
+  List.iter
+    (fun n ->
+      match Q.node_of_cube t (Q.node_cube n) with
+      | Some m -> checki "index finds the node" (Q.node_id n) (Q.node_id m)
+      | None -> Alcotest.fail "node missing from cube index")
+    path
+
+let test_subset_cubes_exist_in_superset () =
+  (* The property underpinning skip-web refinement (§2.3): every node cube
+     of D(T) is a node cube of D(S) for T ⊆ S. *)
+  let rng = Prng.create 15 in
+  let pts = Workload.uniform_points ~seed:16 ~n:300 ~dim:2 in
+  let sub = Array.of_list (List.filter (fun _ -> Prng.bool rng) (Array.to_list pts)) in
+  let s = Q.build ~dim:2 pts in
+  let t = Q.build ~dim:2 sub in
+  (* Walk all of t's nodes via located paths of its own points. *)
+  Array.iter
+    (fun p ->
+      let _, path = Q.locate t p in
+      List.iter
+        (fun n ->
+          checkb "T-cube exists in S" true (Q.node_of_cube s (Q.node_cube n) <> None))
+        path)
+    sub
+
+let test_refinement_soundness () =
+  (* locate in D(T), then continue from the same cube in D(S): must land on
+     the same node as locating directly in D(S). *)
+  let rng = Prng.create 17 in
+  let pts = Workload.uniform_points ~seed:18 ~n:400 ~dim:2 in
+  let sub = Array.of_list (List.filter (fun _ -> Prng.bool rng) (Array.to_list pts)) in
+  let s = Q.build ~dim:2 pts in
+  let t = Q.build ~dim:2 sub in
+  let queries = Workload.uniform_query_points ~seed:19 ~n:100 ~dim:2 in
+  Array.iter
+    (fun q ->
+      let loc_t, _ = Q.locate t q in
+      match Q.node_of_cube s (Q.node_cube loc_t.Q.node) with
+      | None -> Alcotest.fail "refinement start cube missing in superset"
+      | Some start ->
+          let loc_s, _ = Q.locate_from s start q in
+          let direct, _ = Q.locate s q in
+          checkb "refined = direct" true
+            (Q.node_cube loc_s.Q.node = Q.node_cube direct.Q.node))
+    queries
+
+let test_gap_count_small_on_random_halves () =
+  let pts = Workload.uniform_points ~seed:20 ~n:1000 ~dim:2 in
+  let rng = Prng.create 21 in
+  let sub = Array.of_list (List.filter (fun _ -> Prng.bool rng) (Array.to_list pts)) in
+  let s = Q.build ~dim:2 pts in
+  let t = Q.build ~dim:2 sub in
+  let queries = Workload.uniform_query_points ~seed:22 ~n:200 ~dim:2 in
+  let total = ref 0 in
+  Array.iter
+    (fun q ->
+      let loc_t, _ = Q.locate t q in
+      let start_cube = Q.node_cube loc_t.Q.node in
+      match Q.node_of_cube s start_cube with
+      | None -> Alcotest.fail "cube missing"
+      | Some start ->
+          let _, path = Q.locate_from s start q in
+          total := !total + List.length path)
+    queries;
+  let mean = float_of_int !total /. 200.0 in
+  (* Lemma 3: expected O(1) refinement work; generous empirical bound. *)
+  checkb "refinement descent short on average" true (mean < 8.0)
+
+let qcheck_build_invariants =
+  QCheck.Test.make ~name:"build invariants on random point sets" ~count:60
+    QCheck.(pair small_int (int_range 0 300))
+    (fun (seed, n) ->
+      let pts = Workload.uniform_points ~seed ~n ~dim:2 in
+      let t = Q.build ~dim:2 pts in
+      Q.check_invariants t;
+      Q.size t <= n)
+
+let qcheck_insert_remove_invariants =
+  QCheck.Test.make ~name:"random insert/remove keeps invariants" ~count:40
+    QCheck.(pair small_int (int_range 1 120))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let t = Q.build ~dim:2 [||] in
+      let live = ref [] in
+      for _ = 1 to n do
+        if Prng.bool rng || !live = [] then begin
+          let p = Point.create [ Prng.float rng 1.0; Prng.float rng 1.0 ] in
+          if Q.insert t p then live := p :: !live
+        end
+        else begin
+          match !live with
+          | p :: rest ->
+              ignore (Q.remove t p);
+              live := rest
+          | [] -> ()
+        end;
+        Q.check_invariants t
+      done;
+      Q.size t = List.length !live)
+
+
+
+let test_range_queries () =
+  let pts = Workload.uniform_points ~seed:40 ~n:600 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let boxes =
+    [ (0.1, 0.1, 0.4, 0.5); (0.0, 0.0, 0.999, 0.999); (0.5, 0.5, 0.50001, 0.50001); (0.2, 0.8, 0.9, 0.95) ]
+  in
+  List.iter
+    (fun (x0, y0, x1, y1) ->
+      let lo = Point.create [ x0; y0 ] and hi = Point.create [ x1; y1 ] in
+      let oracle =
+        Array.to_list pts
+        |> List.filter (fun p -> p.(0) >= x0 && p.(0) <= x1 && p.(1) >= y0 && p.(1) <= y1)
+        |> List.length
+      in
+      (* Grid snapping moves points by < 2^-30, well under workload spacing. *)
+      checki "range count = oracle" oracle (Q.range_count t ~lo ~hi);
+      checki "report length = count" (Q.range_count t ~lo ~hi) (List.length (Q.range_report t ~lo ~hi));
+      List.iter
+        (fun p ->
+          checkb "reported point inside box" true
+            (p.(0) >= x0 -. 1e-8 && p.(0) <= x1 +. 1e-8 && p.(1) >= y0 -. 1e-8 && p.(1) <= y1 +. 1e-8))
+        (Q.range_report t ~lo ~hi))
+    boxes
+
+let test_range_empty_box_rejected () =
+  let t = Q.build ~dim:2 (pts2 [ (0.5, 0.5) ]) in
+  checkb "inverted box rejected" true
+    (try
+       ignore (Q.range_count t ~lo:(Point.create [ 0.9; 0.1 ]) ~hi:(Point.create [ 0.1; 0.9 ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------- the sequential skip quadtree (reference [6]) ------- *)
+
+module SQ = Skipweb_quadtree.Skip_qtree
+
+let test_skipqtree_build_and_locate () =
+  let pts = Workload.uniform_points ~seed:30 ~n:500 ~dim:2 in
+  let sq = SQ.build ~seed:31 ~dim:2 pts in
+  SQ.check_invariants sq;
+  checki "size" 500 (SQ.size sq);
+  checkb "levels about log n" true (SQ.levels sq >= 5 && SQ.levels sq <= 30);
+  let oracle = Q.build ~dim:2 pts in
+  let queries = Workload.uniform_query_points ~seed:32 ~n:100 ~dim:2 in
+  Array.iter
+    (fun q ->
+      let loc, steps = SQ.locate sq q in
+      let direct, _ = Q.locate oracle q in
+      checkb "same located cell" true (Q.node_cube loc.Q.node = Q.node_cube direct.Q.node);
+      checkb "steps bounded" true (steps >= 1 && steps < 200))
+    queries
+
+let test_skipqtree_fast_on_deep_input () =
+  let pts = Workload.diagonal_points ~n:25 ~dim:2 in
+  let sq = SQ.build ~seed:33 ~dim:2 pts in
+  let oracle = Q.build ~dim:2 pts in
+  checkb "oracle deep" true (Q.depth oracle >= 20);
+  let queries = Workload.uniform_query_points ~seed:34 ~n:100 ~dim:2 in
+  let total = ref 0 in
+  Array.iter
+    (fun q ->
+      let _, steps = SQ.locate sq q in
+      total := !total + steps)
+    queries;
+  checkb "locate steps logarithmic" true (float_of_int !total /. 100.0 < 15.0)
+
+let test_skipqtree_insert_remove () =
+  let pts = Workload.uniform_points ~seed:35 ~n:100 ~dim:2 in
+  let sq = SQ.build ~seed:36 ~dim:2 pts in
+  let extra = Point.create [ 0.421; 0.887 ] in
+  checkb "insert" true (SQ.insert sq extra);
+  checkb "dup insert" false (SQ.insert sq extra);
+  SQ.check_invariants sq;
+  checki "grew" 101 (SQ.size sq);
+  let loc, _ = SQ.locate sq extra in
+  checkb "inserted located" true
+    (match Q.node_point loc.Q.node with Some p -> Point.dist p extra < 1e-6 | None -> false);
+  checkb "remove" true (SQ.remove sq extra);
+  checkb "remove twice" false (SQ.remove sq extra);
+  SQ.check_invariants sq;
+  checki "restored" 100 (SQ.size sq)
+
+let test_skipqtree_nearest () =
+  let pts = Workload.uniform_points ~seed:37 ~n:300 ~dim:2 in
+  let sq = SQ.build ~seed:38 ~dim:2 pts in
+  let q = Point.create [ 0.5; 0.5 ] in
+  match SQ.nearest sq q with
+  | None -> Alcotest.fail "nonempty"
+  | Some (_, d) ->
+      let brute = Array.fold_left (fun acc p -> Float.min acc (Point.dist p q)) infinity pts in
+      Alcotest.(check (float 1e-9)) "exact" brute d
+
+let qcheck_skipqtree_random_ops =
+  QCheck.Test.make ~name:"skip quadtree random ops keep invariants" ~count:30
+    QCheck.(pair small_int (int_range 1 80))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let sq = SQ.build ~seed ~dim:2 [||] in
+      let live = ref [] in
+      for _ = 1 to n do
+        if Prng.bool rng || !live = [] then begin
+          let p = Point.create [ Prng.float rng 1.0; Prng.float rng 1.0 ] in
+          if SQ.insert sq p then live := p :: !live
+        end
+        else
+          match !live with
+          | p :: rest ->
+              ignore (SQ.remove sq p);
+              live := rest
+          | [] -> ()
+      done;
+      SQ.check_invariants sq;
+      SQ.size sq = List.length !live)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "duplicates collapse" `Quick test_duplicates_collapse;
+    Alcotest.test_case "four corners" `Quick test_four_corners;
+    Alcotest.test_case "node count linear" `Quick test_node_count_linear;
+    Alcotest.test_case "diagonal input is deep" `Quick test_diagonal_is_deep;
+    Alcotest.test_case "locate path structure" `Quick test_locate_contains_query;
+    Alcotest.test_case "locate exact point" `Quick test_locate_exact_point;
+    Alcotest.test_case "incremental = bulk (canonical)" `Quick test_incremental_matches_bulk;
+    Alcotest.test_case "insert/remove roundtrip" `Quick test_insert_then_remove_roundtrip;
+    Alcotest.test_case "remove all" `Quick test_remove_all;
+    Alcotest.test_case "three dimensions (octree)" `Quick test_three_dimensions;
+    Alcotest.test_case "nearest = brute force" `Quick test_nearest_matches_brute_force;
+    Alcotest.test_case "node_of_cube lookup" `Quick test_node_of_cube_lookup;
+    Alcotest.test_case "subset cubes exist in superset" `Quick test_subset_cubes_exist_in_superset;
+    Alcotest.test_case "refinement soundness" `Quick test_refinement_soundness;
+    Alcotest.test_case "gap refinement short (Lemma 3 flavor)" `Quick test_gap_count_small_on_random_halves;
+    Alcotest.test_case "range queries" `Quick test_range_queries;
+    Alcotest.test_case "range empty box rejected" `Quick test_range_empty_box_rejected;
+    Alcotest.test_case "skip quadtree build/locate" `Quick test_skipqtree_build_and_locate;
+    Alcotest.test_case "skip quadtree fast on deep input" `Quick test_skipqtree_fast_on_deep_input;
+    Alcotest.test_case "skip quadtree insert/remove" `Quick test_skipqtree_insert_remove;
+    Alcotest.test_case "skip quadtree nearest" `Quick test_skipqtree_nearest;
+    QCheck_alcotest.to_alcotest qcheck_skipqtree_random_ops;
+    QCheck_alcotest.to_alcotest qcheck_build_invariants;
+    QCheck_alcotest.to_alcotest qcheck_insert_remove_invariants;
+  ]

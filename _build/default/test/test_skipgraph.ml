@@ -1,0 +1,390 @@
+(* Tests for the Table 1 baselines: skip graphs, NoN skip graphs, family
+   trees, deterministic SkipNet, bucket skip graphs. *)
+
+module Network = Skipweb_net.Network
+module SG = Skipweb_skipgraph.Skip_graph
+module NoN = Skipweb_skipgraph.Non_skip_graph
+module FT = Skipweb_skipgraph.Family_tree
+module DS = Skipweb_skipgraph.Det_skipnet
+module BSG = Skipweb_skipgraph.Bucket_skip_graph
+module LL = Skipweb_skipgraph.Level_lists
+module Lk = Skipweb_linklist.Linklist
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_opt = Alcotest.(check (option int))
+
+let keys n = W.distinct_ints ~seed:42 ~n ~bound:(100 * n)
+
+(* ------- Level_lists ------- *)
+
+let test_level_lists_basics () =
+  let ll = LL.create ~seed:1 ~keys:(keys 64) in
+  LL.check_invariants ll;
+  checki "size" 64 (LL.size ll);
+  checkb "levels log-ish" true (LL.levels ll >= 4 && LL.levels ll <= 30);
+  (* splice round trip *)
+  let pos = LL.splice_in ll 999_999_999 in
+  checkb "inserted at end" true (pos = 64);
+  checkb "mem" true (LL.mem ll 999_999_999);
+  ignore (LL.splice_out ll 999_999_999);
+  checkb "gone" false (LL.mem ll 999_999_999);
+  LL.check_invariants ll
+
+let test_level_lists_neighbor_scan () =
+  let ll = LL.create ~seed:2 ~keys:(keys 32) in
+  (* Level-0 neighbors are adjacent positions. *)
+  for i = 0 to 30 do
+    Alcotest.(check (option int)) "level-0 right" (Some (i + 1)) (LL.right_neighbor ll i 0);
+    Alcotest.(check (option int)) "level-0 left" (Some i) (LL.left_neighbor ll (i + 1) 0)
+  done;
+  Alcotest.(check (option int)) "right end" None (LL.right_neighbor ll 31 0)
+
+(* ------- Skip graphs ------- *)
+
+let make_sg n =
+  let net = Network.create ~hosts:(n + 64) in
+  (net, SG.create ~net ~seed:7 ~keys:(keys n))
+
+let test_sg_search_correct () =
+  let _, sg = make_sg 256 in
+  let ks = SG.keys sg in
+  let rng = Prng.create 9 in
+  let queries = W.query_mix ~seed:10 ~keys:ks ~n:200 ~bound:25_600 in
+  Array.iter
+    (fun q ->
+      let r = SG.search_from_random sg ~rng q in
+      check_opt "pred" (Lk.predecessor ks q) r.SG.predecessor;
+      check_opt "succ" (Lk.successor ks q) r.SG.successor;
+      check_opt "nearest" (Lk.nearest ks q) r.SG.nearest)
+    queries
+
+let test_sg_messages_logarithmic () =
+  let _, sg = make_sg 1024 in
+  let rng = Prng.create 11 in
+  let total = ref 0 in
+  for i = 0 to 199 do
+    let r = SG.search_from_random sg ~rng (i * 512) in
+    total := !total + r.SG.messages
+  done;
+  let mean = float_of_int !total /. 200.0 in
+  (* Expected ~ 2 log2 1024 = 20; generous sanity bound. *)
+  checkb "search messages logarithmic" true (mean > 2.0 && mean < 60.0)
+
+let test_sg_memory_logarithmic () =
+  let net, sg = make_sg 1024 in
+  ignore net;
+  let mems = SG.memory_per_host sg in
+  let worst = List.fold_left max 0 mems in
+  checkb "per-host memory O(log n)" true (worst <= 2 + (2 * 40))
+
+let test_sg_insert_delete () =
+  let _, sg = make_sg 128 in
+  let cost = SG.insert sg 999_999 in
+  checkb "insert cost positive" true (cost > 0);
+  checkb "searchable" true ((SG.search sg ~from:0 999_999).SG.predecessor = Some 999_999);
+  SG.check_invariants sg;
+  let dcost = SG.delete sg 999_999 in
+  checkb "delete cost positive" true (dcost > 0);
+  checkb "gone" true ((SG.search sg ~from:0 999_999).SG.predecessor <> Some 999_999);
+  SG.check_invariants sg;
+  checkb "duplicate insert rejected" true
+    (try
+       ignore (SG.insert sg (SG.keys sg).(0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sg_empty () =
+  let net = Network.create ~hosts:4 in
+  let sg = SG.create ~net ~seed:1 ~keys:[||] in
+  let r = SG.search sg ~from:0 5 in
+  checkb "empty search" true (r.SG.nearest = None && r.SG.messages = 0)
+
+(* ------- NoN skip graphs ------- *)
+
+let test_non_search_correct () =
+  let net = Network.create ~hosts:300 in
+  let g = NoN.create ~net ~seed:13 ~keys:(keys 256) in
+  let ks = keys 256 in
+  let rng = Prng.create 14 in
+  let queries = W.query_mix ~seed:15 ~keys:ks ~n:200 ~bound:25_600 in
+  Array.iter
+    (fun q ->
+      let r = NoN.search_from_random g ~rng q in
+      check_opt "pred" (Lk.predecessor ks q) r.NoN.predecessor;
+      check_opt "nearest" (Lk.nearest ks q) r.NoN.nearest)
+    queries
+
+let test_non_fewer_hops_than_plain () =
+  let n = 2048 in
+  let net1 = Network.create ~hosts:(n + 8) and net2 = Network.create ~hosts:(n + 8) in
+  let sg = SG.create ~net:net1 ~seed:7 ~keys:(keys n) in
+  let non = NoN.create ~net:net2 ~seed:7 ~keys:(keys n) in
+  let rng1 = Prng.create 20 and rng2 = Prng.create 20 in
+  let sgm = ref 0 and nonm = ref 0 in
+  for i = 0 to 149 do
+    let q = i * 1357 in
+    sgm := !sgm + (SG.search_from_random sg ~rng:rng1 q).SG.messages;
+    nonm := !nonm + (NoN.search_from_random non ~rng:rng2 q).NoN.messages
+  done;
+  checkb "lookahead helps" true (!nonm < !sgm)
+
+let test_non_memory_larger () =
+  let n = 512 in
+  let net1 = Network.create ~hosts:(n + 8) and net2 = Network.create ~hosts:(n + 8) in
+  let sg = SG.create ~net:net1 ~seed:7 ~keys:(keys n) in
+  let non = NoN.create ~net:net2 ~seed:7 ~keys:(keys n) in
+  let max_l = List.fold_left max 0 in
+  checkb "NoN tables cost memory" true (max_l (NoN.memory_per_host non) > max_l (SG.memory_per_host sg))
+
+let test_non_update_costlier () =
+  let n = 512 in
+  let net1 = Network.create ~hosts:(n + 8) and net2 = Network.create ~hosts:(n + 8) in
+  let sg = SG.create ~net:net1 ~seed:7 ~keys:(keys n) in
+  let non = NoN.create ~net:net2 ~seed:7 ~keys:(keys n) in
+  let c1 = SG.insert sg 123_456_789 in
+  let c2 = NoN.insert non 123_456_789 in
+  checkb "NoN insert pays for tables" true (c2 > c1);
+  ignore (NoN.delete non 123_456_789);
+  ignore (SG.delete sg 123_456_789)
+
+(* ------- Family trees (constant-degree comparator) ------- *)
+
+let test_ft_search_correct () =
+  let net = Network.create ~hosts:600 in
+  let ks = keys 500 in
+  let ft = FT.create ~net ~seed:21 ~keys:ks in
+  FT.check_invariants ft;
+  let queries = W.query_mix ~seed:22 ~keys:ks ~n:200 ~bound:50_000 in
+  Array.iter
+    (fun q ->
+      let r = FT.search ft ~from:0 q in
+      check_opt "pred" (Lk.predecessor ks q) r.FT.predecessor;
+      check_opt "succ" (Lk.successor ks q) r.FT.successor)
+    queries
+
+let test_ft_constant_degree () =
+  let net = Network.create ~hosts:3000 in
+  let ft = FT.create ~net ~seed:23 ~keys:(keys 2000) in
+  checkb "max degree O(1)" true (FT.max_degree ft <= 3);
+  List.iter (fun m -> checkb "O(1) memory" true (m <= 5)) (FT.memory_per_host ft)
+
+let test_ft_depth_logarithmic () =
+  let net = Network.create ~hosts:5000 in
+  let ft = FT.create ~net ~seed:24 ~keys:(keys 4096) in
+  checkb "depth O(log n)" true (FT.depth ft <= 50)
+
+let test_ft_insert_delete () =
+  let net = Network.create ~hosts:300 in
+  let ft = FT.create ~net ~seed:25 ~keys:(keys 128) in
+  let c = FT.insert ft 424_242 in
+  checkb "insert cost positive" true (c > 0);
+  FT.check_invariants ft;
+  checkb "found" true ((FT.search ft ~from:0 424_242).FT.predecessor = Some 424_242);
+  let d = FT.delete ft 424_242 in
+  checkb "delete cost positive" true (d > 0);
+  FT.check_invariants ft;
+  checki "size restored" 128 (FT.size ft)
+
+(* ------- Deterministic SkipNet ------- *)
+
+let test_ds_build_invariants () =
+  List.iter
+    (fun n ->
+      let net = Network.create ~hosts:(2 * n + 16) in
+      let ds = DS.create ~net ~keys:(keys n) in
+      DS.check_invariants ds;
+      checkb "height O(log n)" true (DS.height ds <= 3 + (2 * 14)))
+    [ 1; 2; 3; 7; 64; 500; 1024 ]
+
+let test_ds_search_correct () =
+  let net = Network.create ~hosts:600 in
+  let ks = keys 400 in
+  let ds = DS.create ~net ~keys:ks in
+  let queries = W.query_mix ~seed:26 ~keys:ks ~n:200 ~bound:40_000 in
+  Array.iter
+    (fun q ->
+      let r = DS.search ds ~from:0 q in
+      check_opt "pred" (Lk.predecessor ks q) r.DS.predecessor;
+      check_opt "succ" (Lk.successor ks q) r.DS.successor)
+    queries
+
+let test_ds_insert_maintains_invariant () =
+  let net = Network.create ~hosts:1200 in
+  let ds = DS.create ~net ~keys:(keys 64) in
+  let rng = Prng.create 27 in
+  for _ = 1 to 400 do
+    let k = Prng.int rng 1_000_000 in
+    (try ignore (DS.insert ds k) with Invalid_argument _ -> ());
+    DS.check_invariants ds
+  done;
+  checkb "grew" true (DS.size ds > 64)
+
+let test_ds_sequential_inserts () =
+  (* Sorted insertion order is the classic worst case for naive structures;
+     the 1-2-3 invariant must hold throughout. *)
+  let net = Network.create ~hosts:600 in
+  let ds = DS.create ~net ~keys:[| 0 |] in
+  for k = 1 to 300 do
+    ignore (DS.insert ds (k * 10));
+    DS.check_invariants ds
+  done;
+  let r = DS.search ds ~from:0 1495 in
+  check_opt "pred after inserts" (Some 1490) r.DS.predecessor
+
+
+let test_ds_delete_basic () =
+  let net = Network.create ~hosts:600 in
+  let ks = keys 200 in
+  let ds = DS.create ~net ~keys:ks in
+  let cost = DS.delete ds ks.(100) in
+  checkb "delete cost positive" true (cost > 0);
+  DS.check_invariants ds;
+  checki "size shrank" 199 (DS.size ds);
+  checkb "gone" true ((DS.search ds ~from:0 ks.(100)).DS.predecessor <> Some ks.(100));
+  checkb "absent delete rejected" true
+    (try
+       ignore (DS.delete ds ks.(100));
+       false
+     with Invalid_argument _ -> true)
+
+let test_ds_delete_all () =
+  let net = Network.create ~hosts:400 in
+  let ks = keys 128 in
+  let ds = DS.create ~net ~keys:ks in
+  Array.iter
+    (fun k ->
+      ignore (DS.delete ds k);
+      DS.check_invariants ds)
+    ks;
+  checki "emptied" 0 (DS.size ds)
+
+let qcheck_ds_mixed_ops =
+  QCheck.Test.make ~name:"det skipnet mixed insert/delete keeps 1-2-3 invariant" ~count:40
+    QCheck.(pair small_int (int_range 20 250))
+    (fun (seed, ops) ->
+      let net = Network.create ~hosts:2000 in
+      let ds = DS.create ~net ~keys:[| 500_000 |] in
+      let rng = Prng.create seed in
+      let module IS = Set.Make (Int) in
+      let model = ref (IS.singleton 500_000) in
+      for _ = 1 to ops do
+        let k = Prng.int rng 1_000_000 in
+        if Prng.coin rng ~p:0.6 then begin
+          if not (IS.mem k !model) then begin
+            ignore (DS.insert ds k);
+            model := IS.add k !model
+          end
+        end
+        else if IS.cardinal !model > 1 then begin
+          let victim = IS.choose !model in
+          ignore (DS.delete ds victim);
+          model := IS.remove victim !model
+        end;
+        DS.check_invariants ds
+      done;
+      (* The surviving keys answer searches correctly. *)
+      IS.for_all
+        (fun k -> (DS.search ds ~from:0 k).DS.predecessor = Some k)
+        !model
+      && DS.size ds = IS.cardinal !model)
+
+(* ------- Bucket skip graphs ------- *)
+
+let test_bsg_search_correct () =
+  let net = Network.create ~hosts:64 in
+  let ks = keys 512 in
+  let b = BSG.create ~net ~seed:31 ~keys:ks ~buckets:32 in
+  BSG.check_invariants b;
+  let rng = Prng.create 32 in
+  let queries = W.query_mix ~seed:33 ~keys:ks ~n:300 ~bound:51_200 in
+  Array.iter
+    (fun q ->
+      let r = BSG.search b ~rng q in
+      check_opt "pred" (Lk.predecessor ks q) r.BSG.predecessor;
+      check_opt "succ" (Lk.successor ks q) r.BSG.successor;
+      check_opt "nearest" (Lk.nearest ks q) r.BSG.nearest)
+    queries
+
+let test_bsg_fewer_messages_than_flat () =
+  let n = 2048 in
+  let net1 = Network.create ~hosts:(n + 8) and net2 = Network.create ~hosts:64 in
+  let sg = SG.create ~net:net1 ~seed:7 ~keys:(keys n) in
+  let b = BSG.create ~net:net2 ~seed:7 ~keys:(keys n) ~buckets:32 in
+  let rng1 = Prng.create 34 and rng2 = Prng.create 34 in
+  let m1 = ref 0 and m2 = ref 0 in
+  for i = 0 to 99 do
+    let q = i * 2040 in
+    m1 := !m1 + (SG.search_from_random sg ~rng:rng1 q).SG.messages;
+    m2 := !m2 + (BSG.search b ~rng:rng2 q).BSG.messages
+  done;
+  checkb "log H < log n messages" true (!m2 < !m1)
+
+let test_bsg_insert_delete_and_split () =
+  let net = Network.create ~hosts:64 in
+  let b = BSG.create ~net ~seed:35 ~keys:(keys 128) ~buckets:8 in
+  let rng = Prng.create 36 in
+  let before = BSG.bucket_count b in
+  for k = 0 to 299 do
+    let key = 1_000_000 + (k * 7) in
+    ignore (BSG.insert b ~rng key)
+  done;
+  BSG.check_invariants b;
+  checkb "splits happened" true (BSG.bucket_count b > before);
+  checki "all present" (128 + 300) (BSG.size b);
+  ignore (BSG.delete b ~rng 1_000_000);
+  BSG.check_invariants b;
+  checki "deleted" (128 + 299) (BSG.size b)
+
+let qcheck_sg_search_matches_oracle =
+  QCheck.Test.make ~name:"skip graph search = sorted-array oracle" ~count:60
+    QCheck.(triple small_int (int_range 1 128) (int_range 0 20_000))
+    (fun (seed, n, q) ->
+      let ks = W.distinct_ints ~seed:(seed + 1) ~n ~bound:20_000 in
+      let net = Network.create ~hosts:(n + 4) in
+      let sg = SG.create ~net ~seed ~keys:ks in
+      let r = SG.search sg ~from:(seed mod n) q in
+      r.SG.predecessor = Lk.predecessor ks q && r.SG.successor = Lk.successor ks q)
+
+let qcheck_ds_random_build_invariants =
+  QCheck.Test.make ~name:"det skipnet invariants over random sizes" ~count:40
+    QCheck.(pair small_int (int_range 1 300))
+    (fun (seed, n) ->
+      let ks = W.distinct_ints ~seed:(seed + 2) ~n ~bound:(20 * n + 40) in
+      let net = Network.create ~hosts:(n + 8) in
+      let ds = DS.create ~net ~keys:ks in
+      DS.check_invariants ds;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "level lists basics" `Quick test_level_lists_basics;
+    Alcotest.test_case "level lists neighbors" `Quick test_level_lists_neighbor_scan;
+    Alcotest.test_case "skip graph search correct" `Quick test_sg_search_correct;
+    Alcotest.test_case "skip graph messages log" `Quick test_sg_messages_logarithmic;
+    Alcotest.test_case "skip graph memory log" `Quick test_sg_memory_logarithmic;
+    Alcotest.test_case "skip graph insert/delete" `Quick test_sg_insert_delete;
+    Alcotest.test_case "skip graph empty" `Quick test_sg_empty;
+    Alcotest.test_case "NoN search correct" `Quick test_non_search_correct;
+    Alcotest.test_case "NoN fewer hops" `Quick test_non_fewer_hops_than_plain;
+    Alcotest.test_case "NoN memory larger" `Quick test_non_memory_larger;
+    Alcotest.test_case "NoN update costlier" `Quick test_non_update_costlier;
+    Alcotest.test_case "family tree search correct" `Quick test_ft_search_correct;
+    Alcotest.test_case "family tree constant degree" `Quick test_ft_constant_degree;
+    Alcotest.test_case "family tree depth log" `Quick test_ft_depth_logarithmic;
+    Alcotest.test_case "family tree insert/delete" `Quick test_ft_insert_delete;
+    Alcotest.test_case "det skipnet build invariants" `Quick test_ds_build_invariants;
+    Alcotest.test_case "det skipnet search correct" `Quick test_ds_search_correct;
+    Alcotest.test_case "det skipnet insert invariant" `Quick test_ds_insert_maintains_invariant;
+    Alcotest.test_case "det skipnet sequential inserts" `Quick test_ds_sequential_inserts;
+    Alcotest.test_case "det skipnet delete basic" `Quick test_ds_delete_basic;
+    Alcotest.test_case "det skipnet delete all" `Quick test_ds_delete_all;
+    QCheck_alcotest.to_alcotest qcheck_ds_mixed_ops;
+    Alcotest.test_case "bucket skip graph search correct" `Quick test_bsg_search_correct;
+    Alcotest.test_case "bucket skip graph fewer messages" `Quick test_bsg_fewer_messages_than_flat;
+    Alcotest.test_case "bucket skip graph splits" `Quick test_bsg_insert_delete_and_split;
+    QCheck_alcotest.to_alcotest qcheck_sg_search_matches_oracle;
+    QCheck_alcotest.to_alcotest qcheck_ds_random_build_invariants;
+  ]

@@ -1,0 +1,268 @@
+(* Tests for Skipweb_util: PRNG, membership vectors, statistics, tables. *)
+
+module Prng = Skipweb_util.Prng
+module Membership = Skipweb_util.Membership
+module Stats = Skipweb_util.Stats
+module Tables = Skipweb_util.Tables
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next64 a = Prng.next64 b then incr same
+  done;
+  checkb "different seeds diverge" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_prng_int_covers () =
+  let g = Prng.create 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Prng.int g 8) <- true
+  done;
+  checkb "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    checkb "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_coin_bias () =
+  let g = Prng.create 5 in
+  let heads = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.coin g ~p:0.25 then incr heads
+  done;
+  let freq = float_of_int !heads /. float_of_int n in
+  checkb "frequency near 0.25" true (Float.abs (freq -. 0.25) < 0.02)
+
+let test_prng_bool_fair () =
+  let g = Prng.create 9 in
+  let heads = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool g then incr heads
+  done;
+  let freq = float_of_int !heads /. float_of_int n in
+  checkb "fair coin" true (Float.abs (freq -. 0.5) < 0.02)
+
+let test_prng_split_independent () =
+  let g = Prng.create 13 in
+  let h = Prng.split g in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next64 g = Prng.next64 h then incr same
+  done;
+  checkb "split streams differ" true (!same < 4)
+
+let test_shuffle_permutation () =
+  let g = Prng.create 21 in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same multiset" (Array.init 100 (fun i -> i)) sorted;
+  checkb "actually shuffled" true (a <> Array.init 100 (fun i -> i))
+
+let test_sample_without_replacement () =
+  let g = Prng.create 33 in
+  let s = Prng.sample_without_replacement g 50 100 in
+  check Alcotest.int "size" 50 (Array.length s);
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      checkb "in range" true (x >= 0 && x < 100);
+      checkb "distinct" false (Hashtbl.mem tbl x);
+      Hashtbl.add tbl x ())
+    s
+
+let test_hash2_deterministic () =
+  check Alcotest.int "stable" (Prng.hash2 5 9) (Prng.hash2 5 9);
+  checkb "argument order matters" true (Prng.hash2 5 9 <> Prng.hash2 9 5);
+  checkb "non-negative" true (Prng.hash2 (-4) 17 >= 0)
+
+let test_membership_deterministic () =
+  let v = Membership.create ~seed:77 in
+  for id = 0 to 20 do
+    for level = 0 to 20 do
+      checkb "stable bit" true (Membership.bit v ~id ~level = Membership.bit v ~id ~level)
+    done
+  done
+
+let test_membership_prefix () =
+  let v = Membership.create ~seed:123 in
+  for id = 0 to 50 do
+    let p5 = Membership.prefix v ~id ~len:5 in
+    (* Recompute by hand. *)
+    let expected = ref 0 in
+    for level = 0 to 4 do
+      expected := (!expected lsl 1) lor if Membership.bit v ~id ~level then 1 else 0
+    done;
+    check Alcotest.int "prefix matches bits" !expected p5;
+    (* Prefix nesting: len-4 prefix is the len-5 prefix shifted. *)
+    check Alcotest.int "prefix nesting" (p5 lsr 1) (Membership.prefix v ~id ~len:4)
+  done
+
+let test_membership_balanced () =
+  let v = Membership.create ~seed:5 in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for id = 0 to n - 1 do
+    if Membership.bit v ~id ~level:3 then incr ones
+  done;
+  let freq = float_of_int !ones /. float_of_int n in
+  checkb "bits roughly fair" true (Float.abs (freq -. 0.5) < 0.02)
+
+let test_membership_biased () =
+  let v = Membership.biased ~seed:5 ~p:0.25 in
+  let ones = ref 0 in
+  let n = 20_000 in
+  for id = 0 to n - 1 do
+    if Membership.bit v ~id ~level:0 then incr ones
+  done;
+  let freq = float_of_int !ones /. float_of_int n in
+  checkb "bias respected" true (Float.abs (freq -. 0.25) < 0.02)
+
+let test_membership_common_prefix () =
+  let v = Membership.create ~seed:31 in
+  let cp = Membership.common_prefix v 4 9 in
+  checkb "cp sane" true (cp >= 0 && cp <= 60);
+  if cp < 60 then
+    checkb "bits differ after cp" true (Membership.bit v ~id:4 ~level:cp <> Membership.bit v ~id:9 ~level:cp);
+  for level = 0 to cp - 1 do
+    checkb "bits equal before cp" true (Membership.bit v ~id:4 ~level = Membership.bit v ~id:9 ~level)
+  done
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check Alcotest.(float 1e-9) "mean" 3.0 s.Stats.mean;
+  check Alcotest.(float 1e-9) "min" 1.0 s.Stats.min;
+  check Alcotest.(float 1e-9) "max" 5.0 s.Stats.max;
+  check Alcotest.(float 1e-9) "median" 3.0 s.Stats.p50;
+  check Alcotest.(float 1e-6) "stddev" (sqrt 2.5) s.Stats.stddev
+
+let test_stats_percentile () =
+  let a = Array.init 101 float_of_int in
+  check Alcotest.(float 1e-9) "p50" 50.0 (Stats.percentile a 0.5);
+  check Alcotest.(float 1e-9) "p90" 90.0 (Stats.percentile a 0.9);
+  check Alcotest.(float 1e-9) "p0" 0.0 (Stats.percentile a 0.0);
+  check Alcotest.(float 1e-9) "p100" 100.0 (Stats.percentile a 1.0)
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean []))
+
+let series_of f = List.map (fun n -> (float_of_int n, f (float_of_int n))) [ 16; 64; 256; 1024; 4096; 16384 ]
+
+let test_fit_recognizes_log () =
+  let log2 x = Float.log x /. Float.log 2.0 in
+  let m, _ = Stats.Fit.best (series_of (fun n -> 3.0 *. log2 n)) in
+  check Alcotest.string "log shape" "O(log n)" (Stats.Fit.name m)
+
+let test_fit_recognizes_constant () =
+  let m, _ = Stats.Fit.best (series_of (fun _ -> 5.0)) in
+  check Alcotest.string "constant shape" "O(1)" (Stats.Fit.name m)
+
+let test_fit_recognizes_linear () =
+  let m, _ = Stats.Fit.best (series_of (fun n -> 0.5 *. n)) in
+  check Alcotest.string "linear shape" "O(n)" (Stats.Fit.name m)
+
+let test_fit_recognizes_log_squared () =
+  let log2 x = Float.log x /. Float.log 2.0 in
+  let m, _ = Stats.Fit.best (series_of (fun n -> 2.0 *. log2 n *. log2 n)) in
+  check Alcotest.string "log^2 shape" "O(log^2 n)" (Stats.Fit.name m)
+
+let test_fit_recognizes_log_over_loglog () =
+  let log2 x = Float.log x /. Float.log 2.0 in
+  let m, _ = Stats.Fit.best (series_of (fun n -> 4.0 *. log2 n /. log2 (log2 n))) in
+  check Alcotest.string "log/loglog shape" "O(log n / log log n)" (Stats.Fit.name m)
+
+let test_fit_constant_least_squares () =
+  let series = [ (16.0, 8.0); (256.0, 16.0); (4096.0, 24.0) ] in
+  let c = Stats.Fit.fit_constant Stats.Fit.Log series in
+  check Alcotest.(float 1e-6) "exact fit constant" 2.0 c;
+  check Alcotest.(float 1e-9) "zero rmse" 0.0 (Stats.Fit.rmse Stats.Fit.Log ~c series)
+
+let test_tables_render () =
+  let t = Tables.create ~title:"demo" ~columns:[ "n"; "cost" ] in
+  Tables.add_row t [ "16"; "4.00" ];
+  Tables.add_row t [ "256"; "8.00" ];
+  let s = Tables.render t in
+  checkb "title present" true (String.length s > 0 && String.sub s 0 3 = "== ");
+  checkb "row present" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && l.[0] = '|'))
+
+let test_tables_arity_check () =
+  let t = Tables.create ~title:"x" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "bad arity" (Invalid_argument "Tables.add_row: wrong number of cells")
+    (fun () -> Tables.add_row t [ "1" ])
+
+let qcheck_prng_int =
+  QCheck.Test.make ~name:"prng int always in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      QCheck.assume (xs <> []);
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      Stats.percentile a 0.2 <= Stats.percentile a 0.8)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng int covers residues" `Quick test_prng_int_covers;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng coin bias" `Quick test_prng_coin_bias;
+    Alcotest.test_case "prng bool fair" `Quick test_prng_bool_fair;
+    Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "hash2 deterministic" `Quick test_hash2_deterministic;
+    Alcotest.test_case "membership deterministic" `Quick test_membership_deterministic;
+    Alcotest.test_case "membership prefix packing" `Quick test_membership_prefix;
+    Alcotest.test_case "membership bits balanced" `Quick test_membership_balanced;
+    Alcotest.test_case "membership biased bits" `Quick test_membership_biased;
+    Alcotest.test_case "membership common prefix" `Quick test_membership_common_prefix;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
+    Alcotest.test_case "fit recognizes log" `Quick test_fit_recognizes_log;
+    Alcotest.test_case "fit recognizes constant" `Quick test_fit_recognizes_constant;
+    Alcotest.test_case "fit recognizes linear" `Quick test_fit_recognizes_linear;
+    Alcotest.test_case "fit recognizes log^2" `Quick test_fit_recognizes_log_squared;
+    Alcotest.test_case "fit recognizes log/loglog" `Quick test_fit_recognizes_log_over_loglog;
+    Alcotest.test_case "fit least squares constant" `Quick test_fit_constant_least_squares;
+    Alcotest.test_case "tables render" `Quick test_tables_render;
+    Alcotest.test_case "tables arity check" `Quick test_tables_arity_check;
+    QCheck_alcotest.to_alcotest qcheck_prng_int;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+  ]
