@@ -9,11 +9,12 @@ module Stats = Skipweb_util.Stats
 module Tables = Skipweb_util.Tables
 module Prng = Skipweb_util.Prng
 
-type config = { sizes : int list; queries : int; updates : int; seeds : int list }
+type config = { sizes : int list; queries : int; updates : int; seeds : int list; quick : bool }
 
-let default_config = { sizes = [ 256; 512; 1024; 2048; 4096; 8192 ]; queries = 150; updates = 30; seeds = [ 1; 2; 3 ] }
+let default_config =
+  { sizes = [ 256; 512; 1024; 2048; 4096; 8192 ]; queries = 150; updates = 30; seeds = [ 1; 2; 3 ]; quick = false }
 
-let quick_config = { sizes = [ 256; 1024 ]; queries = 60; updates = 10; seeds = [ 1 ] }
+let quick_config = { sizes = [ 256; 1024 ]; queries = 60; updates = 10; seeds = [ 1 ]; quick = true }
 
 let log2f n = Float.log (float_of_int n) /. Float.log 2.0
 

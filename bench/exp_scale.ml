@@ -1,0 +1,169 @@
+(* E15: wall-clock scalability of the host-side update path.
+
+   The message-count experiments treat the simulator as free; this one
+   makes sure it actually is. We bulk-load a generic 1-d skip-web at
+   n in {1k, 10k, 100k} and then run a mixed churn workload (40% insert,
+   40% delete, 20% query) against it, timing both phases. With the
+   incremental id arena and delta-driven memory recharging the per-op
+   host-side cost is O(log n) hashtable work plus one O(n) array splice
+   at level 0, so churn throughput should degrade only mildly with n —
+   the seed implementation rebuilt O(n) state per update and was
+   quadratic end to end.
+
+   Results are printed as a table and written to BENCH_scale.json so the
+   perf trajectory is machine-readable across PRs. *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module C = Bench_common
+
+module HInt = H.Make (I.Ints)
+
+let now () = Unix.gettimeofday ()
+
+type row = {
+  n : int;
+  build_s : float;
+  churn_ops : int;
+  churn_s : float;
+  churn_messages : int;
+  mean_update_msgs : float;
+  final_size : int;
+}
+
+(* A swap-pop pool of the keys currently stored, for uniform delete
+   targets without scanning. *)
+module Pool = struct
+  type t = { mutable data : int array; mutable len : int; pos : (int, int) Hashtbl.t }
+
+  let of_array keys =
+    let data = Array.copy keys in
+    let pos = Hashtbl.create (Array.length keys) in
+    Array.iteri (fun i k -> Hashtbl.replace pos k i) data;
+    { data; len = Array.length data; pos }
+
+  let mem p k = Hashtbl.mem p.pos k
+
+  let add p k =
+    if not (mem p k) then begin
+      if p.len = Array.length p.data then begin
+        let bigger = Array.make (max 8 (2 * p.len)) 0 in
+        Array.blit p.data 0 bigger 0 p.len;
+        p.data <- bigger
+      end;
+      p.data.(p.len) <- k;
+      Hashtbl.replace p.pos k p.len;
+      p.len <- p.len + 1
+    end
+
+  let remove_random p rng =
+    if p.len = 0 then None
+    else begin
+      let i = Prng.int rng p.len in
+      let k = p.data.(i) in
+      let last = p.len - 1 in
+      p.data.(i) <- p.data.(last);
+      Hashtbl.replace p.pos p.data.(i) i;
+      p.len <- last;
+      Hashtbl.remove p.pos k;
+      Some k
+    end
+end
+
+let measure ~seed ~n ~ops =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:n in
+  let t0 = now () in
+  let h = HInt.build ~net ~seed keys in
+  let build_s = now () -. t0 in
+  let pool = Pool.of_array keys in
+  let rng = Prng.create (seed + 0x5ca1e) in
+  let messages = ref 0 in
+  let updates = ref 0 in
+  let t1 = now () in
+  for i = 0 to ops - 1 do
+    match i mod 5 with
+    | 0 | 2 ->
+        (* Insert a fresh key. *)
+        let rec fresh () =
+          let k = Prng.int rng bound in
+          if Pool.mem pool k then fresh () else k
+        in
+        let k = fresh () in
+        messages := !messages + HInt.insert h k;
+        incr updates;
+        Pool.add pool k
+    | 1 | 3 -> (
+        match Pool.remove_random pool rng with
+        | Some k ->
+            messages := !messages + HInt.remove h k;
+            incr updates
+        | None -> ())
+    | _ ->
+        let _, stats = HInt.query h ~rng (Prng.int rng bound) in
+        messages := !messages + stats.HInt.messages
+  done;
+  let churn_s = now () -. t1 in
+  HInt.check_invariants h;
+  {
+    n;
+    build_s;
+    churn_ops = ops;
+    churn_s;
+    churn_messages = !messages;
+    mean_update_msgs =
+      (if !updates = 0 then 0.0 else float_of_int !messages /. float_of_int !updates);
+    final_size = HInt.size h;
+  }
+
+let json_of_rows rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"n\": %d, \"build_s\": %.6f, \"churn_ops\": %d, \"churn_s\": %.6f, \
+       \"churn_ops_per_s\": %.1f, \"churn_messages\": %d, \"mean_update_msgs\": %.2f, \
+       \"final_size\": %d}"
+      r.n r.build_s r.churn_ops r.churn_s
+      (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s)
+      r.churn_messages r.mean_update_msgs r.final_size
+  in
+  Printf.sprintf
+    "{\n  \"experiment\": \"scale\",\n  \"structure\": \"1-d generic skip-web (Hierarchy + \
+     sorted lists)\",\n  \"workload\": \"bulk load then mixed churn (40%% insert / 40%% delete \
+     / 20%% query)\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows))
+
+let run (cfg : C.config) =
+  C.section "Bulk load + churn wall-clock scaling (E15)";
+  let sizes = if cfg.C.quick then [ 1000; 10_000 ] else [ 1000; 10_000; 100_000 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let ops = max 500 (min 2000 (n / 10)) in
+        measure ~seed:(List.hd cfg.C.seeds) ~n ~ops)
+      sizes
+  in
+  let tbl =
+    Skipweb_util.Tables.create ~title:"host-side wall clock: bulk load + churn"
+      ~columns:[ "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs" ]
+  in
+  List.iter
+    (fun r ->
+      Skipweb_util.Tables.add_row tbl
+        [
+          string_of_int r.n;
+          Printf.sprintf "%.3f" r.build_s;
+          string_of_int r.churn_ops;
+          Printf.sprintf "%.3f" r.churn_s;
+          Printf.sprintf "%.0f" (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s);
+          Printf.sprintf "%.1f" r.mean_update_msgs;
+        ])
+    rows;
+  Skipweb_util.Tables.print tbl;
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "wrote BENCH_scale.json\n%!"

@@ -25,9 +25,7 @@ module Prng = Skipweb_util.Prng
 
 module HP2 = H.Make (I.Points2d)
 
-let n = 1024
-
-let tests () =
+let tests ~n () =
   let keys = W.distinct_ints ~seed:1 ~n ~bound:(100 * n) in
   let pts = W.uniform_points ~seed:2 ~n ~dim:2 in
   let strs = W.random_strings ~seed:3 ~n ~alphabet:4 ~len:10 in
@@ -85,12 +83,16 @@ let tests () =
            B1.build ~net:(Network.create ~hosts:256) ~seed:9 ~m:32 ks));
   ]
 
-let run () =
+let run (cfg : Bench_common.config) =
   Bench_common.section "Wall-clock micro-benchmarks (bechamel)";
+  (* --quick shrinks the substrate size and the per-bench quota so the
+     wall-clock suite is CI-friendly like every other experiment. *)
+  let n = if cfg.Bench_common.quick then 256 else 1024 in
+  let quota = Time.second (if cfg.Bench_common.quick then 0.1 else 0.3) in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
-  let grouped = Test.make_grouped ~name:"skipweb" (tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota () in
+  let grouped = Test.make_grouped ~name:"skipweb" (tests ~n ()) in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let tbl = Skipweb_util.Tables.create ~title:"time per operation" ~columns:[ "benchmark"; "ns/op" ] in

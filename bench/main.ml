@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --no-time    # skip wall-clock benches
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, time. *)
+   bucket, ablations, scale, time. *)
 
 let experiments =
   [
@@ -22,6 +22,7 @@ let experiments =
     ("congestion", fun cfg -> Exp_congestion.run cfg);
     ("bucket", fun cfg -> Exp_bucket.run cfg);
     ("ablations", fun cfg -> Exp_ablations.run cfg);
+    ("scale", fun cfg -> Exp_scale.run cfg);
   ]
 
 let () =
@@ -39,4 +40,4 @@ let () =
   List.iter (fun s -> Printf.eprintf "warning: unknown experiment %S ignored\n" s) unknown;
   let want name = selected = [] || List.mem name selected in
   List.iter (fun (name, f) -> if want name then f cfg) experiments;
-  if (want "time" && not no_time) || List.mem "time" selected then Exp_time.run ()
+  if (want "time" && not no_time) || List.mem "time" selected then Exp_time.run cfg

@@ -5,7 +5,13 @@ module Prng = Skipweb_util.Prng
 module Make (S : Range_structure.S) = struct
   (* Level sets are identified by (level, prefix): the level-ℓ set with
      ℓ-bit membership prefix b holds every element whose vector starts with
-     b. Level 0 is the full ground set. *)
+     b. Level 0 is the full ground set.
+
+     Host-side cost discipline: every update does O(levels) hashtable work
+     plus whatever [S.insert]/[S.remove] cost, never O(n) bookkeeping. The
+     live-id arena supports O(1) insert/remove/uniform-sample, and memory
+     charges follow the O(1) range deltas the structures report instead of
+     re-diffing the full live range set per update. *)
   type t = {
     net : Network.t;
     place_seed : int;
@@ -15,7 +21,11 @@ module Make (S : Range_structure.S) = struct
     charged : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
     key_ids : (S.key, int) Hashtbl.t;
     id_keys : (int, S.key) Hashtbl.t;
-    mutable ids : int array;  (* live element ids, for random origins *)
+    (* Swap-pop arena of live element ids: the first [live] slots of [ids]
+       are the live ids, [id_pos] maps an id back to its slot. *)
+    mutable ids : int array;
+    mutable live : int;
+    id_pos : (int, int) Hashtbl.t;
     mutable top : int;  (* K = ceil(log2 n) *)
     mutable next_id : int;
   }
@@ -31,60 +41,106 @@ module Make (S : Range_structure.S) = struct
   let host_of_range t level b rid =
     Prng.hash3 t.place_seed ((level * 0x100000) + b) rid mod Network.host_count t.net
 
-  (* Re-sync the memory charges of one level structure with its live
-     ranges. *)
-  let recharge t level b =
-    let key = set_key level b in
-    let old_charges =
-      match Hashtbl.find_opt t.charged key with
-      | Some h -> h
-      | None ->
-          let h = Hashtbl.create 16 in
-          Hashtbl.replace t.charged key h;
-          h
-    in
-    let live = Hashtbl.create 16 in
-    (match Hashtbl.find_opt t.structures key with
-    | None -> ()
-    | Some s -> List.iter (fun rid -> Hashtbl.replace live rid ()) (S.range_ids s));
-    Hashtbl.iter
-      (fun rid () ->
-        if not (Hashtbl.mem live rid) then Network.charge_memory t.net (host_of_range t level b rid) (-1))
-      old_charges;
-    Hashtbl.iter
-      (fun rid () ->
-        if not (Hashtbl.mem old_charges rid) then Network.charge_memory t.net (host_of_range t level b rid) 1)
-      live;
-    Hashtbl.replace t.charged key live
+  (* ------- live-id arena: O(1) insert / remove / uniform sample ------- *)
 
-  let member_table t level b =
-    let key = set_key level b in
-    match Hashtbl.find_opt t.members key with
+  let arena_add t id =
+    if t.live = Array.length t.ids then begin
+      let bigger = Array.make (max 8 (2 * t.live)) 0 in
+      Array.blit t.ids 0 bigger 0 t.live;
+      t.ids <- bigger
+    end;
+    t.ids.(t.live) <- id;
+    Hashtbl.replace t.id_pos id t.live;
+    t.live <- t.live + 1
+
+  let arena_remove t id =
+    match Hashtbl.find_opt t.id_pos id with
+    | None -> ()
+    | Some i ->
+        let last = t.live - 1 in
+        let moved = t.ids.(last) in
+        t.ids.(i) <- moved;
+        Hashtbl.replace t.id_pos moved i;
+        t.live <- last;
+        Hashtbl.remove t.id_pos id
+
+  let sample_id t rng = t.ids.(Prng.int rng t.live)
+
+  (* ------- incremental memory accounting ------- *)
+
+  let find_or_create tbl key =
+    match Hashtbl.find_opt tbl key with
     | Some h -> h
     | None ->
         let h = Hashtbl.create 16 in
-        Hashtbl.replace t.members key h;
+        Hashtbl.replace tbl key h;
         h
 
-  let refresh_ids t =
-    t.ids <- Array.of_seq (Hashtbl.to_seq_keys t.id_keys)
+  let member_table t level b = find_or_create t.members (set_key level b)
+
+  let charged_table t level b = find_or_create t.charged (set_key level b)
+
+  (* Charge every given range of a freshly built level structure (its
+     charged table must be empty). *)
+  let charge_fresh t level b rids =
+    let ch = charged_table t level b in
+    List.iter
+      (fun rid ->
+        Hashtbl.replace ch rid ();
+        Network.charge_memory t.net (host_of_range t level b rid) 1)
+      rids
+
+  (* Release every charge of one level set (structure dropped or level
+     shrunk away). *)
+  let uncharge_set t level b =
+    match Hashtbl.find_opt t.charged (set_key level b) with
+    | None -> ()
+    | Some ch ->
+        Hashtbl.iter
+          (fun rid () -> Network.charge_memory t.net (host_of_range t level b rid) (-1))
+          ch;
+        Hashtbl.remove t.charged (set_key level b)
+
+  (* Apply an O(1) range delta reported by [S.insert]/[S.remove]: the only
+     memory traffic an update generates. Membership-guarded so a duplicate
+     report cannot double-charge. *)
+  let apply_delta t level b (d : Range_structure.range_delta) =
+    let ch = charged_table t level b in
+    List.iter
+      (fun rid ->
+        if not (Hashtbl.mem ch rid) then begin
+          Hashtbl.replace ch rid ();
+          Network.charge_memory t.net (host_of_range t level b rid) 1
+        end)
+      d.Range_structure.added;
+    List.iter
+      (fun rid ->
+        if Hashtbl.mem ch rid then begin
+          Hashtbl.remove ch rid;
+          Network.charge_memory t.net (host_of_range t level b rid) (-1)
+        end)
+      d.Range_structure.removed
 
   let required_top n =
     let rec go k = if 1 lsl k >= max 1 n then k else go (k + 1) in
     go 0
 
-  (* (Re)build the structure of one level set from its member keys. *)
-  let rebuild_set t level b =
-    let members = member_table t level b in
-    let key = set_key level b in
-    if Hashtbl.length members = 0 then Hashtbl.remove t.structures key
-    else begin
-      let ks =
-        Hashtbl.fold (fun id () acc -> Hashtbl.find t.id_keys id :: acc) members []
-      in
-      Hashtbl.replace t.structures key (S.build (Array.of_list ks))
-    end;
-    recharge t level b
+  (* Build every set of one level in a single pass over the ground set:
+     bucket the keys by level prefix, then one [S.build] per bucket. *)
+  let build_level t level =
+    let buckets = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun id k ->
+        let b = prefix t id level in
+        Hashtbl.replace (member_table t level b) id ();
+        Hashtbl.replace buckets b (k :: (try Hashtbl.find buckets b with Not_found -> [])))
+      t.id_keys;
+    Hashtbl.iter
+      (fun b ks ->
+        let s = S.build (Array.of_list ks) in
+        Hashtbl.replace t.structures (set_key level b) s;
+        charge_fresh t level b (S.range_ids s))
+      buckets
 
   let build ~net ~seed ?(p = 0.5) keys =
     let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
@@ -99,6 +155,8 @@ module Make (S : Range_structure.S) = struct
         key_ids = Hashtbl.create 64;
         id_keys = Hashtbl.create 64;
         ids = [||];
+        live = 0;
+        id_pos = Hashtbl.create 64;
         top = 0;
         next_id = 0;
       }
@@ -109,19 +167,13 @@ module Make (S : Range_structure.S) = struct
           let id = t.next_id in
           t.next_id <- id + 1;
           Hashtbl.replace t.key_ids k id;
-          Hashtbl.replace t.id_keys id k
+          Hashtbl.replace t.id_keys id k;
+          arena_add t id
         end)
       keys;
-    refresh_ids t;
     t.top <- required_top (size t);
     for level = 0 to t.top do
-      Hashtbl.iter
-        (fun id _ -> Hashtbl.replace (member_table t level (prefix t id level)) id ())
-        t.id_keys;
-      (* Rebuild each set seen at this level. *)
-      let seen = Hashtbl.create 16 in
-      Hashtbl.iter (fun id _ -> Hashtbl.replace seen (prefix t id level) ()) t.id_keys;
-      Hashtbl.iter (fun b () -> rebuild_set t level b) seen
+      build_level t level
     done;
     t
 
@@ -179,20 +231,35 @@ module Make (S : Range_structure.S) = struct
 
   let query t ~rng q =
     if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
-    let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
-    query_from t origin q
+    query_from t (sample_id t rng) q
 
   let grow_top t =
     let wanted = required_top (size t) in
     while t.top < wanted do
       let level = t.top + 1 in
-      Hashtbl.iter
-        (fun id _ -> Hashtbl.replace (member_table t level (prefix t id level)) id ())
-        t.id_keys;
-      let seen = Hashtbl.create 16 in
-      Hashtbl.iter (fun id _ -> Hashtbl.replace seen (prefix t id level) ()) t.id_keys;
-      Hashtbl.iter (fun b () -> rebuild_set t level b) seen;
+      build_level t level;
       t.top <- level
+    done
+
+  (* The counterpart of [grow_top]: after deletions the required number of
+     levels shrinks, so dead levels must be dropped — otherwise the
+     hierarchy pays their linking messages and per-host memory forever. *)
+  let shrink_top t =
+    let wanted = required_top (size t) in
+    while t.top > wanted do
+      let level = t.top in
+      let seen = Hashtbl.create 16 in
+      let collect (l, b) _ = if l = level then Hashtbl.replace seen b () in
+      Hashtbl.iter collect t.structures;
+      Hashtbl.iter collect t.members;
+      Hashtbl.iter collect t.charged;
+      Hashtbl.iter
+        (fun b () ->
+          uncharge_set t level b;
+          Hashtbl.remove t.structures (set_key level b);
+          Hashtbl.remove t.members (set_key level b))
+        seen;
+      t.top <- level - 1
     done
 
   let insert t k =
@@ -204,22 +271,23 @@ module Make (S : Range_structure.S) = struct
         if size t = 0 then 0
         else
           let rng = Prng.create (t.next_id + 77) in
-          let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
-          let _, stats = query_from t origin (S.probe k) in
+          let _, stats = query_from t (sample_id t rng) (S.probe k) in
           stats.messages
       in
       let id = t.next_id in
       t.next_id <- id + 1;
       Hashtbl.replace t.key_ids k id;
       Hashtbl.replace t.id_keys id k;
-      refresh_ids t;
+      arena_add t id;
       for level = 0 to t.top do
         let b = prefix t id level in
         Hashtbl.replace (member_table t level b) id ();
-        (match Hashtbl.find_opt t.structures (set_key level b) with
-        | Some s -> S.insert s k
-        | None -> Hashtbl.replace t.structures (set_key level b) (S.build [| k |]));
-        recharge t level b
+        match Hashtbl.find_opt t.structures (set_key level b) with
+        | Some s -> apply_delta t level b (S.insert s k)
+        | None ->
+            let s = S.build [| k |] in
+            Hashtbl.replace t.structures (set_key level b) s;
+            charge_fresh t level b (S.range_ids s)
       done;
       let linking_cost = 2 * (t.top + 1) in
       grow_top t;
@@ -232,30 +300,27 @@ module Make (S : Range_structure.S) = struct
     | Some id ->
         let locate_cost =
           let rng = Prng.create (id + 991) in
-          let origin = t.ids.(Prng.int rng (Array.length t.ids)) in
-          let _, stats = query_from t origin (S.probe k) in
+          let _, stats = query_from t (sample_id t rng) (S.probe k) in
           stats.messages
         in
         for level = 0 to t.top do
           let b = prefix t id level in
           Hashtbl.remove (member_table t level b) id;
-          (match Hashtbl.find_opt t.structures (set_key level b) with
+          match Hashtbl.find_opt t.structures (set_key level b) with
           | Some s ->
               if Hashtbl.length (member_table t level b) = 0 then begin
                 Hashtbl.remove t.structures (set_key level b);
-                recharge t level b
+                uncharge_set t level b
               end
-              else begin
-                S.remove s k;
-                recharge t level b
-              end
-          | None -> failwith "Hierarchy.remove: missing structure");
-          ignore b
+              else apply_delta t level b (S.remove s k)
+          | None -> failwith "Hierarchy.remove: missing structure"
         done;
         Hashtbl.remove t.key_ids k;
         Hashtbl.remove t.id_keys id;
-        refresh_ids t;
-        locate_cost + (2 * (t.top + 1))
+        arena_remove t id;
+        let cost = locate_cost + (2 * (t.top + 1)) in
+        shrink_top t;
+        cost
 
   let mean_refinement_work t ~queries ~rng =
     let total = ref 0 and count = ref 0 in
@@ -288,5 +353,55 @@ module Make (S : Range_structure.S) = struct
           end)
         t.members;
       if !covered <> n then failwith "Hierarchy: level does not partition the ground set"
+    done;
+    if t.top <> required_top n then failwith "Hierarchy: top out of sync with size";
+    (* Arena: exactly the live ids, each knowing its slot. *)
+    if t.live <> n then failwith "Hierarchy: id arena size disagrees with ground set";
+    for i = 0 to t.live - 1 do
+      let id = t.ids.(i) in
+      if Hashtbl.find_opt t.id_pos id <> Some i then failwith "Hierarchy: id arena slot broken";
+      if not (Hashtbl.mem t.id_keys id) then failwith "Hierarchy: dead id in arena"
+    done;
+    (* Charged ranges track the live ranges of every structure exactly. *)
+    Hashtbl.iter
+      (fun (level, b) s ->
+        let ch =
+          match Hashtbl.find_opt t.charged (set_key level b) with
+          | Some ch -> ch
+          | None -> failwith "Hierarchy: structure with no charged table"
+        in
+        let rids = S.range_ids s in
+        if List.length rids <> Hashtbl.length ch then
+          failwith "Hierarchy: charged range count drifted from live ranges";
+        List.iter
+          (fun rid -> if not (Hashtbl.mem ch rid) then failwith "Hierarchy: live range uncharged")
+          rids)
+      t.structures;
+    Hashtbl.iter
+      (fun (level, b) ch ->
+        if Hashtbl.length ch > 0 then begin
+          if level > t.top then failwith "Hierarchy: charges above the top level";
+          if not (Hashtbl.mem t.structures (set_key level b)) then
+            failwith "Hierarchy: charges for a dropped structure"
+        end)
+      t.charged;
+    (* Cross-check the charges against the simulator's per-host memory.
+       (Assumes this hierarchy is the only structure charging this
+       network, which holds in the test harnesses.) *)
+    let expected = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (level, b) ch ->
+        Hashtbl.iter
+          (fun rid () ->
+            let h = host_of_range t level b rid in
+            Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0))
+          ch)
+      t.charged;
+    for h = 0 to Network.host_count t.net - 1 do
+      let e = try Hashtbl.find expected h with Not_found -> 0 in
+      if Network.memory t.net h <> e then
+        failwith
+          (Printf.sprintf "Hierarchy: host %d memory %d but charged %d" h
+             (Network.memory t.net h) e)
     done
 end

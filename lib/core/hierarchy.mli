@@ -48,15 +48,26 @@ module Make (S : Range_structure.S) : sig
 
   val insert : t -> S.key -> int
   (** Add an element; returns the message cost (a locate plus O(1) linking
-      messages per level, §4). *)
+      messages per level, §4). Grows the level hierarchy when n crosses a
+      power of two. Host-side work is O(log n) bookkeeping plus the
+      structure's own update cost — never O(n). *)
 
   val remove : t -> S.key -> int
   (** Delete an element; returns the message cost. Raises if the underlying
-      structure does not support deletion. *)
+      structure does not support deletion. Shrinks the level hierarchy when
+      deletions lower ⌈log₂ n⌉, so a heavily shrunk set does not keep
+      paying linking messages and memory for dead levels. *)
 
   val mean_refinement_work : t -> queries:S.query array -> rng:Skipweb_util.Prng.t -> float
   (** Average ranges visited per level over a query batch — the empirical
       set-halving constant (E12's inner measurement). *)
 
   val check_invariants : t -> unit
+  (** Validates: every level partitions the ground set, structure sizes
+      match member sets, the live-id arena is consistent, the number of
+      levels matches ⌈log₂ n⌉, and the incrementally maintained memory
+      charges agree range-for-range with each structure's live ranges and
+      host-for-host with {!Network.memory} (the latter assumes the
+      hierarchy is the only structure charging its network, as in the
+      tests). Raises [Failure] on violation. *)
 end

@@ -46,20 +46,42 @@ module Ints :
   let storage_units t = L.num_ranges t.xs
   let range_ids t = List.init (L.num_ranges t.xs) Fun.id
 
+  (* Index of the first element >= k. *)
+  let lower_bound xs k =
+    let rec go a b =
+      if a >= b then a
+      else
+        let mid = (a + b) / 2 in
+        if xs.(mid) < k then go (mid + 1) b else go a mid
+    in
+    go 0 (Array.length xs)
+
+  (* Range ids are the dense codes 0 .. 2m for m keys, so growing or
+     shrinking the set by one key adds or drops exactly the top two
+     codes — the O(1) delta the hierarchy charges incrementally. *)
   let insert t k =
-    if not (L.check_subset ~parent:t.xs ~child:[| k |]) then begin
-      let n = Array.length t.xs in
+    let n = Array.length t.xs in
+    let p = lower_bound t.xs k in
+    if p < n && t.xs.(p) = k then Range_structure.empty_delta
+    else begin
       let out = Array.make (n + 1) k in
-      let rec pos i = if i < n && t.xs.(i) < k then pos (i + 1) else i in
-      let p = pos 0 in
       Array.blit t.xs 0 out 0 p;
       Array.blit t.xs p out (p + 1) (n - p);
-      t.xs <- out
+      t.xs <- out;
+      { Range_structure.added = [ (2 * n) + 1; (2 * n) + 2 ]; removed = [] }
     end
 
   let remove t k =
-    if L.check_subset ~parent:t.xs ~child:[| k |] then
-      t.xs <- Array.of_list (List.filter (fun x -> x <> k) (Array.to_list t.xs))
+    let n = Array.length t.xs in
+    let p = lower_bound t.xs k in
+    if p >= n || t.xs.(p) <> k then Range_structure.empty_delta
+    else begin
+      let out = Array.make (n - 1) 0 in
+      Array.blit t.xs 0 out 0 p;
+      Array.blit t.xs (p + 1) out p (n - 1 - p);
+      t.xs <- out;
+      { Range_structure.added = []; removed = [ (2 * n) - 1; 2 * n ] }
+    end
 
   let probe k = k
 
@@ -118,8 +140,14 @@ end) :
     Cqtree.iter_nodes t ~f:(fun n -> acc := Cqtree.node_id n :: !acc);
     !acc
 
-  let insert t k = ignore (Cqtree.insert t k)
-  let remove t k = ignore (Cqtree.remove t k)
+  let insert t k =
+    let _, added, removed = Cqtree.insert_delta t k in
+    { Range_structure.added; removed }
+
+  let remove t k =
+    let _, added, removed = Cqtree.remove_delta t k in
+    { Range_structure.added; removed }
+
   let probe k = k
 
   let ids_of_path path = List.map Cqtree.node_id path
@@ -185,8 +213,14 @@ module Strings :
     Ctrie.iter_nodes t ~f:(fun n -> acc := Ctrie.node_id n :: !acc);
     !acc
 
-  let insert t k = ignore (Ctrie.insert t k)
-  let remove t k = ignore (Ctrie.remove t k)
+  let insert t k =
+    let _, added, removed = Ctrie.insert_delta t k in
+    { Range_structure.added; removed }
+
+  let remove t k =
+    let _, added, removed = Ctrie.remove_delta t k in
+    { Range_structure.added; removed }
+
   let probe k = k
 
   let ids_of_path path = List.map Ctrie.node_id path
@@ -236,7 +270,9 @@ module Segments :
 
   let range_ids t = List.map Trapmap.trap_id (Trapmap.traps t)
 
-  let insert t k = Trapmap.insert t k
+  let insert t k =
+    let added, removed = Trapmap.insert_delta t k in
+    { Range_structure.added; removed }
 
   let remove _t _k =
     failwith "Segments.remove: trapezoidal-map deletion is out of scope (paper §4 amortizes insertions only)"

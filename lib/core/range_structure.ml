@@ -23,7 +23,20 @@
     of every node/link the search inspects, in order. The hierarchy maps
     each id to a host and charges one message per host boundary crossed, so
     a structure implementation must report honest visit sequences even when
-    it takes CPU shortcuts. *)
+    it takes CPU shortcuts.
+
+    Update accounting: [insert] and [remove] return a {!range_delta} — the
+    ids of the O(1) ranges they created and destroyed. The hierarchy uses
+    the delta to adjust per-host memory charges incrementally instead of
+    re-enumerating [range_ids] (which would make every update O(n)
+    host-side), so deltas must be exact: after an update, the previously
+    charged set plus [added] minus [removed] must equal [range_ids]. *)
+
+type range_delta = { added : int list; removed : int list }
+(** Range ids created / destroyed by one update. Ids are never reused, so
+    the two lists are disjoint. *)
+
+let empty_delta = { added = []; removed = [] }
 
 module type S = sig
   type key
@@ -56,13 +69,15 @@ module type S = sig
   val range_ids : t -> int list
   (** Ids of all live ranges (for host placement and memory accounting). *)
 
-  val insert : t -> key -> unit
-  (** Add a key (no-op on duplicates). Creates O(1) new ranges for the
-      structures of this repository. *)
+  val insert : t -> key -> range_delta
+  (** Add a key (no-op on duplicates, returning {!empty_delta}). Creates
+      O(1) new ranges for the structures of this repository; the delta
+      reports exactly which. *)
 
-  val remove : t -> key -> unit
-  (** Delete a key (no-op if absent). Raises [Failure] for structures whose
-      deletions are out of scope (trapezoidal maps, per §4's hedge). *)
+  val remove : t -> key -> range_delta
+  (** Delete a key (no-op if absent, returning {!empty_delta}). Raises
+      [Failure] for structures whose deletions are out of scope
+      (trapezoidal maps, per §4's hedge). *)
 
   val probe : key -> query
   (** A query that routes to the place a key occupies (or would occupy) —

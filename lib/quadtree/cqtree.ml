@@ -19,6 +19,10 @@ type t = {
   mutable next_id : int;
   mutable npoints : int;
   mutable nnodes : int;
+  (* Node churn log for the delta-reporting update API. *)
+  mutable logging : bool;
+  mutable added_log : int list;
+  mutable removed_log : int list;
 }
 
 type slot = At_point | Empty_quadrant of int | Outside_child of int
@@ -68,12 +72,14 @@ let fresh_node t ~ndepth ~corner ~npoint =
   in
   t.next_id <- t.next_id + 1;
   t.nnodes <- t.nnodes + 1;
+  if t.logging then t.added_log <- n.id :: t.added_log;
   Hashtbl.replace t.cube_index (cube_key ndepth corner) n;
   n
 
 let drop_node t n =
   Hashtbl.remove t.cube_index (cube_key n.ndepth n.corner);
-  t.nnodes <- t.nnodes - 1
+  t.nnodes <- t.nnodes - 1;
+  if t.logging then t.removed_log <- n.id :: t.removed_log
 
 let attach_child parent quad child =
   assert (not (List.mem_assoc quad parent.children));
@@ -175,6 +181,9 @@ let build ~dim:dimension points =
       next_id = 1;
       npoints = 0;
       nnodes = 1;
+      logging = false;
+      added_log = [];
+      removed_log = [];
     }
   in
   Hashtbl.replace t.cube_index (cube_key 0 t.root.corner) t.root;
@@ -329,6 +338,27 @@ let remove t p =
           | _ -> ()));
       t.npoints <- t.npoints - 1;
       true
+
+(* Run one update with node-churn logging on, returning the ids of the
+   nodes it created and destroyed (the O(1) range delta of §4). *)
+let with_delta t op =
+  t.logging <- true;
+  t.added_log <- [];
+  t.removed_log <- [];
+  let changed = op () in
+  t.logging <- false;
+  let delta = (t.added_log, t.removed_log) in
+  t.added_log <- [];
+  t.removed_log <- [];
+  (changed, delta)
+
+let insert_delta t p =
+  let changed, (added, removed) = with_delta t (fun () -> insert t p) in
+  (changed, added, removed)
+
+let remove_delta t p =
+  let changed, (added, removed) = with_delta t (fun () -> remove t p) in
+  (changed, added, removed)
 
 let iter_points t ~f =
   let rec go n =

@@ -103,6 +103,15 @@ val insert : t -> Skipweb_geom.Point.t -> bool
 val remove : t -> Skipweb_geom.Point.t -> bool
 (** Removes a point; splices out its parent if it becomes redundant. *)
 
+val insert_delta : t -> Skipweb_geom.Point.t -> bool * int list * int list
+(** Like {!insert}, additionally reporting [(changed, added, removed)]:
+    the ids of the nodes the update created and destroyed. The skip-web
+    hierarchy consumes the delta to adjust per-host memory charges in O(1)
+    instead of re-enumerating {!iter_nodes}. *)
+
+val remove_delta : t -> Skipweb_geom.Point.t -> bool * int list * int list
+(** Like {!remove}, with the same delta report as {!insert_delta}. *)
+
 val check_invariants : t -> unit
 (** Validates: cube alignment, children within parent quadrants, interior
     nodes interesting (>= 2 children or the root), subtree sizes, leaf

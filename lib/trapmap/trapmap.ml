@@ -162,47 +162,54 @@ let merge_side t ~boundary_of ~mk ~px ~qx crossed =
           mk t (boundary_of first) lx rx)
     groups
 
-let insert t s =
+let insert_delta t s =
   validate_new_segment t s;
   let (px, _), (qx, _) = Segment.endpoints s in
   let crossed =
     List.filter (fun tr -> seg_intersects_trap s tr) t.alive
     |> List.sort (fun a b -> compare a.lx b.lx)
   in
-  (match crossed with
-  | [] -> invalid_arg "Trapmap: segment intersects no trapezoid (outside the box?)"
-  | first :: _ ->
-      let last = List.nth crossed (List.length crossed - 1) in
-      (* Contiguity of the crossed corridor. *)
-      let rec check_contig = function
-        | a :: (b :: _ as rest) ->
-            if a.rx <> b.lx then failwith "Trapmap: crossed trapezoids not contiguous";
-            check_contig rest
-        | [ _ ] | [] -> ()
-      in
-      check_contig crossed;
-      assert (first.lx < px && px < first.rx);
-      assert (last.lx < qx && qx < last.rx);
-      let left = fresh t ~top:first.top ~bot:first.bot ~lx:first.lx ~rx:px in
-      let right = fresh t ~top:last.top ~bot:last.bot ~lx:qx ~rx:last.rx in
-      let uppers =
-        merge_side t
-          ~boundary_of:(fun tr -> tr.top)
-          ~mk:(fun t top lx rx -> fresh t ~top ~bot:(Some s) ~lx ~rx)
-          ~px ~qx crossed
-      in
-      let lowers =
-        merge_side t
-          ~boundary_of:(fun tr -> tr.bot)
-          ~mk:(fun t bot lx rx -> fresh t ~top:(Some s) ~bot ~lx ~rx)
-          ~px ~qx crossed
-      in
-      let dead tr = List.exists (fun c -> c.tid = tr.tid) crossed in
-      t.alive <- (left :: right :: uppers) @ lowers @ List.filter (fun tr -> not (dead tr)) t.alive);
+  let created =
+    match crossed with
+    | [] -> invalid_arg "Trapmap: segment intersects no trapezoid (outside the box?)"
+    | first :: _ ->
+        let last = List.nth crossed (List.length crossed - 1) in
+        (* Contiguity of the crossed corridor. *)
+        let rec check_contig = function
+          | a :: (b :: _ as rest) ->
+              if a.rx <> b.lx then failwith "Trapmap: crossed trapezoids not contiguous";
+              check_contig rest
+          | [ _ ] | [] -> ()
+        in
+        check_contig crossed;
+        assert (first.lx < px && px < first.rx);
+        assert (last.lx < qx && qx < last.rx);
+        let left = fresh t ~top:first.top ~bot:first.bot ~lx:first.lx ~rx:px in
+        let right = fresh t ~top:last.top ~bot:last.bot ~lx:qx ~rx:last.rx in
+        let uppers =
+          merge_side t
+            ~boundary_of:(fun tr -> tr.top)
+            ~mk:(fun t top lx rx -> fresh t ~top ~bot:(Some s) ~lx ~rx)
+            ~px ~qx crossed
+        in
+        let lowers =
+          merge_side t
+            ~boundary_of:(fun tr -> tr.bot)
+            ~mk:(fun t bot lx rx -> fresh t ~top:(Some s) ~bot ~lx ~rx)
+            ~px ~qx crossed
+        in
+        let dead tr = List.exists (fun c -> c.tid = tr.tid) crossed in
+        let created = (left :: right :: uppers) @ lowers in
+        t.alive <- created @ List.filter (fun tr -> not (dead tr)) t.alive;
+        created
+  in
   let (x0, _), (x1, _) = Segment.endpoints s in
   Hashtbl.replace t.xs x0 ();
   Hashtbl.replace t.xs x1 ();
-  t.segs <- s :: t.segs
+  t.segs <- s :: t.segs;
+  (List.map trap_id created, List.map trap_id crossed)
+
+let insert t s = ignore (insert_delta t s)
 
 let build segments =
   let t = empty () in

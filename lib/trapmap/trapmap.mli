@@ -41,6 +41,12 @@ val insert : t -> Segment.t -> unit
 (** Add one segment (same preconditions, checked against current
     content). Replaces the crossed trapezoids with their refinement. *)
 
+val insert_delta : t -> Segment.t -> int list * int list
+(** Like {!insert}, returning [(added, removed)] — the ids of the
+    trapezoids the refinement created and destroyed. The skip-web
+    hierarchy consumes the delta to adjust per-host memory charges in O(1)
+    amortized instead of re-enumerating {!traps}. *)
+
 val segment_count : t -> int
 val trap_count : t -> int
 val traps : t -> trap list

@@ -15,6 +15,10 @@ type t = {
   mutable next_id : int;
   mutable nstrings : int;
   mutable nnodes : int;
+  (* Node churn log for the delta-reporting update API. *)
+  mutable logging : bool;
+  mutable added_log : int list;
+  mutable removed_log : int list;
 }
 
 type slot = Exact | In_edge of { key : char; matched : int } | No_child of char
@@ -25,7 +29,18 @@ let create () =
   let root =
     { id = 0; str = ""; children = []; terminal = false; parent = None; size = 0 }
   in
-  let t = { root; index = Hashtbl.create 64; next_id = 1; nstrings = 0; nnodes = 1 } in
+  let t =
+    {
+      root;
+      index = Hashtbl.create 64;
+      next_id = 1;
+      nstrings = 0;
+      nnodes = 1;
+      logging = false;
+      added_log = [];
+      removed_log = [];
+    }
+  in
   Hashtbl.replace t.index "" root;
   t
 
@@ -42,12 +57,14 @@ let fresh_node t ~str ~terminal =
   let n = { id = t.next_id; str; children = []; terminal; parent = None; size = 0 } in
   t.next_id <- t.next_id + 1;
   t.nnodes <- t.nnodes + 1;
+  if t.logging then t.added_log <- n.id :: t.added_log;
   Hashtbl.replace t.index str n;
   n
 
 let drop_node t n =
   Hashtbl.remove t.index n.str;
-  t.nnodes <- t.nnodes - 1
+  t.nnodes <- t.nnodes - 1;
+  if t.logging then t.removed_log <- n.id :: t.removed_log
 
 let sorted_add children key edge =
   let rec go = function
@@ -237,6 +254,27 @@ let remove t q =
       | [ _ ], _ -> splice t v
       | _ :: _ :: _, _ -> ());
       true
+
+(* Run one update with node-churn logging on, returning the ids of the
+   nodes it created and destroyed (the O(1) range delta of §4). *)
+let with_delta t op =
+  t.logging <- true;
+  t.added_log <- [];
+  t.removed_log <- [];
+  let changed = op () in
+  t.logging <- false;
+  let delta = (t.added_log, t.removed_log) in
+  t.added_log <- [];
+  t.removed_log <- [];
+  (changed, delta)
+
+let insert_delta t q =
+  let changed, (added, removed) = with_delta t (fun () -> insert t q) in
+  (changed, added, removed)
+
+let remove_delta t q =
+  let changed, (added, removed) = with_delta t (fun () -> remove t q) in
+  (changed, added, removed)
 
 let build strings =
   let t = create () in

@@ -94,6 +94,15 @@ val insert : t -> string -> bool
 val remove : t -> string -> bool
 (** Removes a string; splices redundant nodes. *)
 
+val insert_delta : t -> string -> bool * int list * int list
+(** Like {!insert}, additionally reporting [(changed, added, removed)]:
+    the ids of the nodes the update created and destroyed. The skip-web
+    hierarchy consumes the delta to adjust per-host memory charges in O(1)
+    instead of re-enumerating {!iter_nodes}. *)
+
+val remove_delta : t -> string -> bool * int list * int list
+(** Like {!remove}, with the same delta report as {!insert_delta}. *)
+
 val iter : t -> f:(string -> unit) -> unit
 (** All stored strings in lexicographic order. *)
 

@@ -114,6 +114,37 @@ let test_hint_grow_from_empty () =
   let answer, _ = HInt.query h ~rng 112 in
   check_opt "nearest after growth" (Some 110) answer
 
+(* Regression: remove must shrink the level hierarchy back to
+   ceil(log2 n) + 1 levels — the seed implementation kept dead levels
+   forever after heavy deletion, inflating linking costs and per-host
+   memory. *)
+let test_hint_shrink_top () =
+  let required_top n =
+    let rec go k = if 1 lsl k >= max 1 n then k else go (k + 1) in
+    go 0
+  in
+  let net = Network.create ~hosts:256 in
+  let ks = W.distinct_ints ~seed:80 ~n:1024 ~bound:200_000 in
+  let h = HInt.build ~net ~seed:81 ks in
+  checki "levels at 1024" (required_top 1024 + 1) (HInt.levels h);
+  Array.iteri (fun i k -> if i >= 16 then ignore (HInt.remove h k)) ks;
+  checki "size after deletion" 16 (HInt.size h);
+  checki "levels shrink to required" (required_top 16 + 1) (HInt.levels h);
+  HInt.check_invariants h;
+  (* The survivors are still fully queryable. *)
+  let rng = Prng.create 82 in
+  Array.iter
+    (fun k ->
+      let answer, _ = HInt.query h ~rng k in
+      check_opt "survivor found after shrink" (Some k) answer)
+    (Array.sub ks 0 16);
+  (* Growing again from the shrunk state is sound too. *)
+  for j = 1 to 100 do
+    ignore (HInt.insert h (500_000 + j))
+  done;
+  checki "levels regrow" (required_top 116 + 1) (HInt.levels h);
+  HInt.check_invariants h
+
 let test_hint_halving_ablation () =
   (* A3: a biased halving probability still yields a correct structure. *)
   let net = Network.create ~hosts:256 in
@@ -394,6 +425,52 @@ let qcheck_hierarchy_int_matches_oracle =
       let answer, _ = HInt.query h ~rng:(Prng.create seed) q in
       answer = Lk.nearest ks q)
 
+(* Churn property: random interleaved insert/remove/query against a
+   Set-based model, with the full invariant check (including the
+   charged-vs-network memory cross-check) every 64 ops. This is what
+   guards the incremental update path — any drift in the id arena, the
+   level sets, or the per-range memory charges fails here. *)
+let qcheck_hierarchy_churn =
+  let module IS = Set.Make (Int) in
+  let model_nearest model k =
+    let pred = IS.filter (fun x -> x <= k) model in
+    let succ = IS.filter (fun x -> x >= k) model in
+    match (IS.is_empty pred, IS.is_empty succ) with
+    | true, true -> None
+    | false, true -> Some (IS.max_elt pred)
+    | true, false -> Some (IS.min_elt succ)
+    | false, false ->
+        let p = IS.max_elt pred and s = IS.min_elt succ in
+        if k - p <= s - k then Some p else Some s
+  in
+  QCheck.Test.make ~name:"hierarchy churn: invariants + oracle answers" ~count:10
+    QCheck.(pair small_int (int_range 0 64))
+    (fun (seed, warm) ->
+      let rng = Prng.create (seed + 101) in
+      let net = Network.create ~hosts:32 in
+      let initial = W.distinct_ints ~seed:(seed + 303) ~n:warm ~bound:4000 in
+      let h = HInt.build ~net ~seed:(seed + 202) initial in
+      let model = ref (IS.of_list (Array.to_list initial)) in
+      let ok = ref true in
+      for step = 1 to 256 do
+        let k = Prng.int rng 4000 in
+        (match Prng.int rng 3 with
+        | 0 ->
+            ignore (HInt.insert h k);
+            model := IS.add k !model
+        | 1 ->
+            ignore (HInt.remove h k);
+            model := IS.remove k !model
+        | _ ->
+            if not (IS.is_empty !model) then begin
+              let answer, _ = HInt.query h ~rng k in
+              if answer <> model_nearest !model k then ok := false
+            end);
+        if step mod 64 = 0 then HInt.check_invariants h
+      done;
+      HInt.check_invariants h;
+      !ok && HInt.size h = IS.cardinal !model)
+
 let suite =
   [
     Alcotest.test_case "hierarchy int build" `Quick test_hint_build;
@@ -403,6 +480,7 @@ let suite =
     Alcotest.test_case "hierarchy memory balanced" `Quick test_hint_memory_balanced;
     Alcotest.test_case "hierarchy insert/remove" `Quick test_hint_insert_remove;
     Alcotest.test_case "hierarchy grows from empty" `Quick test_hint_grow_from_empty;
+    Alcotest.test_case "hierarchy shrinks dead levels" `Quick test_hint_shrink_top;
     Alcotest.test_case "hierarchy p ablation (A3)" `Quick test_hint_halving_ablation;
     Alcotest.test_case "quadtree web point location" `Quick test_hp2_point_location;
     Alcotest.test_case "quadtree web deep input (Thm 2)" `Quick test_hp2_deep_input_stays_logarithmic;
@@ -422,6 +500,7 @@ let suite =
     Alcotest.test_case "blocked range query" `Quick test_blocked_range_query;
     QCheck_alcotest.to_alcotest qcheck_blocked_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_int_matches_oracle;
+    QCheck_alcotest.to_alcotest qcheck_hierarchy_churn;
   ]
 
 
