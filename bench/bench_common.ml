@@ -46,6 +46,31 @@ let mean_int_list xs = Stats.mean (List.map float_of_int xs)
 let section name =
   Printf.printf "\n%s\n%s\n\n" name (String.make (String.length name) '=')
 
+(* ---------------- structured metrics output ---------------- *)
+
+(* Every experiment that emits a machine-readable metrics block writes it
+   through here so the BENCH_*.json artifacts stay uniform across PRs. *)
+let write_json ~file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let json_of_summary = Skipweb_util.Metrics.json_of_summary
+
+(* Observability must not perturb the cost model: run the same seeded
+   workload twice, untraced and traced, and insist the simulator's message
+   totals agree exactly. [run] must build its structure and rng fresh on
+   every call so both runs see identical coin flips. *)
+let assert_trace_transparent ~label ~(run : traced:bool -> int) =
+  let plain = run ~traced:false in
+  let traced = run ~traced:true in
+  if plain <> traced then
+    failwith
+      (Printf.sprintf "%s: tracing changed total_messages (%d untraced vs %d traced)" label plain
+         traced);
+  Printf.printf "tracing transparency [%s]: OK (%d messages either way)\n" label plain
+
 (* Fresh interior keys for update workloads: drawn from the same domain as
    the stored keys so updates exercise interior paths, not the rightmost
    spine. *)

@@ -163,7 +163,4 @@ let run (cfg : C.config) =
         ])
     rows;
   Skipweb_util.Tables.print tbl;
-  let oc = open_out "BENCH_scale.json" in
-  output_string oc (json_of_rows rows);
-  close_out oc;
-  Printf.printf "wrote BENCH_scale.json\n%!"
+  C.write_json ~file:"BENCH_scale.json" (json_of_rows rows)

@@ -9,7 +9,7 @@
      dune exec bench/main.exe -- --no-time    # skip wall-clock benches
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, scale, time. *)
+   bucket, ablations, scale, trace, time. *)
 
 let experiments =
   [
@@ -23,6 +23,7 @@ let experiments =
     ("bucket", fun cfg -> Exp_bucket.run cfg);
     ("ablations", fun cfg -> Exp_ablations.run cfg);
     ("scale", fun cfg -> Exp_scale.run cfg);
+    ("trace", fun cfg -> Exp_trace.run cfg);
   ]
 
 let () =

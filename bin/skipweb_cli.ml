@@ -9,6 +9,8 @@
      dune exec bin/skipweb_cli.exe -- census -n 1024 *)
 
 module Network = Skipweb_net.Network
+module Trace = Skipweb_net.Trace
+module Metrics = Skipweb_util.Metrics
 module SG = Skipweb_skipgraph.Skip_graph
 module NoN = Skipweb_skipgraph.Non_skip_graph
 module FT = Skipweb_skipgraph.Family_tree
@@ -55,6 +57,7 @@ type driver = {
   insert : int -> int;
   delete : int -> int;
   host_count : int;
+  net : Network.t;  (* for traffic / memory distributions *)
 }
 
 let make_driver structure ~net_pad ~seed ~m ~buckets keys =
@@ -70,6 +73,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = SG.insert g;
         delete = SG.delete g;
         host_count = Network.host_count net;
+        net;
       }
   | Non_skip_graph ->
       let net = Network.create ~hosts:(n + net_pad) in
@@ -81,6 +85,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = NoN.insert g;
         delete = NoN.delete g;
         host_count = Network.host_count net;
+        net;
       }
   | Family_tree ->
       let net = Network.create ~hosts:(n + net_pad) in
@@ -92,6 +97,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = FT.insert g;
         delete = FT.delete g;
         host_count = Network.host_count net;
+        net;
       }
   | Det_skipnet ->
       let net = Network.create ~hosts:((2 * n) + net_pad + 4) in
@@ -102,6 +108,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = DS.insert g;
         delete = DS.delete g;
         host_count = Network.host_count net;
+        net;
       }
   | Bucket_skip_graph ->
       let hosts = match buckets with Some b -> b | None -> max 2 (n / log2i n) in
@@ -114,6 +121,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = (fun k -> BSG.insert g ~rng k);
         delete = (fun k -> BSG.delete g ~rng k);
         host_count = Network.host_count net;
+        net;
       }
   | Skipweb ->
       let net = Network.create ~hosts:(n + net_pad) in
@@ -126,6 +134,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = B1.insert g;
         delete = B1.delete g;
         host_count = Network.host_count net;
+        net;
       }
   | Skipweb_generic ->
       let net = Network.create ~hosts:(n + net_pad) in
@@ -140,6 +149,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
         insert = HInt.insert g;
         delete = HInt.remove g;
         host_count = Network.host_count net;
+        net;
       }
 
 let run_query structure n queries seed m buckets =
@@ -222,6 +232,148 @@ let run_census n seed =
     (Network.max_memory net);
   0
 
+(* ---------------- trace: one op, rendered hop tree ---------------- *)
+
+let print_per_level_table tr =
+  let t =
+    Tables.create ~title:"messages per level (top-down)" ~columns:[ "level"; "messages" ]
+  in
+  List.iter
+    (fun (level, msgs) -> Tables.add_row t [ string_of_int level; string_of_int msgs ])
+    (List.rev (Trace.per_level_hops tr));
+  (match Trace.unattributed_hops tr with
+  | 0 -> ()
+  | u -> Tables.add_row t [ "(none)"; string_of_int u ]);
+  Tables.print t
+
+(* The acceptance check of the trace layer, printed so every run shows it:
+   the per-level decomposition must account for every message the session
+   paid. *)
+let print_sum_check tr session_messages =
+  let sum =
+    List.fold_left
+      (fun acc (_, c) -> acc + c)
+      (Trace.unattributed_hops tr) (Trace.per_level_hops tr)
+  in
+  Printf.printf "per-level total = %d, session messages = %d%s\n" sum session_messages
+    (if sum = session_messages then "  [consistent]" else "  [MISMATCH]");
+  if sum = session_messages then 0 else 1
+
+let run_trace structure n seed m at =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let q = match at with Some q -> q | None -> 50 * n in
+  let tr = Trace.create () in
+  match structure with
+  | Skipweb_generic ->
+      let net = Network.create ~hosts:n in
+      let h = HInt.build ~net ~seed keys in
+      let rng = Prng.create (seed + 1) in
+      let answer, stats = HInt.query ~trace:tr h ~rng q in
+      Printf.printf "structure: skip-web, arbitrary placement (§2.4 general)\n";
+      Printf.printf "n = %d   query %d -> nearest %s\n\n" n q
+        (match answer with Some a -> string_of_int a | None -> "none");
+      print_string (Trace.render tr);
+      print_newline ();
+      print_per_level_table tr;
+      print_sum_check tr stats.HInt.messages
+  | Skipweb ->
+      let net = Network.create ~hosts:n in
+      let m = match m with Some m -> m | None -> 4 * log2i n in
+      let b = B1.build ~net ~seed ~m keys in
+      let rng = Prng.create (seed + 1) in
+      let r = B1.query ~trace:tr b ~rng q in
+      Printf.printf "structure: skip-web, blocked (§2.4.1), M = %d\n" m;
+      Printf.printf "n = %d   query %d -> nearest %s\n\n" n q
+        (match r.B1.nearest with Some a -> string_of_int a | None -> "none");
+      print_string (Trace.render tr);
+      print_newline ();
+      print_per_level_table tr;
+      print_sum_check tr r.B1.messages
+  | _ ->
+      prerr_endline "trace: only skipweb and skipweb-generic queries are traceable";
+      1
+
+(* ---------------- stats: a workload into a metrics registry ---------------- *)
+
+type stats_format = Table | Json | Csv
+
+let run_stats structure n queries updates seed m buckets format =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets keys in
+  let reg = Metrics.create () in
+  Array.iter
+    (fun q ->
+      let msgs = d.query q in
+      Metrics.incr reg "ops.query";
+      Metrics.observe_int reg "query.messages" msgs)
+    (W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n));
+  let fresh =
+    (* Fresh keys above the stored domain, so inserts always succeed. *)
+    let rng = Prng.create (seed + 3) in
+    let taken = Hashtbl.create updates in
+    Array.init updates (fun _ ->
+        let rec go () =
+          let k = (100 * n) + Prng.int rng (100 * n) in
+          if Hashtbl.mem taken k then go ()
+          else begin
+            Hashtbl.replace taken k ();
+            k
+          end
+        in
+        go ())
+  in
+  Array.iter
+    (fun k ->
+      Metrics.incr reg "ops.insert";
+      Metrics.observe_int reg "insert.messages" (d.insert k))
+    fresh;
+  Array.iter
+    (fun k ->
+      try
+        let msgs = d.delete k in
+        Metrics.incr reg "ops.delete";
+        Metrics.observe_int reg "delete.messages" msgs
+      with Invalid_argument _ -> ())
+    fresh;
+  for host = 0 to d.host_count - 1 do
+    Metrics.observe_int reg "host.traffic" (Network.traffic d.net host);
+    Metrics.observe_int reg "host.memory" (Network.memory d.net host)
+  done;
+  Metrics.incr reg ~by:(Network.total_messages d.net) "network.messages";
+  Metrics.incr reg ~by:(Network.sessions_started d.net) "network.sessions";
+  (match format with
+  | Json -> print_string (Metrics.to_json reg)
+  | Csv -> print_string (Metrics.to_csv reg)
+  | Table ->
+      Printf.printf "structure: %s\n" d.describe;
+      Printf.printf "items: %d   hosts: %d   queries: %d   updates: %d\n\n" n d.host_count
+        queries updates;
+      let t =
+        Tables.create ~title:"metrics registry"
+          ~columns:[ "name"; "kind"; "value/count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+      in
+      List.iter
+        (fun name ->
+          match Metrics.histogram_summary reg name with
+          | Some s ->
+              Tables.add_row t
+                [
+                  name;
+                  "histogram";
+                  string_of_int s.Stats.count;
+                  Tables.cell_float s.Stats.mean;
+                  Tables.cell_float s.Stats.p50;
+                  Tables.cell_float s.Stats.p90;
+                  Tables.cell_float s.Stats.p99;
+                  Tables.cell_float s.Stats.max;
+                ]
+          | None ->
+              Tables.add_row t
+                [ name; "counter"; string_of_int (Metrics.counter_value reg name); ""; ""; ""; ""; "" ])
+        (Metrics.names reg);
+      Tables.print t);
+  0
+
 (* ---------------- command line ---------------- *)
 
 open Cmdliner
@@ -251,8 +403,27 @@ let census_cmd =
   let doc = "Print the skip-web level census (Figure 2)." in
   Cmd.v (Cmd.info "census" ~doc) Term.(const run_census $ n_arg $ seed_arg)
 
+let at_arg =
+  Arg.(value & opt (some int) None & info [ "at" ] ~docv:"KEY" ~doc:"Query point to trace (default 50n, an interior probe).")
+
+let trace_cmd =
+  let doc = "Trace one query and print its hop tree and per-level message breakdown." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run_trace $ structure_arg $ n_arg $ seed_arg $ m_arg $ at_arg)
+
+let format_arg =
+  let fconv = Arg.enum [ ("table", Table); ("json", Json); ("csv", Csv) ] in
+  Arg.(value & opt fconv Table & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output format: table, json or csv.")
+
+let stats_cmd =
+  let doc = "Run a query/update workload and dump the metrics registry (messages-per-op distributions, per-host traffic and memory histograms)." in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg)
+
 let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in
-  Cmd.group (Cmd.info "skipweb_cli" ~version:"1.0" ~doc) [ query_cmd; update_cmd; census_cmd ]
+  Cmd.group
+    (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
+    [ query_cmd; update_cmd; census_cmd; trace_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,4 +1,5 @@
 module Network = Skipweb_net.Network
+module Trace = Skipweb_net.Trace
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
 module L = Skipweb_linklist.Linklist
@@ -214,7 +215,11 @@ let preferred_host t origin level q =
       let code = L.encode (L.locate arr q) in
       Hashtbl.find_opt t.blocks (base, b, code / t.bsize)
 
-let query_from t origin q =
+(* Traced descents open one leveled span per level, noting whether the
+   level's range lives in a block or a cone and how many replicas cover
+   it; hops are labeled accordingly. All trace work is guarded, so an
+   untraced query runs the original code path exactly. *)
+let query_from ?trace t origin q =
   let b_top = prefix t origin t.top in
   let arr_top = Hashtbl.find t.sets (t.top, b_top) in
   let code_top = L.encode (L.locate arr_top q) in
@@ -231,15 +236,21 @@ let query_from t origin q =
           | Some _ | None -> h)
   in
   let start = match initial_hosts with h :: _ -> h | [] -> 0 in
-  let session = Network.start t.net start in
+  let session = Network.start ?trace t.net start in
   let rec descend level =
     if level >= 0 then begin
+      let basic = level mod t.stride = 0 in
       let b = prefix t origin level in
       let arr = Hashtbl.find t.sets (level, b) in
       let code = L.encode (L.locate arr q) in
       let hs = hosts_of t level b code in
       let target = pick level hs (Network.current session) in
-      Network.goto session target;
+      (match trace with
+      | None -> Network.goto session target
+      | Some tr ->
+          Trace.span_open tr ~level (if basic then "basic level" else "cone level");
+          Network.goto ~label:(if basic then "block" else "cone") session target;
+          Trace.span_close tr ~note:(Printf.sprintf "replicas=%d" (List.length hs)) ());
       descend (level - 1)
     end
   in
@@ -248,9 +259,9 @@ let query_from t origin q =
   let successor = L.successor t.keys q in
   { predecessor; successor; nearest = L.nearest t.keys q; messages = Network.messages session }
 
-let query t ~rng q =
+let query ?trace t ~rng q =
   if size t = 0 then { predecessor = None; successor = None; nearest = None; messages = 0 }
-  else query_from t t.keys.(Prng.int rng (size t)) q
+  else query_from ?trace t t.keys.(Prng.int rng (size t)) q
 
 let mem t k =
   let rec go lo hi =

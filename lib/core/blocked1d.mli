@@ -53,8 +53,14 @@ type search_result = {
   messages : int;
 }
 
-val query : t -> rng:Prng.t -> int -> search_result
-(** Nearest-neighbor query from a random originating element's host. *)
+val query : ?trace:Skipweb_net.Trace.t -> t -> rng:Prng.t -> int -> search_result
+(** Nearest-neighbor query from a random originating element's host.
+    With [trace], the descent records one leveled span per level — named
+    ["basic level"] or ["cone level"], closed with a [replicas=k] note for
+    the number of hosts covering the located range — and labels each hop
+    ["block"] or ["cone"], so {!Skipweb_net.Trace.per_level_hops} shows
+    exactly where the O(log n / log log n) bound spends its messages.
+    Tracing never changes the message cost. *)
 
 val insert : t -> int -> int
 (** Message cost: locate + O(1) per basic level. No-op cost 0 on

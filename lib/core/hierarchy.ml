@@ -1,4 +1,5 @@
 module Network = Skipweb_net.Network
+module Trace = Skipweb_net.Trace
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
 
@@ -193,8 +194,13 @@ module Make (S : Range_structure.S) = struct
     | None -> failwith "Hierarchy: missing level structure on an element's path"
 
   (* Route a query from the top-level set of the given element down to
-     level 0; the session's host pointer tracks where processing happens. *)
-  let query_from t origin_id q =
+     level 0; the session's host pointer tracks where processing happens.
+
+     Tracing discipline: one leveled span per refinement step, closed with
+     the step's conflict-set size, and every hop labeled with the
+     structure's walk kind. All trace work is guarded on [trace], so an
+     untraced query allocates and branches exactly as before. *)
+  let query_from ?trace t origin_id q =
     let b_top = prefix t origin_id t.top in
     let s_top = structure_exn t t.top b_top in
     let loc0, visited0 = S.locate s_top q in
@@ -203,8 +209,18 @@ module Make (S : Range_structure.S) = struct
       | rid :: _ -> host_of_range t t.top b_top rid
       | [] -> host_of_range t t.top b_top 0
     in
-    let session = Network.start t.net start_host in
-    List.iter (fun rid -> Network.goto session (host_of_range t t.top b_top rid)) visited0;
+    let session = Network.start ?trace t.net start_host in
+    let goto_label = match trace with None -> None | Some _ -> Some S.visit_label in
+    (match trace with
+    | None -> ()
+    | Some tr -> Trace.span_open tr ~level:t.top ("locate " ^ S.name));
+    List.iter
+      (fun rid -> Network.goto ?label:goto_label session (host_of_range t t.top b_top rid))
+      visited0;
+    (match trace with
+    | None -> ()
+    | Some tr ->
+        Trace.span_close tr ~note:(Printf.sprintf "conflicts=%d" (List.length visited0)) ());
     let per_level = ref [ List.length visited0 ] in
     let total = ref (List.length visited0) in
     let rec descend level loc s_above =
@@ -213,8 +229,17 @@ module Make (S : Range_structure.S) = struct
         let b = prefix t origin_id level in
         let s = structure_exn t level b in
         let desc = S.describe s_above loc in
+        (match trace with
+        | None -> ()
+        | Some tr -> Trace.span_open tr ~level ("refine " ^ S.name));
         let loc', visited = S.refine s ~from:desc q in
-        List.iter (fun rid -> Network.goto session (host_of_range t level b rid)) visited;
+        List.iter
+          (fun rid -> Network.goto ?label:goto_label session (host_of_range t level b rid))
+          visited;
+        (match trace with
+        | None -> ()
+        | Some tr ->
+            Trace.span_close tr ~note:(Printf.sprintf "conflicts=%d" (List.length visited)) ());
         per_level := List.length visited :: !per_level;
         total := !total + List.length visited;
         descend (level - 1) loc' s
@@ -229,9 +254,9 @@ module Make (S : Range_structure.S) = struct
         per_level_visits = List.rev !per_level;
       } )
 
-  let query t ~rng q =
+  let query ?trace t ~rng q =
     if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
-    query_from t (sample_id t rng) q
+    query_from ?trace t (sample_id t rng) q
 
   let grow_top t =
     let wanted = required_top (size t) in

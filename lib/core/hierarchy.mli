@@ -43,8 +43,14 @@ module Make (S : Range_structure.S) : sig
     per_level_visits : int list;  (** visited ranges per level, top-down *)
   }
 
-  val query : t -> rng:Skipweb_util.Prng.t -> S.query -> S.answer * query_stats
-  (** Route a query from a uniformly random originating element's host. *)
+  val query :
+    ?trace:Skipweb_net.Trace.t -> t -> rng:Skipweb_util.Prng.t -> S.query -> S.answer * query_stats
+  (** Route a query from a uniformly random originating element's host.
+      With [trace], the query records one leveled span per refinement step
+      (closed with a [conflicts=k] note giving that step's conflict-set
+      size) and one labeled hop per message, so
+      {!Skipweb_net.Trace.per_level_hops} decomposes [messages] by level.
+      Tracing never changes the message cost. *)
 
   val insert : t -> S.key -> int
   (** Add an element; returns the message cost (a locate plus O(1) linking

@@ -35,6 +35,7 @@ module Ints :
   type descriptor = L.bound * L.bound
 
   let name = "sorted-list"
+  let visit_label = "list-walk"
 
   let build keys =
     let xs = Array.copy keys in
@@ -130,6 +131,7 @@ end) :
   type descriptor = int * int array  (* the located node's cube *)
 
   let name = Printf.sprintf "quadtree-%dd" D.dim
+  let visit_label = "cube-walk"
 
   let build keys = Cqtree.build ~dim:D.dim keys
   let size = Cqtree.size
@@ -203,6 +205,7 @@ module Strings :
   type descriptor = string  (* the located node's string *)
 
   let name = "trie"
+  let visit_label = "trie-walk"
 
   let build = Ctrie.build
   let size = Ctrie.size
@@ -263,6 +266,7 @@ module Segments :
   type descriptor = Trapmap.trap
 
   let name = "trapezoidal-map"
+  let visit_label = "trap-walk"
 
   let build keys = Trapmap.build keys
   let size = Trapmap.segment_count

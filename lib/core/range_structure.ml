@@ -56,6 +56,13 @@ module type S = sig
 
   val name : string
 
+  val visit_label : string
+  (** Short tag for traced range-walk hops of this structure (e.g.
+      ["list-walk"], ["cube-walk"]): names the kind of pointer a hop
+      chased, so a rendered trace distinguishes structure walks from
+      hierarchy descents. Must be a constant — it is attached to hops on
+      the traced path only and must not cost allocation per hop. *)
+
   val build : key array -> t
   (** Canonical build; duplicates are ignored. *)
 

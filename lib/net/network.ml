@@ -32,19 +32,22 @@ let total_memory t = Array.fold_left ( + ) 0 t.memory
 
 let mean_memory t = float_of_int (total_memory t) /. float_of_int t.hosts
 
-type session = { net : t; mutable at : host; mutable msgs : int }
+type session = { net : t; mutable at : host; mutable msgs : int; trace : Trace.t option }
 
-let start t h =
+let start ?trace t h =
   check_host t h;
   t.sessions <- t.sessions + 1;
   t.traffic.(h) <- t.traffic.(h) + 1;
-  { net = t; at = h; msgs = 0 }
+  { net = t; at = h; msgs = 0; trace }
 
 let current s = s.at
 
-let goto s h =
+let session_trace s = s.trace
+
+let goto ?label s h =
   check_host s.net h;
   if h <> s.at then begin
+    (match s.trace with None -> () | Some tr -> Trace.hop tr ?label ~src:s.at ~dst:h ());
     s.msgs <- s.msgs + 1;
     s.net.total_messages <- s.net.total_messages + 1;
     s.net.traffic.(h) <- s.net.traffic.(h) + 1;

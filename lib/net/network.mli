@@ -40,17 +40,23 @@ val total_memory : t -> int
 
 type session
 
-val start : t -> host -> session
+val start : ?trace:Trace.t -> t -> host -> session
 (** Begin an operation at host [h] (the host owning the operation's root
     pointer). The starting visit is recorded for congestion but costs no
-    message. *)
+    message. When [trace] is supplied, every subsequent boundary crossing
+    of this session is recorded into it as a {!Trace.Hop}; when absent the
+    session does no trace work at all, so the cost model is unchanged by
+    the existence of the tracing machinery. *)
 
 val current : session -> host
 
-val goto : session -> host -> unit
+val session_trace : session -> Trace.t option
+
+val goto : ?label:string -> session -> host -> unit
 (** [goto s h] moves the locus of processing to host [h]. Costs one message
     (and one unit of traffic at [h]) iff [h] differs from the current
-    host. *)
+    host. [label] tags the hop in the session's trace (ignored for
+    untraced sessions); it never affects costs. *)
 
 val messages : session -> int
 (** Messages sent so far in this session. *)
@@ -69,8 +75,11 @@ val max_traffic : t -> int
 val mean_traffic : t -> float
 
 val reset_traffic : t -> unit
-(** Zero all traffic counters and the global message total (memory charges
-    are kept: they describe the structure, not the workload). *)
+(** Zero every workload counter: per-host traffic, the global message
+    total, {e and} {!sessions_started} — the three always describe the same
+    window of operations, so a partial reset would silently skew per-session
+    averages computed as [total_messages / sessions_started]. Memory charges
+    are kept: they describe the structure, not the workload. *)
 
 val congestion : t -> items:int -> float
 (** The paper's static congestion measure for the most loaded host:

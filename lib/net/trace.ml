@@ -1,0 +1,124 @@
+type host = int
+
+type event =
+  | Hop of { src : host; dst : host; label : string option }
+  | Span_open of { name : string; level : int option }
+  | Span_close of { name : string; note : string option }
+
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable stack : (string * int option) list;  (* open spans, innermost first *)
+}
+
+let create () = { events = []; stack = [] }
+
+let clear t =
+  t.events <- [];
+  t.stack <- []
+
+let record t e = t.events <- e :: t.events
+
+let hop t ?label ~src ~dst () = record t (Hop { src; dst; label })
+
+let span_open t ?level name =
+  t.stack <- (name, level) :: t.stack;
+  record t (Span_open { name; level })
+
+let span_close t ?note () =
+  match t.stack with
+  | [] -> invalid_arg "Trace.span_close: no open span"
+  | (name, _) :: rest ->
+      t.stack <- rest;
+      record t (Span_close { name; note })
+
+let events t = List.rev t.events
+
+let total_hops t =
+  List.fold_left (fun acc e -> match e with Hop _ -> acc + 1 | _ -> acc) 0 t.events
+
+(* A hop belongs to the level of the innermost enclosing span that has one. *)
+let attribute t =
+  let leveled = Hashtbl.create 16 in
+  let unattributed = ref 0 in
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Span_open { level; _ } -> stack := level :: !stack
+      | Span_close _ -> ( match !stack with [] -> () | _ :: rest -> stack := rest)
+      | Hop _ -> (
+          match List.find_opt Option.is_some !stack with
+          | Some (Some level) ->
+              Hashtbl.replace leveled level
+                (1 + try Hashtbl.find leveled level with Not_found -> 0)
+          | Some None | None -> incr unattributed))
+    (events t);
+  (leveled, !unattributed)
+
+let per_level_hops t =
+  let leveled, _ = attribute t in
+  Hashtbl.fold (fun level n acc -> (level, n) :: acc) leveled []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let unattributed_hops t =
+  let _, u = attribute t in
+  u
+
+let render t =
+  let buf = Buffer.create 256 in
+  let depth = ref 0 in
+  let indent () = Buffer.add_string buf (String.make (2 * !depth) ' ') in
+  List.iter
+    (fun e ->
+      match e with
+      | Span_open { name; level } ->
+          indent ();
+          (match level with
+          | Some l -> Buffer.add_string buf (Printf.sprintf "%s (level %d)\n" name l)
+          | None -> Buffer.add_string buf (name ^ "\n"));
+          incr depth
+      | Span_close { note; _ } ->
+          (match note with
+          | Some n ->
+              indent ();
+              Buffer.add_string buf ("= " ^ n ^ "\n")
+          | None -> ());
+          if !depth > 0 then decr depth
+      | Hop { src; dst; label } ->
+          indent ();
+          Buffer.add_string buf
+            (match label with
+            | Some l -> Printf.sprintf "%4d -> %-4d %s\n" src dst l
+            | None -> Printf.sprintf "%4d -> %d\n" src dst))
+    (events t);
+  Buffer.add_string buf (Printf.sprintf "total: %d hops\n" (total_hops t));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let jopt_str = function None -> "null" | Some s -> Printf.sprintf "\"%s\"" (json_escape s) in
+  let jopt_int = function None -> "null" | Some i -> string_of_int i in
+  let event_json = function
+    | Hop { src; dst; label } ->
+        Printf.sprintf "{\"type\": \"hop\", \"src\": %d, \"dst\": %d, \"label\": %s}" src dst
+          (jopt_str label)
+    | Span_open { name; level } ->
+        Printf.sprintf "{\"type\": \"span_open\", \"name\": \"%s\", \"level\": %s}"
+          (json_escape name) (jopt_int level)
+    | Span_close { name; note } ->
+        Printf.sprintf "{\"type\": \"span_close\", \"name\": \"%s\", \"note\": %s}"
+          (json_escape name) (jopt_str note)
+  in
+  Printf.sprintf "[%s]" (String.concat ", " (List.map event_json (events t)))

@@ -1,0 +1,75 @@
+(** Session tracing for the cost-model simulator.
+
+    A trace records, for one operation (one {!Network.session}), the ordered
+    sequence of host-boundary crossings — each crossing is exactly one
+    message of the paper's cost model — interleaved with {e spans}: nestable,
+    named phases of the operation, optionally tagged with a hierarchy level.
+    Structures open one span per refinement level, so a recorded query
+    decomposes into "messages at level ℓ" and the per-level totals measure
+    the set-halving lemmas level by level rather than in aggregate.
+
+    Tracing is strictly opt-in, per session: {!Network.start} takes an
+    optional trace, and when none is supplied the simulator performs no
+    trace work at all, so enabling observability elsewhere cannot perturb
+    measured message counts (the bench harness asserts this). *)
+
+type host = int
+
+type event =
+  | Hop of { src : host; dst : host; label : string option }
+      (** One message: the session moved from host [src] to host [dst].
+          [label] names the kind of pointer walked (structure-specific). *)
+  | Span_open of { name : string; level : int option }
+  | Span_close of { name : string; note : string option }
+      (** [note] carries per-span measurements, e.g. the conflict-set size
+          of one refinement step. *)
+
+type t
+(** A mutable event buffer for one traced operation. *)
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Drop all events and any open spans, for buffer reuse across ops. *)
+
+val hop : t -> ?label:string -> src:host -> dst:host -> unit -> unit
+(** Record one boundary crossing. Called by {!Network.goto}; structure code
+    normally never calls this directly. *)
+
+val span_open : t -> ?level:int -> string -> unit
+
+val span_close : t -> ?note:string -> unit -> unit
+(** Close the innermost open span. Raises [Invalid_argument] if no span is
+    open. *)
+
+val events : t -> event list
+(** All recorded events, oldest first. *)
+
+(** {1 Analysis} *)
+
+val total_hops : t -> int
+(** Number of [Hop] events — equals the traced session's
+    {!Network.messages} when every [goto] of the session carried this
+    trace. *)
+
+val per_level_hops : t -> (int * int) list
+(** Hops grouped by the level of the innermost enclosing span that carries
+    one, as [(level, hops)] sorted by level ascending. Levels with no hops
+    are omitted. *)
+
+val unattributed_hops : t -> int
+(** Hops recorded outside any leveled span. [total_hops] equals the sum of
+    {!per_level_hops} counts plus this. *)
+
+(** {1 Output} *)
+
+val render : t -> string
+(** Human-readable hop tree: spans indent their contents, hops print as
+    [src -> dst label], span notes print as [= note]. *)
+
+val to_json : t -> string
+(** The event list as a JSON array, machine-readable. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in JSON output (shared by the bench
+    harness's metrics blocks). *)

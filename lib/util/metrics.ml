@@ -1,0 +1,99 @@
+type series = { mutable values : float list; mutable count : int }
+
+type entry = Counter of int ref | Histogram of series
+
+type t = { entries : (string, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 32 }
+
+let clear t = Hashtbl.reset t.entries
+
+let counter t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) -> invalid_arg (Printf.sprintf "Metrics: %s is a histogram" name)
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace t.entries name (Counter c);
+      c
+
+let histogram t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram s) -> s
+  | Some (Counter _) -> invalid_arg (Printf.sprintf "Metrics: %s is a counter" name)
+  | None ->
+      let s = { values = []; count = 0 } in
+      Hashtbl.replace t.entries name (Histogram s);
+      s
+
+let incr t ?(by = 1) name =
+  let c = counter t name in
+  c := !c + by
+
+let observe t name v =
+  let s = histogram t name in
+  s.values <- v :: s.values;
+  s.count <- s.count + 1
+
+let observe_int t name v = observe t name (float_of_int v)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.entries name with Some (Counter c) -> !c | _ -> 0
+
+let histogram_summary t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram s) when s.count > 0 -> Some (Stats.summarize s.values)
+  | _ -> None
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [] |> List.sort compare
+
+let json_of_summary (s : Stats.summary) =
+  Printf.sprintf
+    "{\"count\": %d, \"mean\": %g, \"stddev\": %g, \"min\": %g, \"max\": %g, \"p50\": %g, \
+     \"p90\": %g, \"p99\": %g}"
+    s.Stats.count s.Stats.mean s.Stats.stddev s.Stats.min s.Stats.max s.Stats.p50 s.Stats.p90
+    s.Stats.p99
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let field name =
+    match Hashtbl.find t.entries name with
+    | Counter c -> Printf.sprintf "  \"%s\": %d" (escape name) !c
+    | Histogram s ->
+        let body =
+          if s.count = 0 then "{\"count\": 0}" else json_of_summary (Stats.summarize s.values)
+        in
+        Printf.sprintf "  \"%s\": %s" (escape name) body
+  in
+  Printf.sprintf "{\n%s\n}\n" (String.concat ",\n" (List.map field (names t)))
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "name,kind,value,count,mean,stddev,min,max,p50,p90,p99\n";
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.entries name with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s,counter,%d,,,,,,,,\n" name !c)
+      | Histogram s ->
+          if s.count = 0 then Buffer.add_string buf (Printf.sprintf "%s,histogram,,0,,,,,,,\n" name)
+          else
+            let m = Stats.summarize s.values in
+            Buffer.add_string buf
+              (Printf.sprintf "%s,histogram,,%d,%g,%g,%g,%g,%g,%g,%g\n" name m.Stats.count
+                 m.Stats.mean m.Stats.stddev m.Stats.min m.Stats.max m.Stats.p50 m.Stats.p90
+                 m.Stats.p99))
+    (names t);
+  Buffer.contents buf

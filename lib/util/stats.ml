@@ -32,8 +32,10 @@ let percentile sorted q =
     let rank = q *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in
-    let frac = rank -. float_of_int lo in
-    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+    if lo = hi then sorted.(lo)  (* exact rank: no interpolation, no rounding *)
+    else
+      let frac = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
 let summarize xs =
   match xs with

@@ -19,7 +19,10 @@ type summary = {
 
 val summarize : float list -> summary
 (** Summary statistics of a non-empty sample. Raises [Invalid_argument] on
-    an empty list. *)
+    an empty list. Small samples are well-defined: a single-element sample
+    has [stddev = 0] and every percentile equal to the element; a
+    two-element sample uses the unbiased (n-1) variance and interpolates
+    percentiles between the two values. *)
 
 val summarize_ints : int list -> summary
 
@@ -28,7 +31,10 @@ val stddev : float list -> float
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]]; [sorted] must be sorted
-    ascending. Linear interpolation between ranks. *)
+    ascending. Linear interpolation between ranks, except that a rank
+    landing exactly on an element (including [q = 0.0] and [q = 1.0], and
+    every quantile of a single-element sample) returns that element
+    exactly, with no floating-point interpolation error. *)
 
 (** Growth-model fitting. *)
 module Fit : sig

@@ -5,6 +5,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("net", Test_net.suite);
+      ("trace", Test_trace.suite);
       ("geom", Test_geom.suite);
       ("linklist", Test_linklist.suite);
       ("skiplist", Test_skiplist.suite);

@@ -1,7 +1,9 @@
-(* Tests for Skipweb_net: the message-counting cost model. *)
+(* Tests for Skipweb_net: the message-counting cost model and the session
+   trace layer. *)
 
 module Network = Skipweb_net.Network
 module Placement = Skipweb_net.Placement
+module Trace = Skipweb_net.Trace
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -59,6 +61,108 @@ let test_memory_accounting () =
   checki "max memory" 7 (Network.max_memory net);
   checki "total memory" 11 (Network.total_memory net);
   Alcotest.(check (float 1e-9)) "mean memory" 2.75 (Network.mean_memory net)
+
+(* Pins the documented reset_traffic contract: traffic, total_messages and
+   sessions_started are one workload window and reset together; memory
+   describes the structure and persists. *)
+let test_reset_traffic_resets_sessions () =
+  let net = Network.create ~hosts:3 in
+  let s = Network.start net 0 in
+  Network.goto s 1;
+  ignore (Network.start net 2);
+  checki "two sessions before reset" 2 (Network.sessions_started net);
+  Network.reset_traffic net;
+  checki "sessions reset too" 0 (Network.sessions_started net);
+  checki "messages reset" 0 (Network.total_messages net);
+  checki "traffic reset" 0 (Network.traffic net 1);
+  (* The window restarts cleanly. *)
+  let s2 = Network.start net 0 in
+  Network.goto s2 1;
+  checki "fresh window counts sessions" 1 (Network.sessions_started net);
+  checki "fresh window counts messages" 1 (Network.total_messages net)
+
+(* ------- session tracing ------- *)
+
+(* The exact hop sequence of a traced session: one Hop per boundary
+   crossing, in order, with labels; same-host gotos record nothing. *)
+let test_trace_exact_hop_sequence () =
+  let net = Network.create ~hosts:4 in
+  let tr = Trace.create () in
+  let s = Network.start ~trace:tr net 0 in
+  Network.goto s 0;  (* free and unrecorded *)
+  Network.goto ~label:"up" s 2;
+  Network.goto s 2;  (* free and unrecorded *)
+  Network.goto ~label:"down" s 1;
+  Network.goto s 3;  (* unlabeled crossing *)
+  checki "three messages" 3 (Network.messages s);
+  let expected =
+    [
+      Trace.Hop { src = 0; dst = 2; label = Some "up" };
+      Trace.Hop { src = 2; dst = 1; label = Some "down" };
+      Trace.Hop { src = 1; dst = 3; label = None };
+    ]
+  in
+  Alcotest.(check bool) "exact hop sequence" true (Trace.events tr = expected);
+  checki "total hops = messages" (Network.messages s) (Trace.total_hops tr)
+
+let test_trace_untraced_session_free () =
+  let net = Network.create ~hosts:2 in
+  let s = Network.start net 0 in
+  Network.goto ~label:"ignored" s 1;
+  checkb "no trace attached" true (Network.session_trace s = None);
+  checki "label never affects cost" 1 (Network.messages s)
+
+let test_trace_spans_and_attribution () =
+  let net = Network.create ~hosts:8 in
+  let tr = Trace.create () in
+  let s = Network.start ~trace:tr net 0 in
+  Trace.span_open tr ~level:2 "top";
+  Network.goto s 1;
+  Network.goto s 2;
+  (* An inner span without a level inherits the enclosing level. *)
+  Trace.span_open tr "inner";
+  Network.goto s 3;
+  Trace.span_close tr ~note:"inner done" ();
+  Trace.span_close tr ();
+  Trace.span_open tr ~level:0 "bottom";
+  Network.goto s 4;
+  Trace.span_close tr ();
+  Network.goto s 5;  (* outside every span *)
+  Alcotest.(check (list (pair int int)))
+    "per-level attribution" [ (0, 1); (2, 3) ] (Trace.per_level_hops tr);
+  checki "unattributed" 1 (Trace.unattributed_hops tr);
+  checki "everything accounted" (Trace.total_hops tr)
+    (1 + List.fold_left (fun acc (_, c) -> acc + c) 0 (Trace.per_level_hops tr));
+  (* Render mentions spans, hops and the note. *)
+  let r = Trace.render tr in
+  let contains needle =
+    let nl = String.length needle and hl = String.length r in
+    let rec go i = i + nl <= hl && (String.sub r i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "render has span" true (contains "top (level 2)");
+  checkb "render has note" true (contains "= inner done");
+  checkb "json is an array" true (String.length (Trace.to_json tr) > 2 && (Trace.to_json tr).[0] = '[')
+
+let test_trace_unbalanced_span_rejected () =
+  let tr = Trace.create () in
+  Alcotest.check_raises "close without open"
+    (Invalid_argument "Trace.span_close: no open span") (fun () -> Trace.span_close tr ());
+  Trace.span_open tr "a";
+  Trace.span_close tr ();
+  Alcotest.check_raises "second close without open"
+    (Invalid_argument "Trace.span_close: no open span") (fun () -> Trace.span_close tr ())
+
+let test_trace_clear_reuses_buffer () =
+  let tr = Trace.create () in
+  Trace.span_open tr ~level:1 "x";
+  Trace.hop tr ~src:0 ~dst:1 ();
+  Trace.clear tr;
+  checki "no events after clear" 0 (List.length (Trace.events tr));
+  checki "no hops after clear" 0 (Trace.total_hops tr);
+  (* clear also forgets open spans. *)
+  Alcotest.check_raises "stack cleared" (Invalid_argument "Trace.span_close: no open span")
+    (fun () -> Trace.span_close tr ())
 
 let test_memory_survives_traffic_reset () =
   let net = Network.create ~hosts:2 in
@@ -138,6 +242,12 @@ let suite =
     Alcotest.test_case "total messages accumulate" `Quick test_total_messages_accumulate;
     Alcotest.test_case "traffic tracking" `Quick test_traffic_tracking;
     Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
+    Alcotest.test_case "reset_traffic resets sessions too" `Quick test_reset_traffic_resets_sessions;
+    Alcotest.test_case "trace exact hop sequence" `Quick test_trace_exact_hop_sequence;
+    Alcotest.test_case "trace untraced session free" `Quick test_trace_untraced_session_free;
+    Alcotest.test_case "trace spans and attribution" `Quick test_trace_spans_and_attribution;
+    Alcotest.test_case "trace unbalanced span rejected" `Quick test_trace_unbalanced_span_rejected;
+    Alcotest.test_case "trace clear reuses buffer" `Quick test_trace_clear_reuses_buffer;
     Alcotest.test_case "memory survives traffic reset" `Quick test_memory_survives_traffic_reset;
     Alcotest.test_case "congestion measure" `Quick test_congestion_measure;
     Alcotest.test_case "bad host rejected" `Quick test_bad_host_rejected;

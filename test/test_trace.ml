@@ -1,0 +1,146 @@
+(* End-to-end tests for the session trace layer: traced hierarchy and
+   blocked skip-web queries must attribute every message to a level, cost
+   exactly the same as untraced runs, and — for one pinned seed — produce
+   a byte-for-byte stable hop sequence. *)
+
+module Network = Skipweb_net.Network
+module Trace = Skipweb_net.Trace
+module H = Skipweb_core.Hierarchy
+module I = Skipweb_core.Instances
+module B1 = Skipweb_core.Blocked1d
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+
+module HInt = H.Make (I.Ints)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let hop_to_string = function
+  | Trace.Hop { src; dst; label } ->
+      Printf.sprintf "%d->%d%s" src dst (match label with None -> "" | Some l -> ":" ^ l)
+  | _ -> assert false
+
+let hop_strings tr =
+  List.filter_map
+    (function Trace.Hop _ as h -> Some (hop_to_string h) | _ -> None)
+    (Trace.events tr)
+
+(* The full hop sequence of one seeded query, asserted exactly. The
+   simulator, PRNG and placement are all deterministic, so this sequence
+   is a contract: any change to routing, placement or membership hashing
+   shows up here as a diff, not as a silent cost shift. *)
+let test_pinned_hop_sequence () =
+  let n = 64 in
+  let keys = W.distinct_ints ~seed:2005 ~n ~bound:(100 * n) in
+  let net = Network.create ~hosts:n in
+  let h = HInt.build ~net ~seed:2005 keys in
+  let rng = Prng.create 7 in
+  let tr = Trace.create () in
+  let _, stats = HInt.query ~trace:tr h ~rng 3200 in
+  checki "hops = messages" stats.HInt.messages (Trace.total_hops tr);
+  checki "all hops leveled" 0 (Trace.unattributed_hops tr);
+  Alcotest.(check (list string)) "exact hop sequence"
+    [
+      "19->11:list-walk";
+      "11->29:list-walk";
+      "29->17:list-walk";
+      "17->42:list-walk";
+      "42->17:list-walk";
+      "17->55:list-walk";
+      "55->32:list-walk";
+      "32->57:list-walk";
+    ]
+    (hop_strings tr)
+
+(* Property: for every traced query, the per-level hop counts sum to the
+   session's message count — tracing partitions the cost, it never loses
+   or invents messages — and running the identical workload untraced
+   costs exactly the same. *)
+let qcheck_hierarchy_levels_sum =
+  QCheck.Test.make ~name:"hierarchy: per-level hops sum to messages" ~count:40
+    QCheck.(pair (int_range 8 200) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      let keys = W.distinct_ints ~seed:(salt + 1) ~n ~bound:(100 * n) in
+      let build () =
+        let net = Network.create ~hosts:n in
+        HInt.build ~net ~seed:(salt + 1) keys
+      in
+      let h = build () and h' = build () in
+      let rng = Prng.create (salt + 2) and rng' = Prng.create (salt + 2) in
+      let ok = ref true in
+      for i = 0 to 4 do
+        let q = (100 * n / 5 * i) + (salt mod 97) in
+        let tr = Trace.create () in
+        let _, stats = HInt.query ~trace:tr h ~rng q in
+        let _, stats' = HInt.query h' ~rng:rng' q in
+        let level_sum =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 (Trace.per_level_hops tr)
+        in
+        ok :=
+          !ok
+          && level_sum = stats.HInt.messages
+          && Trace.unattributed_hops tr = 0
+          && Trace.total_hops tr = stats.HInt.messages
+          && stats'.HInt.messages = stats.HInt.messages
+      done;
+      !ok)
+
+let qcheck_blocked_levels_sum =
+  QCheck.Test.make ~name:"blocked: per-level hops sum to messages" ~count:30
+    QCheck.(pair (int_range 16 200) (int_range 0 1_000_000))
+    (fun (n, salt) ->
+      let keys = W.distinct_ints ~seed:(salt + 11) ~n ~bound:(100 * n) in
+      let m = max 4 (4 * (1 + (n / 32))) in
+      let build () =
+        let net = Network.create ~hosts:n in
+        B1.build ~net ~seed:(salt + 11) ~m keys
+      in
+      let b = build () and b' = build () in
+      let rng = Prng.create (salt + 12) and rng' = Prng.create (salt + 12) in
+      let ok = ref true in
+      for i = 0 to 4 do
+        let q = (100 * n / 5 * i) + (salt mod 89) in
+        let tr = Trace.create () in
+        let r = B1.query ~trace:tr b ~rng q in
+        let r' = B1.query b' ~rng:rng' q in
+        let level_sum =
+          List.fold_left (fun acc (_, c) -> acc + c) 0 (Trace.per_level_hops tr)
+        in
+        ok :=
+          !ok
+          && level_sum = r.B1.messages
+          && Trace.unattributed_hops tr = 0
+          && r'.B1.messages = r.B1.messages
+      done;
+      !ok)
+
+(* Tracing transparency at the network level: a whole seeded query batch
+   leaves Network.total_messages identical whether traced or not. *)
+let test_trace_transparent_batch () =
+  let n = 128 in
+  let keys = W.distinct_ints ~seed:99 ~n ~bound:(100 * n) in
+  let run traced =
+    let net = Network.create ~hosts:n in
+    let h = HInt.build ~net ~seed:99 keys in
+    let rng = Prng.create 5 in
+    let tr = Trace.create () in
+    for _ = 1 to 50 do
+      let q = Prng.int rng (100 * n) in
+      if traced then begin
+        Trace.clear tr;
+        ignore (HInt.query ~trace:tr h ~rng q)
+      end
+      else ignore (HInt.query h ~rng q)
+    done;
+    Network.total_messages net
+  in
+  checki "identical total messages" (run false) (run true)
+
+let suite =
+  [
+    Alcotest.test_case "pinned hop sequence" `Quick test_pinned_hop_sequence;
+    Alcotest.test_case "trace transparent batch" `Quick test_trace_transparent_batch;
+    QCheck_alcotest.to_alcotest qcheck_hierarchy_levels_sum;
+    QCheck_alcotest.to_alcotest qcheck_blocked_levels_sum;
+  ]

@@ -4,9 +4,11 @@ module Prng = Skipweb_util.Prng
 module Membership = Skipweb_util.Membership
 module Stats = Skipweb_util.Stats
 module Tables = Skipweb_util.Tables
+module Metrics = Skipweb_util.Metrics
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
 
 let test_prng_deterministic () =
   let a = Prng.create 42 and b = Prng.create 42 in
@@ -172,6 +174,86 @@ let test_stats_empty_raises () =
   Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
       ignore (Stats.mean []))
 
+(* Small-sample edge cases: one and two elements must give sensible
+   stddev and percentiles, not NaN or interpolation noise. *)
+let test_stats_single_element () =
+  let s = Stats.summarize [ 7.25 ] in
+  checkb "count" true (s.Stats.count = 1);
+  check Alcotest.(float 0.0) "mean" 7.25 s.Stats.mean;
+  check Alcotest.(float 0.0) "stddev" 0.0 s.Stats.stddev;
+  check Alcotest.(float 0.0) "p50 is the element exactly" 7.25 s.Stats.p50;
+  check Alcotest.(float 0.0) "p90 is the element exactly" 7.25 s.Stats.p90;
+  check Alcotest.(float 0.0) "p99 is the element exactly" 7.25 s.Stats.p99;
+  check Alcotest.(float 0.0) "min" 7.25 s.Stats.min;
+  check Alcotest.(float 0.0) "max" 7.25 s.Stats.max
+
+let test_stats_two_elements () =
+  let s = Stats.summarize [ 10.0; 2.0 ] in
+  check Alcotest.(float 1e-12) "mean" 6.0 s.Stats.mean;
+  (* Unbiased sample stddev of {2, 10}: sqrt(((−4)² + 4²)/1) *)
+  check Alcotest.(float 1e-12) "stddev" (sqrt 32.0) s.Stats.stddev;
+  check Alcotest.(float 1e-12) "p50 interpolates" 6.0 s.Stats.p50;
+  check Alcotest.(float 1e-12) "p90 interpolates" 9.2 s.Stats.p90;
+  check Alcotest.(float 0.0) "min" 2.0 s.Stats.min;
+  check Alcotest.(float 0.0) "max" 10.0 s.Stats.max
+
+let test_stats_percentile_boundary_exact () =
+  let a = [| 1.5; 2.5; 4.5 |] in
+  (* q = 1.0 and q = 0.0 return the extreme elements exactly — bitwise,
+     with no interpolation arithmetic. *)
+  checkb "p100 exact" true (Stats.percentile a 1.0 = 4.5);
+  checkb "p0 exact" true (Stats.percentile a 0.0 = 1.5);
+  (* Ranks landing exactly on an element skip interpolation too. *)
+  checkb "p50 exact on element" true (Stats.percentile a 0.5 = 2.5);
+  checkb "singleton every quantile" true (Stats.percentile [| 3.75 |] 0.37 = 3.75)
+
+(* ------- metrics registry ------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  checki "absent counter reads 0" 0 (Metrics.counter_value m "ops");
+  Metrics.incr m "ops";
+  Metrics.incr m ~by:4 "ops";
+  checki "accumulates" 5 (Metrics.counter_value m "ops");
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics: ops is a counter") (fun () ->
+      Metrics.observe m "ops" 1.0)
+
+let test_metrics_histograms () =
+  let m = Metrics.create () in
+  checkb "absent histogram" true (Metrics.histogram_summary m "lat" = None);
+  List.iter (Metrics.observe m "lat") [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  (match Metrics.histogram_summary m "lat" with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      checki "count" 5 s.Stats.count;
+      check Alcotest.(float 1e-9) "mean" 3.0 s.Stats.mean;
+      check Alcotest.(float 1e-9) "p50" 3.0 s.Stats.p50);
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics: lat is a histogram") (fun () ->
+      Metrics.incr m "lat")
+
+let test_metrics_export () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:7 "b.counter";
+  Metrics.observe_int m "a.hist" 3;
+  Metrics.observe_int m "a.hist" 5;
+  Alcotest.(check (list string)) "names sorted" [ "a.hist"; "b.counter" ] (Metrics.names m);
+  let json = Metrics.to_json m in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "json has counter" true (contains json "\"b.counter\": 7");
+  checkb "json has histogram count" true (contains json "\"count\": 2");
+  let csv = Metrics.to_csv m in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  checki "header + one row per entry" 3 (List.length lines);
+  checkb "csv header" true
+    (List.hd lines = "name,kind,value,count,mean,stddev,min,max,p50,p90,p99");
+  checkb "csv counter row" true (contains csv "b.counter,counter,7");
+  Metrics.clear m;
+  Alcotest.(check (list string)) "clear empties" [] (Metrics.names m)
+
 let series_of f = List.map (fun n -> (float_of_int n, f (float_of_int n))) [ 16; 64; 256; 1024; 4096; 16384 ]
 
 let test_fit_recognizes_log () =
@@ -255,6 +337,12 @@ let suite =
     Alcotest.test_case "stats summary" `Quick test_stats_summary;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats empty raises" `Quick test_stats_empty_raises;
+    Alcotest.test_case "stats single element" `Quick test_stats_single_element;
+    Alcotest.test_case "stats two elements" `Quick test_stats_two_elements;
+    Alcotest.test_case "stats percentile boundary exact" `Quick test_stats_percentile_boundary_exact;
+    Alcotest.test_case "metrics counters" `Quick test_metrics_counters;
+    Alcotest.test_case "metrics histograms" `Quick test_metrics_histograms;
+    Alcotest.test_case "metrics export" `Quick test_metrics_export;
     Alcotest.test_case "fit recognizes log" `Quick test_fit_recognizes_log;
     Alcotest.test_case "fit recognizes constant" `Quick test_fit_recognizes_constant;
     Alcotest.test_case "fit recognizes linear" `Quick test_fit_recognizes_linear;
