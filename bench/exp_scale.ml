@@ -2,22 +2,31 @@
 
    The message-count experiments treat the simulator as free; this one
    makes sure it actually is. We bulk-load a generic 1-d skip-web at
-   n in {1k, 10k, 100k} and then run a mixed churn workload (40% insert,
-   40% delete, 20% query) against it, timing both phases. With the
-   incremental id arena and delta-driven memory recharging the per-op
-   host-side cost is O(log n) hashtable work plus one O(n) array splice
-   at level 0, so churn throughput should degrade only mildly with n —
-   the seed implementation rebuilt O(n) state per update and was
-   quadratic end to end.
+   n in {1k, 10k, 100k, 1M} and then run a mixed churn workload (40%
+   insert, 40% delete, 20% query) against it, timing both phases. With
+   the incremental id arena, delta-driven memory recharging and the
+   chunked sorted sequences backing every level list, the per-op
+   host-side cost is O(log n) hashtable work plus an O(√n)-bounded chunk
+   memmove per level — the flat-array representation this replaced
+   copied the whole level-0 array on every update, and the seed
+   implementation before it rebuilt O(n) state per update.
 
-   Results are printed as a table and written to BENCH_scale.json so the
-   perf trajectory is machine-readable across PRs. *)
+   Bulk load goes through [Hierarchy.insert_batch] (which [build]
+   routes through): one registration pass, then one sorted sweep per
+   level instead of n independent locates.
+
+   Per-op wall-clock latency is recorded into a [Metrics] registry
+   (insert/remove/query in microseconds), so the JSON carries
+   p50/p90/p99 latency shapes alongside throughput. Results are printed
+   as a table and written to BENCH_scale.json so the perf trajectory is
+   machine-readable across PRs. *)
 
 module Network = Skipweb_net.Network
 module H = Skipweb_core.Hierarchy
 module I = Skipweb_core.Instances
 module W = Skipweb_workload.Workload
 module Prng = Skipweb_util.Prng
+module Metrics = Skipweb_util.Metrics
 module C = Bench_common
 
 module HInt = H.Make (I.Ints)
@@ -32,6 +41,7 @@ type row = {
   churn_messages : int;
   mean_update_msgs : float;
   final_size : int;
+  metrics : Metrics.t;  (* per-op latency histograms, microseconds *)
 }
 
 (* A swap-pop pool of the keys currently stored, for uniform delete
@@ -84,6 +94,15 @@ let measure ~seed ~n ~ops =
   let rng = Prng.create (seed + 0x5ca1e) in
   let messages = ref 0 in
   let updates = ref 0 in
+  let m = Metrics.create () in
+  let timed name f =
+    let s = now () in
+    let r = f () in
+    let us = 1e6 *. (now () -. s) in
+    Metrics.observe m name us;
+    Metrics.observe m "op_us" us;
+    r
+  in
   let t1 = now () in
   for i = 0 to ops - 1 do
     match i mod 5 with
@@ -94,17 +113,18 @@ let measure ~seed ~n ~ops =
           if Pool.mem pool k then fresh () else k
         in
         let k = fresh () in
-        messages := !messages + HInt.insert h k;
+        messages := !messages + timed "insert_us" (fun () -> HInt.insert h k);
         incr updates;
         Pool.add pool k
     | 1 | 3 -> (
         match Pool.remove_random pool rng with
         | Some k ->
-            messages := !messages + HInt.remove h k;
+            messages := !messages + timed "remove_us" (fun () -> HInt.remove h k);
             incr updates
         | None -> ())
     | _ ->
-        let _, stats = HInt.query h ~rng (Prng.int rng bound) in
+        let q = Prng.int rng bound in
+        let _, stats = timed "query_us" (fun () -> HInt.query h ~rng q) in
         messages := !messages + stats.HInt.messages
   done;
   let churn_s = now () -. t1 in
@@ -118,17 +138,26 @@ let measure ~seed ~n ~ops =
     mean_update_msgs =
       (if !updates = 0 then 0.0 else float_of_int !messages /. float_of_int !updates);
     final_size = HInt.size h;
+    metrics = m;
   }
 
 let json_of_rows rows =
+  let latency_json r =
+    let field name =
+      match Metrics.histogram_summary r.metrics name with
+      | Some s -> Some (Printf.sprintf "\"%s\": %s" name (Metrics.json_of_summary s))
+      | None -> None
+    in
+    String.concat ", " (List.filter_map field [ "insert_us"; "remove_us"; "query_us"; "op_us" ])
+  in
   let row_json r =
     Printf.sprintf
       "    {\"n\": %d, \"build_s\": %.6f, \"churn_ops\": %d, \"churn_s\": %.6f, \
        \"churn_ops_per_s\": %.1f, \"churn_messages\": %d, \"mean_update_msgs\": %.2f, \
-       \"final_size\": %d}"
+       \"final_size\": %d,\n     \"latency\": {%s}}"
       r.n r.build_s r.churn_ops r.churn_s
       (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s)
-      r.churn_messages r.mean_update_msgs r.final_size
+      r.churn_messages r.mean_update_msgs r.final_size (latency_json r)
   in
   Printf.sprintf
     "{\n  \"experiment\": \"scale\",\n  \"structure\": \"1-d generic skip-web (Hierarchy + \
@@ -138,7 +167,9 @@ let json_of_rows rows =
 
 let run (cfg : C.config) =
   C.section "Bulk load + churn wall-clock scaling (E15)";
-  let sizes = if cfg.C.quick then [ 1000; 10_000 ] else [ 1000; 10_000; 100_000 ] in
+  let sizes =
+    if cfg.C.quick then [ 1000; 10_000 ] else [ 1000; 10_000; 100_000; 1_000_000 ]
+  in
   let rows =
     List.map
       (fun n ->
@@ -148,10 +179,16 @@ let run (cfg : C.config) =
   in
   let tbl =
     Skipweb_util.Tables.create ~title:"host-side wall clock: bulk load + churn"
-      ~columns:[ "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs" ]
+      ~columns:
+        [ "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs"; "p50 (us)"; "p99 (us)" ]
   in
   List.iter
     (fun r ->
+      let pct f =
+        match Metrics.histogram_summary r.metrics "op_us" with
+        | Some s -> Printf.sprintf "%.0f" (f s)
+        | None -> "-"
+      in
       Skipweb_util.Tables.add_row tbl
         [
           string_of_int r.n;
@@ -160,6 +197,8 @@ let run (cfg : C.config) =
           Printf.sprintf "%.3f" r.churn_s;
           Printf.sprintf "%.0f" (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s);
           Printf.sprintf "%.1f" r.mean_update_msgs;
+          pct (fun s -> s.Skipweb_util.Stats.p50);
+          pct (fun s -> s.Skipweb_util.Stats.p99);
         ])
     rows;
   Skipweb_util.Tables.print tbl;

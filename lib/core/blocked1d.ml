@@ -3,6 +3,7 @@ module Trace = Skipweb_net.Trace
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
 module L = Skipweb_linklist.Linklist
+module O = Skipweb_util.Ordseq
 
 (* Membership bits are derived from the key itself, so an element keeps its
    level path across rebuilds. *)
@@ -12,7 +13,7 @@ type t = {
   m : int;  (* per-host memory target M *)
   stride : int;  (* L = ceil(log2 M): basic levels are multiples *)
   mutable bsize : int;  (* ranges per block at basic levels *)
-  mutable keys : int array;  (* the ground set, sorted *)
+  keys : O.t;  (* the ground set, chunked sorted sequence *)
   mutable top : int;  (* K = ceil(log2 n) *)
   sets : (int * int, int array) Hashtbl.t;  (* (level, prefix) -> sorted keys *)
   blocks : (int * int * int, Network.host) Hashtbl.t;  (* basic (level, prefix, block) -> owner *)
@@ -21,7 +22,7 @@ type t = {
   host_mem : (Network.host, int) Hashtbl.t;  (* what we charged, for rebuilds *)
 }
 
-let size t = Array.length t.keys
+let size t = O.length t.keys
 let levels t = t.top + 1
 let block_size t = t.bsize
 
@@ -53,23 +54,17 @@ let interval_span arr clo chi =
    contiguous is what makes cones intervals. *)
 let codes_touching arr (lo, hi) =
   let m = Array.length arr in
-  let lower_bound q =
-    let rec go a b = if a >= b then a else
-      let mid = (a + b) / 2 in
-      if arr.(mid) >= q then go a mid else go (mid + 1) b
-    in
-    go 0 m
+  let clo =
+    match lo with
+    | L.Neg_inf -> 0
+    | L.Key k -> 2 * O.array_lower_bound arr k
+    | L.Pos_inf -> 2 * m
   in
-  let upper_index q =
-    let rec go a b = if a >= b then a - 1 else
-      let mid = (a + b) / 2 in
-      if arr.(mid) <= q then go (mid + 1) b else go a mid
-    in
-    go 0 m
-  in
-  let clo = match lo with L.Neg_inf -> 0 | L.Key k -> 2 * lower_bound k | L.Pos_inf -> 2 * m in
   let chi =
-    match hi with L.Neg_inf -> 0 | L.Key k -> 2 * (upper_index k + 1) | L.Pos_inf -> 2 * m
+    match hi with
+    | L.Neg_inf -> 0
+    | L.Key k -> 2 * (O.array_upper_index arr k + 1)
+    | L.Pos_inf -> 2 * m
   in
   (clo, chi)
 
@@ -80,19 +75,27 @@ let rebuild t =
   Hashtbl.reset t.replicas;
   let n = size t in
   t.top <- required_top n;
-  (* Level sets along every element's membership path. *)
+  (* Level sets along every element's membership path. The ground set is
+     iterated in key order, so each bucket fills already sorted — no
+     per-bucket re-sort. *)
   for level = 0 to t.top do
     let buckets = Hashtbl.create 64 in
-    Array.iter
+    O.iter
       (fun k ->
         let b = prefix t k level in
-        Hashtbl.replace buckets b (k :: (try Hashtbl.find buckets b with Not_found -> [])))
+        match Hashtbl.find_opt buckets b with
+        | Some (arr, len) ->
+            if !len = Array.length !arr then begin
+              let bigger = Array.make (2 * !len) 0 in
+              Array.blit !arr 0 bigger 0 !len;
+              arr := bigger
+            end;
+            !arr.(!len) <- k;
+            incr len
+        | None -> Hashtbl.replace buckets b (ref (Array.make 8 k), ref 1))
       t.keys;
     Hashtbl.iter
-      (fun b ks ->
-        let arr = Array.of_list ks in
-        Array.sort compare arr;
-        Hashtbl.replace t.sets (level, b) arr)
+      (fun b (arr, len) -> Hashtbl.replace t.sets (level, b) (Array.sub !arr 0 !len))
       buckets
   done;
   (* Size blocks so there is about one block per host (each block drags an
@@ -171,7 +174,7 @@ let build ~net ~seed ~m keys =
       m;
       stride;
       bsize = max 2 (m / 4);  (* refined by rebuild *)
-      keys = xs;
+      keys = O.of_sorted_array xs;
       top = 0;
       sets = Hashtbl.create 64;
       blocks = Hashtbl.create 64;
@@ -255,34 +258,28 @@ let query_from ?trace t origin q =
     end
   in
   descend t.top;
-  let predecessor = L.predecessor t.keys q in
-  let successor = L.successor t.keys q in
-  { predecessor; successor; nearest = L.nearest t.keys q; messages = Network.messages session }
+  let predecessor = O.predecessor t.keys q in
+  let successor = O.successor t.keys q in
+  { predecessor; successor; nearest = O.nearest t.keys q; messages = Network.messages session }
 
 let query ?trace t ~rng q =
   if size t = 0 then { predecessor = None; successor = None; nearest = None; messages = 0 }
-  else query_from ?trace t t.keys.(Prng.int rng (size t)) q
+  else query_from ?trace t (O.get t.keys (Prng.int rng (size t))) q
 
-let mem t k =
-  let rec go lo hi =
-    if lo >= hi then false
-    else
-      let mid = (lo + hi) / 2 in
-      if t.keys.(mid) = k then true else if t.keys.(mid) < k then go (mid + 1) hi else go lo mid
-  in
-  go 0 (size t)
+let mem t k = O.mem t.keys k
 
 (* Updates: the message bill is a locate plus O(1) messages per basic
    level (§4 — non-basic copies live in the cones already co-located with
-   basic blocks; block splits amortize). The in-memory representation is
-   rebuilt, which the cost model does not meter. *)
+   basic blocks; block splits amortize). The ground-set splice is an
+   O(√n) chunk update; the block/cone maps are then rebuilt, which the
+   cost model does not meter. *)
 let update_cost t locate_messages = locate_messages + (2 * List.length (basic_levels t))
 
 let insert t k =
   if mem t k then 0
   else begin
     let locate_msgs = if size t = 0 then 0 else (query t ~rng:(Prng.create (k + 13)) k).messages in
-    t.keys <- Array.of_list (List.sort compare (k :: Array.to_list t.keys));
+    ignore (O.insert t.keys k);
     rebuild t;
     update_cost t locate_msgs
   end
@@ -291,7 +288,7 @@ let delete t k =
   if not (mem t k) then 0
   else begin
     let locate_msgs = (query t ~rng:(Prng.create (k + 17)) k).messages in
-    t.keys <- Array.of_list (List.filter (fun x -> x <> k) (Array.to_list t.keys));
+    ignore (O.remove t.keys k);
     rebuild t;
     update_cost t locate_msgs
   end
@@ -324,10 +321,10 @@ let check_invariants t =
   (* Conflict-chain soundness: on every level, the range containing a probe
      key conflicts with the range containing it one level up. *)
   if n > 0 then begin
-    let probes = [ t.keys.(0) - 1; t.keys.(n / 2); t.keys.(n - 1) + 1 ] in
+    let probes = [ O.get t.keys 0 - 1; O.get t.keys (n / 2); O.get t.keys (n - 1) + 1 ] in
     List.iter
       (fun q ->
-        let origin = t.keys.(n / 2) in
+        let origin = O.get t.keys (n / 2) in
         let rec walk level =
           if level > 0 then begin
             let b = prefix t origin level in
@@ -366,5 +363,5 @@ let range t ~rng ~lo ~hi =
       | _ :: _ | [] -> ());
       incr c
     done;
-    { keys = L.range_keys t.keys ~lo ~hi; messages = locate.messages + !crossings }
+    { keys = O.range_keys t.keys ~lo ~hi; messages = locate.messages + !crossings }
   end

@@ -143,6 +143,69 @@ module Make (S : Range_structure.S) = struct
         charge_fresh t level b (S.range_ids s))
       buckets
 
+  (* Register a fresh key: allocate its id and index it. Ids are handed out
+     in presentation order, and the id fixes the element's membership
+     vector — every entry point (build, insert, insert_batch) must agree on
+     this order for a bulk load to be indistinguishable from the same keys
+     arriving one at a time. *)
+  let register t k =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.key_ids k id;
+    Hashtbl.replace t.id_keys id k;
+    arena_add t id;
+    id
+
+  let grow_top t =
+    let wanted = required_top (size t) in
+    while t.top < wanted do
+      let level = t.top + 1 in
+      build_level t level;
+      t.top <- level
+    done
+
+  (* Bulk insertion: register the whole batch, then stream it through the
+     hierarchy level by level in sorted key order, so each level structure
+     absorbs its keys in one ascending sweep instead of [batch] independent
+     random-rank updates. A batch landing in an empty hierarchy takes the
+     bucketed [build_level] path outright. Pure host-side work — no query
+     routing, hence no messages; returns the number of keys actually
+     inserted. *)
+  let insert_batch t keys =
+    let was_empty = size t = 0 in
+    let fresh = ref [] in
+    Array.iter
+      (fun k -> if not (Hashtbl.mem t.key_ids k) then fresh := (k, register t k) :: !fresh)
+      keys;
+    let fresh = Array.of_list (List.rev !fresh) in
+    let count = Array.length fresh in
+    if count = 0 then 0
+    else if was_empty then begin
+      t.top <- required_top (size t);
+      for level = 0 to t.top do
+        build_level t level
+      done;
+      count
+    end
+    else begin
+      Array.sort (fun (a, _) (b, _) -> compare a b) fresh;
+      for level = 0 to t.top do
+        Array.iter
+          (fun (k, id) ->
+            let b = prefix t id level in
+            Hashtbl.replace (member_table t level b) id ();
+            match Hashtbl.find_opt t.structures (set_key level b) with
+            | Some s -> apply_delta t level b (S.insert s k)
+            | None ->
+                let s = S.build [| k |] in
+                Hashtbl.replace t.structures (set_key level b) s;
+                charge_fresh t level b (S.range_ids s))
+          fresh
+      done;
+      grow_top t;
+      count
+    end
+
   let build ~net ~seed ?(p = 0.5) keys =
     let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
     let t =
@@ -162,20 +225,7 @@ module Make (S : Range_structure.S) = struct
         next_id = 0;
       }
     in
-    Array.iter
-      (fun k ->
-        if not (Hashtbl.mem t.key_ids k) then begin
-          let id = t.next_id in
-          t.next_id <- id + 1;
-          Hashtbl.replace t.key_ids k id;
-          Hashtbl.replace t.id_keys id k;
-          arena_add t id
-        end)
-      keys;
-    t.top <- required_top (size t);
-    for level = 0 to t.top do
-      build_level t level
-    done;
+    ignore (insert_batch t keys);
     t
 
   let level_set_sizes t level =
@@ -258,14 +308,6 @@ module Make (S : Range_structure.S) = struct
     if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
     query_from ?trace t (sample_id t rng) q
 
-  let grow_top t =
-    let wanted = required_top (size t) in
-    while t.top < wanted do
-      let level = t.top + 1 in
-      build_level t level;
-      t.top <- level
-    done
-
   (* The counterpart of [grow_top]: after deletions the required number of
      levels shrinks, so dead levels must be dropped — otherwise the
      hierarchy pays their linking messages and per-host memory forever. *)
@@ -299,11 +341,7 @@ module Make (S : Range_structure.S) = struct
           let _, stats = query_from t (sample_id t rng) (S.probe k) in
           stats.messages
       in
-      let id = t.next_id in
-      t.next_id <- id + 1;
-      Hashtbl.replace t.key_ids k id;
-      Hashtbl.replace t.id_keys id k;
-      arena_add t id;
+      let id = register t k in
       for level = 0 to t.top do
         let b = prefix t id level in
         Hashtbl.replace (member_table t level b) id ();
@@ -346,6 +384,51 @@ module Make (S : Range_structure.S) = struct
         let cost = locate_cost + (2 * (t.top + 1)) in
         shrink_top t;
         cost
+
+  (* Bulk deletion, the mirror of [insert_batch]: one sorted sweep per
+     level, dropping a level set's structure outright once the batch has
+     emptied its member set. Host-side only; returns the number of keys
+     actually removed. *)
+  let remove_batch t keys =
+    let victims = ref [] in
+    let seen = Hashtbl.create (max 16 (Array.length keys)) in
+    Array.iter
+      (fun k ->
+        match Hashtbl.find_opt t.key_ids k with
+        | Some id when not (Hashtbl.mem seen id) ->
+            Hashtbl.replace seen id ();
+            victims := (k, id) :: !victims
+        | Some _ | None -> ())
+      keys;
+    let victims = Array.of_list (List.rev !victims) in
+    let count = Array.length victims in
+    if count = 0 then 0
+    else begin
+      Array.sort (fun (a, _) (b, _) -> compare a b) victims;
+      for level = 0 to t.top do
+        Array.iter
+          (fun (k, id) ->
+            let b = prefix t id level in
+            Hashtbl.remove (member_table t level b) id;
+            match Hashtbl.find_opt t.structures (set_key level b) with
+            | Some s ->
+                if Hashtbl.length (member_table t level b) = 0 then begin
+                  Hashtbl.remove t.structures (set_key level b);
+                  uncharge_set t level b
+                end
+                else apply_delta t level b (S.remove s k)
+            | None -> failwith "Hierarchy.remove_batch: missing structure")
+          victims
+      done;
+      Array.iter
+        (fun (k, id) ->
+          Hashtbl.remove t.key_ids k;
+          Hashtbl.remove t.id_keys id;
+          arena_remove t id)
+        victims;
+      shrink_top t;
+      count
+    end
 
   let mean_refinement_work t ~queries ~rng =
     let total = ref 0 and count = ref 0 in

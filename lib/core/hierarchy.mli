@@ -64,6 +64,25 @@ module Make (S : Range_structure.S) : sig
       deletions lower ⌈log₂ n⌉, so a heavily shrunk set does not keep
       paying linking messages and memory for dead levels. *)
 
+  val insert_batch : t -> S.key array -> int
+  (** Bulk insertion: registers the whole batch (duplicates and
+      already-present keys skipped, ids assigned in presentation order —
+      so a bulk load is indistinguishable from the same keys arriving one
+      at a time), then streams it through the hierarchy one level at a
+      time in sorted key order, so each level structure absorbs its keys
+      in a single ascending sweep instead of [batch] independent
+      random-rank updates. A batch landing in an empty hierarchy takes
+      the bucketed build path. [build] routes through this. Host-side
+      bulk-load work only — no query routing, so unlike {!insert} the
+      return value is the number of keys actually inserted, not a message
+      cost. Memory charges are maintained exactly as for {!insert}. *)
+
+  val remove_batch : t -> S.key array -> int
+  (** Bulk deletion, the mirror of {!insert_batch}: one sorted sweep per
+      level, dropping a level set's structure outright once the batch has
+      emptied it, then one hierarchy shrink at the end. Returns the number
+      of keys actually removed (absent keys and duplicates are skipped). *)
+
   val mean_refinement_work : t -> queries:S.query array -> rng:Skipweb_util.Prng.t -> float
   (** Average ranges visited per level over a query batch — the empirical
       set-halving constant (E12's inner measurement). *)

@@ -12,6 +12,7 @@
 module Point = Skipweb_geom.Point
 module Segment = Skipweb_geom.Segment
 module L = Skipweb_linklist.Linklist
+module O = Skipweb_util.Ordseq
 module Cqtree = Skipweb_quadtree.Cqtree
 module Ctrie = Skipweb_trie.Ctrie
 module Trapmap = Skipweb_trapmap.Trapmap
@@ -26,7 +27,12 @@ module Ints :
   type query = int
   type answer = int option
 
-  type t = { mutable xs : int array }
+  (* Chunked sorted sequence: O(log n) rank/search, O(√n)-bounded memmove
+     per update — the flat array this replaced copied all n keys on every
+     insert/remove. Range codes are derived from ranks, so they are
+     bitwise the codes the array representation produced and the message
+     model cannot tell the difference. *)
+  type t = { xs : O.t }
 
   type loc = L.range
 
@@ -37,52 +43,31 @@ module Ints :
   let name = "sorted-list"
   let visit_label = "list-walk"
 
-  let build keys =
-    let xs = Array.copy keys in
-    Array.sort compare xs;
-    let dedup = Array.of_list (List.sort_uniq compare (Array.to_list xs)) in
-    { xs = dedup }
+  let build keys = { xs = O.of_array keys }
 
-  let size t = Array.length t.xs
-  let storage_units t = L.num_ranges t.xs
-  let range_ids t = List.init (L.num_ranges t.xs) Fun.id
+  let size t = O.length t.xs
+  let storage_units t = (2 * O.length t.xs) + 1
+  let range_ids t = List.init ((2 * O.length t.xs) + 1) Fun.id
 
-  (* Index of the first element >= k. *)
-  let lower_bound xs k =
-    let rec go a b =
-      if a >= b then a
-      else
-        let mid = (a + b) / 2 in
-        if xs.(mid) < k then go (mid + 1) b else go a mid
-    in
-    go 0 (Array.length xs)
+  (* The maximal range containing q, by rank: Node at q's index when
+     stored, else the link between its neighbors. *)
+  let locate_range t q =
+    let i = O.lower_bound t.xs q in
+    if i < O.length t.xs && O.get t.xs i = q then L.Node i else L.Link i
 
   (* Range ids are the dense codes 0 .. 2m for m keys, so growing or
      shrinking the set by one key adds or drops exactly the top two
      codes — the O(1) delta the hierarchy charges incrementally. *)
   let insert t k =
-    let n = Array.length t.xs in
-    let p = lower_bound t.xs k in
-    if p < n && t.xs.(p) = k then Range_structure.empty_delta
-    else begin
-      let out = Array.make (n + 1) k in
-      Array.blit t.xs 0 out 0 p;
-      Array.blit t.xs p out (p + 1) (n - p);
-      t.xs <- out;
+    let n = O.length t.xs in
+    if O.insert t.xs k then
       { Range_structure.added = [ (2 * n) + 1; (2 * n) + 2 ]; removed = [] }
-    end
+    else Range_structure.empty_delta
 
   let remove t k =
-    let n = Array.length t.xs in
-    let p = lower_bound t.xs k in
-    if p >= n || t.xs.(p) <> k then Range_structure.empty_delta
-    else begin
-      let out = Array.make (n - 1) 0 in
-      Array.blit t.xs 0 out 0 p;
-      Array.blit t.xs (p + 1) out p (n - 1 - p);
-      t.xs <- out;
-      { Range_structure.added = []; removed = [ (2 * n) - 1; 2 * n ] }
-    end
+    let n = O.length t.xs in
+    if O.remove t.xs k then { Range_structure.added = []; removed = [ (2 * n) - 1; 2 * n ] }
+    else Range_structure.empty_delta
 
   let probe k = k
 
@@ -91,7 +76,7 @@ module Ints :
      where sets are O(1) in expectation (it is exactly why skewing the
      halving probability hurts: top sets grow, and so does this walk). *)
   let locate t q =
-    let r = L.locate t.xs q in
+    let r = locate_range t q in
     let code = L.encode r in
     (r, List.init ((code / 2) + 1) (fun i -> 2 * i) @ [ code ])
 
@@ -100,12 +85,29 @@ module Ints :
      containing one. *)
   let refine t ~from q =
     ignore from;
-    let r = L.locate t.xs q in
+    let r = locate_range t q in
     (r, [ L.encode r ])
 
-  let describe t loc = L.span t.xs loc
+  let describe t loc =
+    let n = O.length t.xs in
+    match loc with
+    | L.Node i -> (L.Key (O.get t.xs i), L.Key (O.get t.xs i))
+    | L.Link i ->
+        let lo = if i = 0 then L.Neg_inf else L.Key (O.get t.xs (i - 1)) in
+        let hi = if i = n then L.Pos_inf else L.Key (O.get t.xs i) in
+        (lo, hi)
 
-  let answer t loc q = L.nearest_in_range t.xs loc q
+  let answer t loc q =
+    match loc with
+    | L.Node i -> Some (O.get t.xs i)
+    | L.Link i ->
+        let n = O.length t.xs in
+        if n = 0 then None
+        else if i = 0 then Some (O.get t.xs 0)
+        else if i = n then Some (O.get t.xs (n - 1))
+        else
+          let p = O.get t.xs (i - 1) and s = O.get t.xs i in
+          if q - p <= s - q then Some p else Some s
 end
 
 (** Point location answer for quadtree/octree skip-webs. *)

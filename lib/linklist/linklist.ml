@@ -30,28 +30,12 @@ let contains a r q =
   let lo, hi = span a r in
   bound_le_key lo q && key_le_bound q hi
 
-(* First index with a.(i) >= q, or m. *)
-let lower_bound a q =
-  let m = Array.length a in
-  let rec go lo hi =
-    if lo >= hi then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if a.(mid) >= q then go lo mid else go (mid + 1) hi
-  in
-  go 0 m
+(* First index with a.(i) >= q, or m; last index with a.(i) <= q, or -1.
+   The one shared binary-search implementation lives with the chunked
+   container. *)
+let lower_bound a q = Skipweb_util.Ordseq.array_lower_bound a q
 
-(* Last index with a.(i) <= q, or -1. *)
-let upper_index a q =
-  let m = Array.length a in
-  let rec go lo hi =
-    (* invariant: a.(lo-1) <= q (or lo=0), a.(hi) > q (or hi=m) *)
-    if lo >= hi then lo - 1
-    else
-      let mid = (lo + hi) / 2 in
-      if a.(mid) <= q then go (mid + 1) hi else go lo mid
-  in
-  go 0 m
+let upper_index a q = Skipweb_util.Ordseq.array_upper_index a q
 
 let locate a q =
   let i = lower_bound a q in

@@ -1,27 +1,37 @@
 module Network = Skipweb_net.Network
+module O = Skipweb_util.Ordseq
 
 (* Element ids double as hosts; id 0 is reserved for the -infinity header
-   sentinel, which participates in every level. *)
+   sentinel, which participates in every level.
+
+   Keys sit in a chunked sorted sequence; the per-position heights and
+   ids in its positional companion. A splice is then an O(√n) chunk
+   memmove instead of three O(n) array copies; promotions and demotions
+   are point writes. Positional reads cost a Fenwick descent, which the
+   short 1-2-3 gaps keep cheap. *)
 type t = {
   net : Network.t;
-  mutable xs : int array;  (* keys, ascending *)
-  mutable hs : int array;  (* heights >= 1 *)
-  mutable ids : int array;
+  xs : O.t;  (* keys, ascending *)
+  hs : O.Vec.t;  (* heights >= 1, by position *)
+  ids : O.Vec.t;  (* host ids, by position *)
   mutable next_id : int;
   charged : (int, int) Hashtbl.t;
 }
 
 let header_host = 0
 
-let size t = Array.length t.xs
+let size t = O.length t.xs
 
-let height t = Array.fold_left max 1 t.hs
+let height t =
+  let h = ref 1 in
+  O.Vec.iter (fun x -> if x > !h then h := x) t.hs;
+  !h
 
 let memory_units h = 2 + (2 * h)
 
 let recharge_one t i =
-  let id = t.ids.(i) in
-  let want = memory_units t.hs.(i) in
+  let id = O.Vec.get t.ids i in
+  let want = memory_units (O.Vec.get t.hs i) in
   let have = try Hashtbl.find t.charged id with Not_found -> 0 in
   if want <> have then begin
     Network.charge_memory t.net id (want - have);
@@ -54,9 +64,9 @@ let create ~net ~keys =
   let t =
     {
       net;
-      xs;
-      hs = assign_heights n;
-      ids = Array.init n (fun i -> i + 1);
+      xs = O.of_sorted_array xs;
+      hs = O.Vec.of_array (assign_heights n);
+      ids = O.Vec.of_array (Array.init n (fun i -> i + 1));
       next_id = n + 1;
       charged = Hashtbl.create (2 * n);
     }
@@ -72,7 +82,7 @@ let create ~net ~keys =
    (i = -1 means the header). *)
 let next_at t i h =
   let n = size t in
-  let rec go j = if j >= n then None else if t.hs.(j) >= h then Some j else go (j + 1) in
+  let rec go j = if j >= n then None else if O.Vec.get t.hs j >= h then Some j else go (j + 1) in
   go (i + 1)
 
 type search_result = {
@@ -92,9 +102,9 @@ let descend t session q ~stop_level =
     let continue = ref true in
     while !continue do
       match next_at t !cur !h with
-      | Some j when t.xs.(j) <= q ->
+      | Some j when O.get t.xs j <= q ->
           cur := j;
-          Network.goto session t.ids.(j)
+          Network.goto session (O.Vec.get t.ids j)
       | Some _ | None -> continue := false
     done;
     decr h
@@ -106,10 +116,10 @@ let search t ~from q =
   else begin
     let session = Network.start t.net from in
     let pos = descend t session q ~stop_level:1 in
-    let predecessor = if pos >= 0 then Some t.xs.(pos) else None in
+    let predecessor = if pos >= 0 then Some (O.get t.xs pos) else None in
     let successor =
-      if pos >= 0 && t.xs.(pos) = q then Some q
-      else if pos + 1 < size t then Some t.xs.(pos + 1)
+      if pos >= 0 && O.get t.xs pos = q then Some q
+      else if pos + 1 < size t then Some (O.get t.xs (pos + 1))
       else None
     in
     let nearest =
@@ -126,45 +136,31 @@ let search t ~from q =
    position [p]: the boundaries of p's gap in the level-h list. *)
 let gap_bounds t p h =
   let n = size t in
-  let rec left j = if j < 0 then -1 else if t.hs.(j) > h then j else left (j - 1) in
-  let rec right j = if j >= n then n else if t.hs.(j) > h then j else right (j + 1) in
+  let rec left j = if j < 0 then -1 else if O.Vec.get t.hs j > h then j else left (j - 1) in
+  let rec right j = if j >= n then n else if O.Vec.get t.hs j > h then j else right (j + 1) in
   (left (p - 1), right (p + 1))
 
 let gap_members t l r h =
   let acc = ref [] in
   for j = r - 1 downto l + 1 do
-    if t.hs.(j) >= h then acc := j :: !acc
+    if O.Vec.get t.hs j >= h then acc := j :: !acc
   done;
   !acc
 
 let insert t k =
   if t.next_id >= Network.host_count t.net then invalid_arg "Det_skipnet.insert: no spare host";
   let n = size t in
-  let rec find lo hi = if lo >= hi then lo else
-    let mid = (lo + hi) / 2 in
-    if t.xs.(mid) < k then find (mid + 1) hi else find lo mid
-  in
-  let pos = find 0 n in
-  if pos < n && t.xs.(pos) = k then invalid_arg "Det_skipnet.insert: duplicate key";
+  let pos = O.lower_bound t.xs k in
+  if pos < n && O.get t.xs pos = k then invalid_arg "Det_skipnet.insert: duplicate key";
   (* Locate: a full search paid by the inserting host. *)
   let session = Network.start t.net header_host in
   let _ = descend t session k ~stop_level:1 in
   let locate_cost = Network.messages session in
   (* Splice in at height 1. *)
-  let xs = Array.make (n + 1) 0 and hs = Array.make (n + 1) 1 and ids = Array.make (n + 1) 0 in
-  Array.blit t.xs 0 xs 0 pos;
-  Array.blit t.hs 0 hs 0 pos;
-  Array.blit t.ids 0 ids 0 pos;
-  xs.(pos) <- k;
-  hs.(pos) <- 1;
-  ids.(pos) <- t.next_id;
+  ignore (O.insert t.xs k);
+  O.Vec.insert_at t.hs pos 1;
+  O.Vec.insert_at t.ids pos t.next_id;
   t.next_id <- t.next_id + 1;
-  Array.blit t.xs pos xs (pos + 1) (n - pos);
-  Array.blit t.hs pos hs (pos + 1) (n - pos);
-  Array.blit t.ids pos ids (pos + 1) (n - pos);
-  t.xs <- xs;
-  t.hs <- hs;
-  t.ids <- ids;
   recharge_one t pos;
   (* Linking at level 1. *)
   let msgs = ref (locate_cost + 2) in
@@ -176,11 +172,11 @@ let insert t k =
     let members = gap_members t l r h in
     if List.length members >= 4 then begin
       let promoted = List.nth members (List.length members / 2) in
-      t.hs.(promoted) <- h + 1;
+      O.Vec.set t.hs promoted (h + 1);
       recharge_one t promoted;
       (* Partial search to level h+1 to find the gap, then scan and link. *)
       let s = Network.start t.net header_host in
-      let _ = descend t s t.xs.(promoted) ~stop_level:(min (height t) (h + 1)) in
+      let _ = descend t s (O.get t.xs promoted) ~stop_level:(min (height t) (h + 1)) in
       msgs := !msgs + Network.messages s + List.length members + 2;
       fixup promoted (h + 1)
     end
@@ -204,46 +200,36 @@ let insert t k =
    the top, as in insertion. *)
 let delete t k =
   let n = size t in
-  let rec find lo hi = if lo >= hi then lo else
-    let mid = (lo + hi) / 2 in
-    if t.xs.(mid) < k then find (mid + 1) hi else find lo mid
-  in
-  let pos = find 0 n in
-  if pos >= n || t.xs.(pos) <> k then invalid_arg "Det_skipnet.delete: absent key";
+  let pos = O.lower_bound t.xs k in
+  if pos >= n || O.get t.xs pos <> k then invalid_arg "Det_skipnet.delete: absent key";
   let session = Network.start t.net header_host in
   let _ = descend t session k ~stop_level:1 in
   let msgs = ref (Network.messages session) in
-  let h0 = t.hs.(pos) in
+  let h0 = O.Vec.get t.hs pos in
   (* Unlink at each of its levels. *)
   msgs := !msgs + (2 * h0);
-  (match Hashtbl.find_opt t.charged t.ids.(pos) with
+  let victim_id = O.Vec.get t.ids pos in
+  (match Hashtbl.find_opt t.charged victim_id with
   | Some units ->
-      Network.charge_memory t.net t.ids.(pos) (-units);
-      Hashtbl.remove t.charged t.ids.(pos)
+      Network.charge_memory t.net victim_id (-units);
+      Hashtbl.remove t.charged victim_id
   | None -> ());
-  let xs = Array.make (n - 1) 0 and hs = Array.make (n - 1) 0 and ids = Array.make (n - 1) 0 in
-  Array.blit t.xs 0 xs 0 pos;
-  Array.blit t.hs 0 hs 0 pos;
-  Array.blit t.ids 0 ids 0 pos;
-  Array.blit t.xs (pos + 1) xs pos (n - pos - 1);
-  Array.blit t.hs (pos + 1) hs pos (n - pos - 1);
-  Array.blit t.ids (pos + 1) ids pos (n - pos - 1);
-  t.xs <- xs;
-  t.hs <- hs;
-  t.ids <- ids;
+  ignore (O.remove t.xs k);
+  ignore (O.Vec.remove_at t.hs pos);
+  ignore (O.Vec.remove_at t.ids pos);
   let nn = size t in
   let left_boundary around h =
-    let rec go j = if j < 0 then -1 else if t.hs.(j) > h then j else go (j - 1) in
+    let rec go j = if j < 0 then -1 else if O.Vec.get t.hs j > h then j else go (j - 1) in
     go (min (nn - 1) (around - 1))
   in
   let right_boundary around h =
-    let rec go j = if j >= nn then nn else if t.hs.(j) > h then j else go (j + 1) in
+    let rec go j = if j >= nn then nn else if O.Vec.get t.hs j > h then j else go (j + 1) in
     go (max 0 around)
   in
   let members_between l r h =
     let acc = ref [] in
     for j = min (nn - 1) (r - 1) downto max 0 (l + 1) do
-      if t.hs.(j) = h then acc := j :: !acc
+      if O.Vec.get t.hs j = h then acc := j :: !acc
     done;
     !acc
   in
@@ -259,9 +245,10 @@ let delete t k =
       let members = members_between l r h in
       if List.length members >= 4 then begin
         let promoted = List.nth members (List.length members / 2) in
-        t.hs.(promoted) <- h + 1;
+        O.Vec.set t.hs promoted (h + 1);
         recharge_one t promoted;
-        msgs := !msgs + partial_search_cost t.xs.(promoted) (h + 1) + List.length members + 2;
+        msgs :=
+          !msgs + partial_search_cost (O.get t.xs promoted) (h + 1) + List.length members + 2;
         fix_overflow promoted (h + 1)
       end
     end
@@ -275,36 +262,36 @@ let delete t k =
       let l = left_boundary around h and r = right_boundary around h in
       let interior = l >= 0 && r < nn in
       if interior && members_between l r h = [] then begin
-        if t.hs.(r) = h + 1 then begin
+        if O.Vec.get t.hs r = h + 1 then begin
           let r2 = right_boundary (r + 1) h in
           (match members_between r r2 h with
           | m :: _ :: _ ->
               (* Borrow through r: r drops into our gap, m replaces it. *)
-              t.hs.(r) <- h;
-              t.hs.(m) <- h + 1;
+              O.Vec.set t.hs r h;
+              O.Vec.set t.hs m (h + 1);
               recharge_one t r;
               recharge_one t m;
-              msgs := !msgs + partial_search_cost t.xs.(r) (h + 1) + 4
+              msgs := !msgs + partial_search_cost (O.get t.xs r) (h + 1) + 4
           | _ ->
               (* Merge: r drops into our gap; its parent gap lost a key. *)
-              t.hs.(r) <- h;
+              O.Vec.set t.hs r h;
               recharge_one t r;
-              msgs := !msgs + partial_search_cost t.xs.(r) (h + 1) + 4;
+              msgs := !msgs + partial_search_cost (O.get t.xs r) (h + 1) + 4;
               repair r (h + 1))
         end
-        else if l >= 0 && t.hs.(l) = h + 1 then begin
+        else if l >= 0 && O.Vec.get t.hs l = h + 1 then begin
           let l2 = left_boundary l h in
           match List.rev (members_between l2 l h) with
           | m :: _ :: _ ->
-              t.hs.(l) <- h;
-              t.hs.(m) <- h + 1;
+              O.Vec.set t.hs l h;
+              O.Vec.set t.hs m (h + 1);
               recharge_one t l;
               recharge_one t m;
-              msgs := !msgs + partial_search_cost t.xs.(l) (h + 1) + 4
+              msgs := !msgs + partial_search_cost (O.get t.xs l) (h + 1) + 4
           | _ ->
-              t.hs.(l) <- h;
+              O.Vec.set t.hs l h;
               recharge_one t l;
-              msgs := !msgs + partial_search_cost t.xs.(l) (h + 1) + 4;
+              msgs := !msgs + partial_search_cost (O.get t.xs l) (h + 1) + 4;
               repair l (h + 1)
         end
         else
@@ -317,14 +304,17 @@ let delete t k =
   if nn > 0 then repair pos h0;
   !msgs
 
-let memory_per_host t = List.init (size t) (fun i -> Network.memory t.net t.ids.(i))
+let memory_per_host t = List.init (size t) (fun i -> Network.memory t.net (O.Vec.get t.ids i))
 
 let check_invariants t =
   let n = size t in
-  for i = 1 to n - 1 do
-    if t.xs.(i - 1) >= t.xs.(i) then failwith "Det_skipnet: keys not sorted"
-  done;
-  Array.iter (fun h -> if h < 1 then failwith "Det_skipnet: height < 1") t.hs;
+  O.check t.xs;
+  O.Vec.check t.hs;
+  O.Vec.check t.ids;
+  if O.Vec.length t.hs <> n || O.Vec.length t.ids <> n then
+    failwith "Det_skipnet: parallel sequences out of step";
+  let hs = O.Vec.to_array t.hs in
+  Array.iter (fun h -> if h < 1 then failwith "Det_skipnet: height < 1") hs;
   let top = height t in
   for h = 1 to top - 1 do
     (* Walk the level-h list and measure gaps between level-(h+1) members;
@@ -336,12 +326,12 @@ let check_invariants t =
       if interior && !gap < 1 then failwith (Printf.sprintf "Det_skipnet: empty interior gap at level %d" h)
     in
     for j = 0 to n - 1 do
-      if t.hs.(j) > h then begin
+      if hs.(j) > h then begin
         check_gap ~interior:!seen_boundary;
         seen_boundary := true;
         gap := 0
       end
-      else if t.hs.(j) = h then incr gap
+      else if hs.(j) = h then incr gap
     done;
     check_gap ~interior:false
   done

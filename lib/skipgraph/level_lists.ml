@@ -1,10 +1,15 @@
 module Membership = Skipweb_util.Membership
-module L = Skipweb_linklist.Linklist
+module O = Skipweb_util.Ordseq
 
+(* Keys live in a chunked sorted sequence and the parallel per-position
+   ids in its positional companion, so a splice memmoves one O(√n) chunk
+   instead of copying both O(n) arrays. The height/neighbor caches are
+   still array snapshots rebuilt on demand (they are whole-structure
+   sweeps either way). *)
 type t = {
   vecs : Membership.t;
-  mutable xs : int array;  (* keys, ascending *)
-  mutable ids : int array;  (* parallel stable ids *)
+  xs : O.t;  (* keys, ascending *)
+  ids : O.Vec.t;  (* parallel stable ids, by position *)
   mutable next_id : int;
   mutable heights : int array option;  (* cache: top participating level per position *)
   mutable tables : (int array * int array) array option;
@@ -20,26 +25,27 @@ let create ~seed ~keys =
   let n = Array.length xs in
   {
     vecs = Membership.create ~seed;
-    xs;
-    ids = Array.init n (fun i -> i);
+    xs = O.of_sorted_array xs;
+    ids = O.Vec.of_array (Array.init n Fun.id);
     next_id = n;
     heights = None;
     tables = None;
   }
 
-let size t = Array.length t.xs
-let key t i = t.xs.(i)
-let id t i = t.ids.(i)
-let keys t = Array.copy t.xs
+let size t = O.length t.xs
+let key t i = O.get t.xs i
+let id t i = O.Vec.get t.ids i
+let keys t = O.to_array t.xs
 let vectors t = t.vecs
 
-let common_prefix t i j = Membership.common_prefix t.vecs t.ids.(i) t.ids.(j)
+let common_prefix t i j = Membership.common_prefix t.vecs (id t i) (id t j)
 
 (* An element participates with neighbors at level L iff its L-bit prefix
    group still has at least two members; its top level is the deepest such
    L. Computed for all positions by recursive group splitting. *)
 let compute_heights t =
   let n = size t in
+  let ids = O.Vec.to_array t.ids in
   let h = Array.make n 0 in
   let rec split level members =
     match members with
@@ -48,7 +54,7 @@ let compute_heights t =
         List.iter (fun i -> h.(i) <- level) members;
         if level < 59 then begin
           let zeros, ones =
-            List.partition (fun i -> not (Membership.bit t.vecs ~id:t.ids.(i) ~level)) members
+            List.partition (fun i -> not (Membership.bit t.vecs ~id:ids.(i) ~level)) members
           in
           split (level + 1) zeros;
           split (level + 1) ones
@@ -76,13 +82,14 @@ let neighbor_tables t =
   | Some tabs -> tabs
   | None ->
       let n = size t in
+      let ids = O.Vec.to_array t.ids in
       let lv = levels t in
       let tabs =
         Array.init lv (fun level ->
             let left = Array.make n (-1) and right = Array.make n (-1) in
             let last = Hashtbl.create 64 in
             for i = 0 to n - 1 do
-              let p = Membership.prefix t.vecs ~id:t.ids.(i) ~len:level in
+              let p = Membership.prefix t.vecs ~id:ids.(i) ~len:level in
               (match Hashtbl.find_opt last p with
               | Some j ->
                   left.(i) <- j;
@@ -112,65 +119,38 @@ let left_neighbor t i level =
     let left, _ = tabs.(level) in
     if left.(i) >= 0 then Some left.(i) else None
 
-let position t k =
-  let n = size t in
-  let rec go lo hi =
-    if lo >= hi then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if t.xs.(mid) < k then go (mid + 1) hi else go lo mid
-  in
-  go 0 n
+let position t k = O.lower_bound t.xs k
 
-let mem t k =
-  let p = position t k in
-  p < size t && t.xs.(p) = k
+let mem t k = O.mem t.xs k
 
 let splice_in t k =
   let pos = position t k in
-  if pos < size t && t.xs.(pos) = k then invalid_arg "Level_lists.splice_in: duplicate key";
-  let n = size t in
-  let xs = Array.make (n + 1) 0 and ids = Array.make (n + 1) 0 in
-  Array.blit t.xs 0 xs 0 pos;
-  Array.blit t.ids 0 ids 0 pos;
-  xs.(pos) <- k;
-  ids.(pos) <- t.next_id;
+  if not (O.insert t.xs k) then invalid_arg "Level_lists.splice_in: duplicate key";
+  O.Vec.insert_at t.ids pos t.next_id;
   t.next_id <- t.next_id + 1;
-  Array.blit t.xs pos xs (pos + 1) (n - pos);
-  Array.blit t.ids pos ids (pos + 1) (n - pos);
-  t.xs <- xs;
-  t.ids <- ids;
   t.heights <- None;
   t.tables <- None;
   pos
 
 let splice_out t k =
   let pos = position t k in
-  if pos >= size t || t.xs.(pos) <> k then invalid_arg "Level_lists.splice_out: absent key";
-  let n = size t in
-  let xs = Array.make (n - 1) 0 and ids = Array.make (n - 1) 0 in
-  Array.blit t.xs 0 xs 0 pos;
-  Array.blit t.ids 0 ids 0 pos;
-  Array.blit t.xs (pos + 1) xs pos (n - pos - 1);
-  Array.blit t.ids (pos + 1) ids pos (n - pos - 1);
-  t.xs <- xs;
-  t.ids <- ids;
+  if not (O.remove t.xs k) then invalid_arg "Level_lists.splice_out: absent key";
+  ignore (O.Vec.remove_at t.ids pos);
   t.heights <- None;
   t.tables <- None;
   pos
 
-let predecessor t q = L.predecessor t.xs q
-let successor t q = L.successor t.xs q
-let nearest t q = L.nearest t.xs q
+let predecessor t q = O.predecessor t.xs q
+let successor t q = O.successor t.xs q
+let nearest t q = O.nearest t.xs q
 
 let check_invariants t =
   let n = size t in
-  if Array.length t.ids <> n then failwith "Level_lists: ids length";
-  for i = 1 to n - 1 do
-    if t.xs.(i - 1) >= t.xs.(i) then failwith "Level_lists: keys not sorted"
-  done;
+  if O.Vec.length t.ids <> n then failwith "Level_lists: ids length";
+  O.check t.xs;
+  O.Vec.check t.ids;
   let seen = Hashtbl.create n in
-  Array.iter
+  O.Vec.iter
     (fun id ->
       if Hashtbl.mem seen id then failwith "Level_lists: duplicate id";
       Hashtbl.add seen id ())

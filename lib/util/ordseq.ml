@@ -1,0 +1,511 @@
+(* Chunked sorted-sequence engine. See the interface for the contract;
+   the representation notes live here.
+
+   Keys sit in sorted order across [nchunks] chunks; chunk [j] is the
+   first [clen.(j)] cells of [chunk.(j)] and [cmax.(j)] caches its last
+   element. [fen] is a 1-based Fenwick tree over the chunk lengths, so a
+   global rank is a chunk prefix-count plus an in-chunk binary search and
+   [get] is a Fenwick descent. Chunks split at [2 * target] and merge
+   back when they fall under [target / 4]; [target] tracks √n, refreshed
+   by a full O(n) re-chunk whenever the size drifts 4× from [anchor]
+   (the size at the last re-chunk), so every structural cost is O(√n)
+   worst-case and O(1) amortized per update.
+
+   The positional [Vec] shares every structural routine; it simply skips
+   the key search ([insert_at]/[remove_at] address a position directly)
+   and never relies on ordering, while [cmax] is still maintained as
+   "last cell of the chunk" so the shared split/merge code is oblivious
+   to which flavor it serves. *)
+
+(* ---------- shared sorted-array binary searches ---------- *)
+
+let array_lower_bound ?len (a : int array) k =
+  let n = match len with Some l -> l | None -> Array.length a in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) lsr 1 in
+      if a.(mid) < k then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+let array_upper_index ?len (a : int array) k =
+  let n = match len with Some l -> l | None -> Array.length a in
+  let rec go lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) lsr 1 in
+      if a.(mid) <= k then go (mid + 1) hi else go lo mid
+  in
+  go 0 n
+
+(* ---------- representation ---------- *)
+
+type t = {
+  mutable chunk : int array array;
+  mutable clen : int array;
+  mutable cmax : int array;
+  mutable nchunks : int;
+  mutable total : int;
+  mutable fen : int array;  (* 1-based Fenwick over clen.(0..nchunks-1) *)
+  mutable target : int;
+  mutable anchor : int;  (* total at the last re-chunk *)
+}
+
+let min_target = 8
+
+let isqrt n =
+  if n <= 0 then 0
+  else begin
+    let r = ref (int_of_float (Float.sqrt (float_of_int n))) in
+    while (!r + 1) * (!r + 1) <= n do incr r done;
+    while !r * !r > n do decr r done;
+    !r
+  end
+
+let target_for n = max min_target (isqrt n)
+
+let create () =
+  {
+    chunk = Array.make 4 [||];
+    clen = Array.make 4 0;
+    cmax = Array.make 4 0;
+    nchunks = 0;
+    total = 0;
+    fen = Array.make 8 0;
+    target = min_target;
+    anchor = 0;
+  }
+
+let length t = t.total
+let is_empty t = t.total = 0
+let chunk_count t = t.nchunks
+
+(* ---------- Fenwick index over chunk lengths ---------- *)
+
+let fen_rebuild t =
+  let m = t.nchunks in
+  if Array.length t.fen < m + 1 then t.fen <- Array.make (max (m + 1) (2 * Array.length t.fen)) 0
+  else Array.fill t.fen 0 (m + 1) 0;
+  for i = 1 to m do
+    t.fen.(i) <- t.fen.(i) + t.clen.(i - 1);
+    let j = i + (i land -i) in
+    if j <= m then t.fen.(j) <- t.fen.(j) + t.fen.(i)
+  done
+
+let fen_add t j d =
+  let i = ref (j + 1) in
+  while !i <= t.nchunks do
+    t.fen.(!i) <- t.fen.(!i) + d;
+    i := !i + (!i land - !i)
+  done
+
+(* Sum of the lengths of chunks 0 .. j-1. *)
+let fen_prefix t j =
+  let s = ref 0 and i = ref j in
+  while !i > 0 do
+    s := !s + t.fen.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !s
+
+(* The (chunk, offset) holding global position [pos] (pos < total):
+   binary-lifting descent over the Fenwick tree. *)
+let fen_find t pos =
+  let bit = ref 1 in
+  while 2 * !bit <= t.nchunks do bit := 2 * !bit done;
+  let idx = ref 0 and rem = ref pos in
+  while !bit > 0 do
+    let next = !idx + !bit in
+    if next <= t.nchunks && t.fen.(next) <= !rem then begin
+      rem := !rem - t.fen.(next);
+      idx := next
+    end;
+    bit := !bit lsr 1
+  done;
+  (!idx, !rem)
+
+(* ---------- chunk-table slot management ---------- *)
+
+let ensure_slot_capacity t =
+  if t.nchunks = Array.length t.chunk then begin
+    let cap = 2 * Array.length t.chunk in
+    let chunk = Array.make cap [||] and clen = Array.make cap 0 and cmax = Array.make cap 0 in
+    Array.blit t.chunk 0 chunk 0 t.nchunks;
+    Array.blit t.clen 0 clen 0 t.nchunks;
+    Array.blit t.cmax 0 cmax 0 t.nchunks;
+    t.chunk <- chunk;
+    t.clen <- clen;
+    t.cmax <- cmax
+  end
+
+let open_slot t j =
+  ensure_slot_capacity t;
+  for i = t.nchunks downto j + 1 do
+    t.chunk.(i) <- t.chunk.(i - 1);
+    t.clen.(i) <- t.clen.(i - 1);
+    t.cmax.(i) <- t.cmax.(i - 1)
+  done;
+  t.nchunks <- t.nchunks + 1
+
+let close_slot t j =
+  for i = j to t.nchunks - 2 do
+    t.chunk.(i) <- t.chunk.(i + 1);
+    t.clen.(i) <- t.clen.(i + 1);
+    t.cmax.(i) <- t.cmax.(i + 1)
+  done;
+  t.nchunks <- t.nchunks - 1
+
+let grow_chunk t j needed =
+  let c = t.chunk.(j) in
+  if Array.length c < needed then begin
+    let nc = Array.make (max needed (2 * max 1 (Array.length c))) 0 in
+    Array.blit c 0 nc 0 t.clen.(j);
+    t.chunk.(j) <- nc
+  end
+
+(* ---------- bulk load / re-chunk ---------- *)
+
+let iter f t =
+  for j = 0 to t.nchunks - 1 do
+    let c = t.chunk.(j) and len = t.clen.(j) in
+    for i = 0 to len - 1 do
+      f c.(i)
+    done
+  done
+
+let to_array t =
+  let out = Array.make t.total 0 in
+  let pos = ref 0 in
+  iter
+    (fun v ->
+      out.(!pos) <- v;
+      incr pos)
+    t;
+  out
+
+(* Re-chunk from the first [m] cells of [a] (not retained). *)
+let load t a m =
+  t.target <- target_for m;
+  let tgt = t.target in
+  let nch = if m = 0 then 0 else (m + tgt - 1) / tgt in
+  let slots = max 4 nch in
+  t.chunk <- Array.make slots [||];
+  t.clen <- Array.make slots 0;
+  t.cmax <- Array.make slots 0;
+  for j = 0 to nch - 1 do
+    let lo = j * tgt in
+    let len = min tgt (m - lo) in
+    let c = Array.make (2 * tgt) 0 in
+    Array.blit a lo c 0 len;
+    t.chunk.(j) <- c;
+    t.clen.(j) <- len;
+    t.cmax.(j) <- c.(len - 1)
+  done;
+  t.nchunks <- nch;
+  t.total <- m;
+  t.anchor <- m;
+  fen_rebuild t
+
+let maybe_rechunk t =
+  if t.total >= 4 * max 16 t.anchor || (t.anchor > 64 && 4 * t.total <= t.anchor) then begin
+    let a = to_array t in
+    load t a t.total
+  end
+
+(* ---------- structural updates (shared by sorted and positional) ---------- *)
+
+let split t j =
+  let c = t.chunk.(j) in
+  let len = t.clen.(j) in
+  let half = len / 2 in
+  let right_len = len - half in
+  let rc = Array.make (max (2 * t.target) right_len) 0 in
+  Array.blit c half rc 0 right_len;
+  open_slot t (j + 1);
+  t.chunk.(j + 1) <- rc;
+  t.clen.(j + 1) <- right_len;
+  t.cmax.(j + 1) <- rc.(right_len - 1);
+  t.clen.(j) <- half;
+  t.cmax.(j) <- c.(half - 1);
+  fen_rebuild t
+
+let try_merge t j =
+  let nb =
+    if j = 0 then 1
+    else if j = t.nchunks - 1 then j - 1
+    else if t.clen.(j - 1) <= t.clen.(j + 1) then j - 1
+    else j + 1
+  in
+  if t.clen.(j) + t.clen.(nb) < 2 * t.target then begin
+    let l = min j nb and r = max j nb in
+    grow_chunk t l (t.clen.(l) + t.clen.(r));
+    Array.blit t.chunk.(r) 0 t.chunk.(l) t.clen.(l) t.clen.(r);
+    t.clen.(l) <- t.clen.(l) + t.clen.(r);
+    t.cmax.(l) <- t.cmax.(r);
+    close_slot t r;
+    fen_rebuild t
+  end
+
+(* Seed the first chunk of an empty store with one element. *)
+let first_elem t v =
+  open_slot t 0;
+  let c = Array.make (2 * t.target) 0 in
+  c.(0) <- v;
+  t.chunk.(0) <- c;
+  t.clen.(0) <- 1;
+  t.cmax.(0) <- v;
+  t.total <- 1;
+  fen_rebuild t
+
+(* Insert [v] at offset [p] of chunk [j] (0 <= p <= clen). *)
+let ins t j p v =
+  let len = t.clen.(j) in
+  grow_chunk t j (len + 1);
+  let c = t.chunk.(j) in
+  Array.blit c p c (p + 1) (len - p);
+  c.(p) <- v;
+  t.clen.(j) <- len + 1;
+  if p = len then t.cmax.(j) <- v;
+  t.total <- t.total + 1;
+  fen_add t j 1;
+  if t.clen.(j) >= 2 * t.target then split t j;
+  maybe_rechunk t
+
+(* Delete the element at offset [p] of chunk [j]. *)
+let del t j p =
+  let c = t.chunk.(j) in
+  let len = t.clen.(j) in
+  Array.blit c (p + 1) c p (len - 1 - p);
+  t.clen.(j) <- len - 1;
+  t.total <- t.total - 1;
+  fen_add t j (-1);
+  if t.clen.(j) = 0 then begin
+    close_slot t j;
+    fen_rebuild t
+  end
+  else begin
+    if p = len - 1 then t.cmax.(j) <- c.(len - 2);
+    if 4 * t.clen.(j) < t.target && t.nchunks > 1 then try_merge t j
+  end;
+  maybe_rechunk t
+
+(* ---------- sorted interface ---------- *)
+
+(* First chunk whose maximum is >= k (= nchunks when k exceeds every
+   stored key). *)
+let chunk_search t k =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) lsr 1 in
+      if t.cmax.(mid) >= k then go lo mid else go (mid + 1) hi
+  in
+  go 0 t.nchunks
+
+let of_sorted_array a =
+  let n = Array.length a in
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then invalid_arg "Ordseq.of_sorted_array: not strictly increasing"
+  done;
+  let t = create () in
+  load t a n;
+  t
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let m = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!m - 1) then begin
+        a.(!m) <- a.(i);
+        incr m
+      end
+    done;
+    !m
+  end
+
+let of_array a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let m = dedup_sorted a in
+  let t = create () in
+  load t a m;
+  t
+
+let lower_bound t k =
+  if t.nchunks = 0 then 0
+  else
+    let j = chunk_search t k in
+    if j = t.nchunks then t.total
+    else fen_prefix t j + array_lower_bound ~len:t.clen.(j) t.chunk.(j) k
+
+let rank = lower_bound
+
+let upper_index t k =
+  if t.nchunks = 0 then -1
+  else
+    let j = chunk_search t k in
+    if j = t.nchunks then t.total - 1
+    else fen_prefix t j + array_upper_index ~len:t.clen.(j) t.chunk.(j) k
+
+let mem t k =
+  t.nchunks > 0
+  &&
+  let j = chunk_search t k in
+  j < t.nchunks
+  &&
+  let p = array_lower_bound ~len:t.clen.(j) t.chunk.(j) k in
+  p < t.clen.(j) && t.chunk.(j).(p) = k
+
+let get t i =
+  if i < 0 || i >= t.total then invalid_arg "Ordseq.get: index out of range";
+  let j, p = fen_find t i in
+  t.chunk.(j).(p)
+
+let insert t k =
+  if t.nchunks = 0 then begin
+    first_elem t k;
+    true
+  end
+  else begin
+    let j = chunk_search t k in
+    let j = if j = t.nchunks then j - 1 else j in
+    let p = array_lower_bound ~len:t.clen.(j) t.chunk.(j) k in
+    if p < t.clen.(j) && t.chunk.(j).(p) = k then false
+    else begin
+      ins t j p k;
+      true
+    end
+  end
+
+let remove t k =
+  if t.nchunks = 0 then false
+  else begin
+    let j = chunk_search t k in
+    if j = t.nchunks then false
+    else
+      let p = array_lower_bound ~len:t.clen.(j) t.chunk.(j) k in
+      if p >= t.clen.(j) || t.chunk.(j).(p) <> k then false
+      else begin
+        del t j p;
+        true
+      end
+  end
+
+let min_elt t = if t.total = 0 then None else Some t.chunk.(0).(0)
+let max_elt t = if t.total = 0 then None else Some t.cmax.(t.nchunks - 1)
+
+let successor t q =
+  let i = lower_bound t q in
+  if i < t.total then Some (get t i) else None
+
+let predecessor t q =
+  let i = upper_index t q in
+  if i >= 0 then Some (get t i) else None
+
+let nearest t q =
+  match (predecessor t q, successor t q) with
+  | None, None -> None
+  | Some p, None -> Some p
+  | None, Some s -> Some s
+  | Some p, Some s -> if q - p <= s - q then Some p else Some s
+
+let range_keys t ~lo ~hi =
+  if lo > hi || t.total = 0 then []
+  else begin
+    let start = lower_bound t lo in
+    if start >= t.total then []
+    else begin
+      let j0, p0 = fen_find t start in
+      let acc = ref [] in
+      (try
+         for j = j0 to t.nchunks - 1 do
+           let c = t.chunk.(j) and len = t.clen.(j) in
+           for p = (if j = j0 then p0 else 0) to len - 1 do
+             if c.(p) > hi then raise Exit;
+             acc := c.(p) :: !acc
+           done
+         done
+       with Exit -> ());
+      List.rev !acc
+    end
+  end
+
+(* ---------- invariant checks ---------- *)
+
+let check_core ~sorted ~what t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if t.nchunks < 0 || t.nchunks > Array.length t.chunk then fail "%s: chunk table bounds" what;
+  let sum = ref 0 in
+  let prev = ref min_int in
+  for j = 0 to t.nchunks - 1 do
+    let len = t.clen.(j) in
+    if len <= 0 then fail "%s: empty chunk %d" what j;
+    if len > Array.length t.chunk.(j) then fail "%s: chunk %d overflows its array" what j;
+    if t.cmax.(j) <> t.chunk.(j).(len - 1) then fail "%s: stale cmax at chunk %d" what j;
+    if sorted then
+      for i = 0 to len - 1 do
+        let v = t.chunk.(j).(i) in
+        if v <= !prev && not (j = 0 && i = 0) then fail "%s: order broken at chunk %d.%d" what j i;
+        prev := v
+      done;
+    sum := !sum + len
+  done;
+  if !sum <> t.total then fail "%s: total %d but chunks hold %d" what t.total !sum;
+  for j = 0 to t.nchunks do
+    let direct = ref 0 in
+    for i = 0 to j - 1 do
+      direct := !direct + t.clen.(i)
+    done;
+    if fen_prefix t j <> !direct then fail "%s: Fenwick prefix drift at %d" what j
+  done
+
+let check t = check_core ~sorted:true ~what:"Ordseq" t
+
+(* ---------- positional vector ---------- *)
+
+module Vec = struct
+  type nonrec t = t
+
+  let create = create
+
+  let of_array a =
+    let t = create () in
+    load t a (Array.length a);
+    t
+
+  let length = length
+
+  let get t i =
+    if i < 0 || i >= t.total then invalid_arg "Ordseq.Vec.get: index out of range";
+    let j, p = fen_find t i in
+    t.chunk.(j).(p)
+
+  let set t i v =
+    if i < 0 || i >= t.total then invalid_arg "Ordseq.Vec.set: index out of range";
+    let j, p = fen_find t i in
+    t.chunk.(j).(p) <- v;
+    if p = t.clen.(j) - 1 then t.cmax.(j) <- v
+
+  let insert_at t i v =
+    if i < 0 || i > t.total then invalid_arg "Ordseq.Vec.insert_at: index out of range";
+    if t.nchunks = 0 then first_elem t v
+    else if i = t.total then ins t (t.nchunks - 1) t.clen.(t.nchunks - 1) v
+    else begin
+      let j, p = fen_find t i in
+      ins t j p v
+    end
+
+  let remove_at t i =
+    if i < 0 || i >= t.total then invalid_arg "Ordseq.Vec.remove_at: index out of range";
+    let j, p = fen_find t i in
+    let v = t.chunk.(j).(p) in
+    del t j p;
+    v
+
+  let iter = iter
+  let to_array = to_array
+  let check t = check_core ~sorted:false ~what:"Ordseq.Vec" t
+end

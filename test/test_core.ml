@@ -471,6 +471,176 @@ let qcheck_hierarchy_churn =
       HInt.check_invariants h;
       !ok && HInt.size h = IS.cardinal !model)
 
+(* ------- batch updates ------- *)
+
+(* A bulk insert must leave the hierarchy in exactly the state the same
+   keys arriving one at a time produce: ids are assigned in presentation
+   order either way, and ids drive membership, placement and charging. *)
+let test_insert_batch_matches_sequential () =
+  let all = W.distinct_ints ~seed:21 ~n:240 ~bound:20_000 in
+  let base = Array.sub all 0 120 and extra = Array.sub all 120 120 in
+  let net1 = Network.create ~hosts:64 and net2 = Network.create ~hosts:64 in
+  let h1 = HInt.build ~net:net1 ~seed:77 base in
+  let h2 = HInt.build ~net:net2 ~seed:77 base in
+  Array.iter (fun k -> ignore (HInt.insert h1 k)) extra;
+  checki "batch count" 120 (HInt.insert_batch h2 extra);
+  checki "batch skips present keys" 0 (HInt.insert_batch h2 extra);
+  HInt.check_invariants h1;
+  HInt.check_invariants h2;
+  checki "same size" (HInt.size h1) (HInt.size h2);
+  checki "same levels" (HInt.levels h1) (HInt.levels h2);
+  checki "same storage" (HInt.total_storage h1) (HInt.total_storage h2);
+  for host = 0 to 63 do
+    checki "same per-host memory" (Network.memory net1 host) (Network.memory net2 host)
+  done;
+  let rng1 = Prng.create 5151 and rng2 = Prng.create 5151 in
+  for q = 0 to 49 do
+    let probe = 400 * q in
+    let a1, _ = HInt.query h1 ~rng:rng1 probe and a2, _ = HInt.query h2 ~rng:rng2 probe in
+    check_opt "same answers" a1 a2
+  done
+
+let test_remove_batch_matches_sequential () =
+  let all = W.distinct_ints ~seed:22 ~n:200 ~bound:20_000 in
+  let victims = Array.sub all 40 130 in
+  let net1 = Network.create ~hosts:64 and net2 = Network.create ~hosts:64 in
+  let h1 = HInt.build ~net:net1 ~seed:78 all in
+  let h2 = HInt.build ~net:net2 ~seed:78 all in
+  Array.iter (fun k -> ignore (HInt.remove h1 k)) victims;
+  checki "batch count" 130 (HInt.remove_batch h2 victims);
+  checki "batch skips absent keys" 0 (HInt.remove_batch h2 victims);
+  HInt.check_invariants h1;
+  HInt.check_invariants h2;
+  checki "same size" (HInt.size h1) (HInt.size h2);
+  checki "same levels" (HInt.levels h1) (HInt.levels h2);
+  checki "same storage" (HInt.total_storage h1) (HInt.total_storage h2);
+  for host = 0 to 63 do
+    checki "same per-host memory" (Network.memory net1 host) (Network.memory net2 host)
+  done;
+  let rng1 = Prng.create 5252 and rng2 = Prng.create 5252 in
+  for q = 0 to 49 do
+    let probe = 400 * q in
+    let a1, _ = HInt.query h1 ~rng:rng1 probe and a2, _ = HInt.query h2 ~rng:rng2 probe in
+    check_opt "same answers" a1 a2
+  done
+
+let test_remove_batch_to_empty () =
+  let all = W.distinct_ints ~seed:23 ~n:70 ~bound:9_000 in
+  let net = Network.create ~hosts:32 in
+  let h = HInt.build ~net ~seed:79 all in
+  checki "all removed" 70 (HInt.remove_batch h all);
+  HInt.check_invariants h;
+  checki "empty" 0 (HInt.size h);
+  (* Refill through the batch path and make sure the hierarchy works. *)
+  checki "refilled" 70 (HInt.insert_batch h all);
+  HInt.check_invariants h;
+  let rng = Prng.create 31 in
+  let a, _ = HInt.query h ~rng all.(0) in
+  check_opt "query after refill" (Some all.(0)) a
+
+(* ------- pinned message-model invariance guards ------- *)
+
+(* These totals were captured on the flat-array representation before the
+   chunked container migration; the chunked code must reproduce them
+   bit-for-bit, because the container is host-local machinery and must be
+   invisible to the message model. If a change here is intentional, it
+   changes the paper-facing cost accounting and every BENCH baseline. *)
+
+let churn_pool keys =
+  let data = Array.copy keys in
+  let tbl = Hashtbl.create 64 in
+  Array.iteri (fun i k -> Hashtbl.replace tbl k i) data;
+  (ref data, ref (Array.length keys), tbl)
+
+let pool_mem (_, _, tbl) k = Hashtbl.mem tbl k
+
+let pool_add (data, len, tbl) k =
+  if not (Hashtbl.mem tbl k) then begin
+    if !len = Array.length !data then begin
+      let b = Array.make (max 8 (2 * !len)) 0 in
+      Array.blit !data 0 b 0 !len;
+      data := b
+    end;
+    !data.(!len) <- k;
+    Hashtbl.replace tbl k !len;
+    len := !len + 1
+  end
+
+let pool_take (data, len, tbl) rng =
+  if !len = 0 then None
+  else begin
+    let i = Prng.int rng !len in
+    let k = !data.(i) in
+    let last = !len - 1 in
+    !data.(i) <- !data.(last);
+    Hashtbl.replace tbl !data.(i) i;
+    len := last;
+    Hashtbl.remove tbl k;
+    Some k
+  end
+
+let test_pinned_hierarchy_churn_messages () =
+  let bound = 30_000 in
+  let ks = W.distinct_ints ~seed:42 ~n:300 ~bound in
+  let net = Network.create ~hosts:128 in
+  let h = HInt.build ~net ~seed:42 ks in
+  let pool = churn_pool ks in
+  let rng = Prng.create 0xc0ffee in
+  let ops = ref 0 in
+  for i = 0 to 399 do
+    match i mod 5 with
+    | 0 | 2 ->
+        let rec fresh () =
+          let k = Prng.int rng bound in
+          if pool_mem pool k then fresh () else k
+        in
+        let k = fresh () in
+        ops := !ops + HInt.insert h k;
+        pool_add pool k
+    | 1 | 3 -> (
+        match pool_take pool rng with
+        | Some k -> ops := !ops + HInt.remove h k
+        | None -> ())
+    | _ ->
+        let _, st = HInt.query h ~rng (Prng.int rng bound) in
+        ops := !ops + st.HInt.messages
+  done;
+  HInt.check_invariants h;
+  checki "pinned op messages" 10287 !ops;
+  checki "pinned network total" 3887 (Network.total_messages net);
+  checki "pinned final size" 300 (HInt.size h)
+
+let test_pinned_blocked_churn_messages () =
+  let bound = 10_000 in
+  let ks = W.distinct_ints ~seed:9 ~n:200 ~bound in
+  let net = Network.create ~hosts:64 in
+  let b = B1.build ~net ~seed:9 ~m:16 ks in
+  let pool = churn_pool ks in
+  let rng = Prng.create 0xbeef in
+  let ops = ref 0 in
+  for i = 0 to 119 do
+    match i mod 4 with
+    | 0 ->
+        let rec fresh () =
+          let k = Prng.int rng bound in
+          if pool_mem pool k then fresh () else k
+        in
+        let k = fresh () in
+        ops := !ops + B1.insert b k;
+        pool_add pool k
+    | 1 -> (
+        match pool_take pool rng with
+        | Some k -> ops := !ops + B1.delete b k
+        | None -> ())
+    | _ ->
+        let r = B1.query b ~rng (Prng.int rng bound) in
+        ops := !ops + r.B1.messages
+  done;
+  B1.check_invariants b;
+  checki "pinned op messages" 598 !ops;
+  checki "pinned network total" 238 (Network.total_messages net);
+  checki "pinned final size" 200 (B1.size b)
+
 let suite =
   [
     Alcotest.test_case "hierarchy int build" `Quick test_hint_build;
@@ -498,6 +668,14 @@ let suite =
     Alcotest.test_case "blocked insert/delete" `Quick test_blocked_insert_delete;
     Alcotest.test_case "blocked bucket regime (row 7)" `Quick test_blocked_bucket_regime;
     Alcotest.test_case "blocked range query" `Quick test_blocked_range_query;
+    Alcotest.test_case "insert_batch = sequential inserts" `Quick
+      test_insert_batch_matches_sequential;
+    Alcotest.test_case "remove_batch = sequential removes" `Quick
+      test_remove_batch_matches_sequential;
+    Alcotest.test_case "remove_batch to empty + refill" `Quick test_remove_batch_to_empty;
+    Alcotest.test_case "pinned hierarchy churn messages" `Quick
+      test_pinned_hierarchy_churn_messages;
+    Alcotest.test_case "pinned blocked churn messages" `Quick test_pinned_blocked_churn_messages;
     QCheck_alcotest.to_alcotest qcheck_blocked_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_int_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_churn;

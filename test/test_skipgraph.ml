@@ -358,6 +358,104 @@ let qcheck_ds_random_build_invariants =
       DS.check_invariants ds;
       true)
 
+(* ------- pinned message-model invariance guards ------- *)
+
+(* Totals captured on the flat-array representation before the chunked
+   container migration; the chunked code must reproduce them bit-for-bit
+   (the container is host-local and must be invisible to the message
+   model). *)
+
+let test_pinned_det_skipnet_churn_messages () =
+  let bound = 10_000 in
+  let ks = W.distinct_ints ~seed:4 ~n:200 ~bound in
+  let net = Network.create ~hosts:1024 in
+  let t = DS.create ~net ~keys:ks in
+  let pool = Hashtbl.create 64 in
+  let data = ref (Array.copy ks) in
+  let len = ref (Array.length ks) in
+  Array.iteri (fun i k -> Hashtbl.replace pool k i) !data;
+  let pool_mem k = Hashtbl.mem pool k in
+  let pool_add k =
+    if not (pool_mem k) then begin
+      if !len = Array.length !data then begin
+        let b = Array.make (max 8 (2 * !len)) 0 in
+        Array.blit !data 0 b 0 !len;
+        data := b
+      end;
+      !data.(!len) <- k;
+      Hashtbl.replace pool k !len;
+      len := !len + 1
+    end
+  in
+  let pool_take rng =
+    if !len = 0 then None
+    else begin
+      let i = Prng.int rng !len in
+      let k = !data.(i) in
+      let last = !len - 1 in
+      !data.(i) <- !data.(last);
+      Hashtbl.replace pool !data.(i) i;
+      len := last;
+      Hashtbl.remove pool k;
+      Some k
+    end
+  in
+  let rng = Prng.create 0xfeed in
+  let ops = ref 0 in
+  for i = 0 to 149 do
+    match i mod 4 with
+    | 0 ->
+        let rec fresh () =
+          let k = Prng.int rng bound in
+          if pool_mem k then fresh () else k
+        in
+        let k = fresh () in
+        ops := !ops + DS.insert t k;
+        pool_add k
+    | 1 -> (
+        match pool_take rng with
+        | Some k -> ops := !ops + DS.delete t k
+        | None -> ())
+    | _ ->
+        let r = DS.search t ~from:0 (Prng.int rng bound) in
+        ops := !ops + r.DS.messages
+  done;
+  DS.check_invariants t;
+  checki "pinned op messages" 1260 !ops;
+  checki "pinned network total" 804 (Network.total_messages net);
+  checki "pinned final size" 200 (DS.size t)
+
+let test_pinned_level_lists_fingerprint () =
+  (* Level_lists has no network; fingerprint the structure state the
+     skip-graph routing depends on: positions, ids, heights, neighbors. *)
+  let ks = W.distinct_ints ~seed:11 ~n:150 ~bound:5000 in
+  let t = LL.create ~seed:11 ~keys:ks in
+  let rng = Prng.create 0xabba in
+  for i = 0 to 59 do
+    if i mod 2 = 0 then begin
+      let rec fresh () =
+        let k = Prng.int rng 5000 in
+        if LL.mem t k then fresh () else k
+      in
+      ignore (LL.splice_in t (fresh ()))
+    end
+    else begin
+      let n = LL.size t in
+      let k = LL.key t (Prng.int rng n) in
+      ignore (LL.splice_out t k)
+    end
+  done;
+  LL.check_invariants t;
+  let acc = ref 0 in
+  for i = 0 to LL.size t - 1 do
+    acc := !acc + (LL.key t i * 3) + (LL.id t i * 7) + (LL.top_level t i * 11);
+    (match LL.right_neighbor t i 1 with Some j -> acc := !acc + (13 * j) | None -> ());
+    (match LL.left_neighbor t i 2 with Some j -> acc := !acc + (17 * j) | None -> ())
+  done;
+  checki "pinned fingerprint" 1501041 !acc;
+  checki "pinned size" 150 (LL.size t);
+  checki "pinned levels" 13 (LL.levels t)
+
 let suite =
   [
     Alcotest.test_case "level lists basics" `Quick test_level_lists_basics;
@@ -387,4 +485,8 @@ let suite =
     Alcotest.test_case "bucket skip graph splits" `Quick test_bsg_insert_delete_and_split;
     QCheck_alcotest.to_alcotest qcheck_sg_search_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_ds_random_build_invariants;
+    Alcotest.test_case "pinned det skipnet churn messages" `Quick
+      test_pinned_det_skipnet_churn_messages;
+    Alcotest.test_case "pinned level lists fingerprint" `Quick
+      test_pinned_level_lists_fingerprint;
   ]

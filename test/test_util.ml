@@ -299,6 +299,163 @@ let test_tables_arity_check () =
   Alcotest.check_raises "bad arity" (Invalid_argument "Tables.add_row: wrong number of cells")
     (fun () -> Tables.add_row t [ "1" ])
 
+(* ---- chunked sorted sequence ---- *)
+
+module Ordseq = Skipweb_util.Ordseq
+
+let test_array_searches () =
+  let a = [| 2; 4; 4; 7; 9 |] in
+  checki "lb below" 0 (Ordseq.array_lower_bound a 1);
+  checki "lb hit" 1 (Ordseq.array_lower_bound a 4);
+  checki "lb between" 3 (Ordseq.array_lower_bound a 5);
+  checki "lb above" 5 (Ordseq.array_lower_bound a 10);
+  checki "ui below" (-1) (Ordseq.array_upper_index a 1);
+  checki "ui hit" 2 (Ordseq.array_upper_index a 4);
+  checki "ui above" 4 (Ordseq.array_upper_index a 10);
+  (* [len] restricts to a prefix, as chunk storage needs. *)
+  checki "lb len prefix" 2 (Ordseq.array_lower_bound ~len:2 a 10);
+  checki "ui len prefix" 1 (Ordseq.array_upper_index ~len:2 a 10)
+
+let test_ordseq_bulk () =
+  let n = 10_000 in
+  let a = Array.init n (fun i -> 3 * i) in
+  let t = Ordseq.of_sorted_array a in
+  Ordseq.check t;
+  checki "length" n (Ordseq.length t);
+  checki "get mid" (3 * 1234) (Ordseq.get t 1234);
+  checkb "mem hit" true (Ordseq.mem t (3 * 999));
+  checkb "mem miss" false (Ordseq.mem t (3 * 999 + 1));
+  checkb "roundtrip" true (Ordseq.to_array t = a);
+  (* Chunk shape stays O(√n). *)
+  let c = Ordseq.chunk_count t in
+  checkb "sqrt-ish chunk count" true (c * c <= 16 * n && c <= n)
+
+let test_ordseq_of_array () =
+  let t = Ordseq.of_array [| 5; 1; 5; 3; 1; 9 |] in
+  Ordseq.check t;
+  checkb "sorted deduped" true (Ordseq.to_array t = [| 1; 3; 5; 9 |])
+
+let test_ordseq_rejects_unsorted () =
+  Alcotest.check_raises "unsorted input"
+    (Invalid_argument "Ordseq.of_sorted_array: not strictly increasing") (fun () ->
+      ignore (Ordseq.of_sorted_array [| 3; 2 |]))
+
+let test_ordseq_empty () =
+  let t = Ordseq.create () in
+  Ordseq.check t;
+  checki "empty length" 0 (Ordseq.length t);
+  checkb "is_empty" true (Ordseq.is_empty t);
+  checkb "no min" true (Ordseq.min_elt t = None);
+  checkb "no max" true (Ordseq.max_elt t = None);
+  checkb "insert" true (Ordseq.insert t 42);
+  checkb "dup insert" false (Ordseq.insert t 42);
+  checkb "remove" true (Ordseq.remove t 42);
+  checkb "absent remove" false (Ordseq.remove t 42);
+  checki "empty again" 0 (Ordseq.length t)
+
+let test_ordseq_range_keys () =
+  let t = Ordseq.of_sorted_array (Array.init 100 (fun i -> 10 * i)) in
+  checkb "interior range" true (Ordseq.range_keys t ~lo:25 ~hi:61 = [ 30; 40; 50; 60 ]);
+  checkb "empty range" true (Ordseq.range_keys t ~lo:31 ~hi:39 = []);
+  checkb "full range" true
+    (List.length (Ordseq.range_keys t ~lo:min_int ~hi:max_int) = 100)
+
+let test_ordseq_nearest_tie () =
+  let t = Ordseq.of_sorted_array [| 10; 20 |] in
+  checkb "tie goes to predecessor" true (Ordseq.nearest t 15 = Some 10);
+  checkb "closer successor" true (Ordseq.nearest t 16 = Some 20);
+  checkb "pred" true (Ordseq.predecessor t 10 = Some 10);
+  checkb "succ past end" true (Ordseq.successor t 21 = None)
+
+let test_ordseq_incremental_growth () =
+  (* One-by-one growth from empty keeps the chunk shape amortized. *)
+  let t = Ordseq.create () in
+  let g = Prng.create 31337 in
+  let n = 4096 in
+  let inserted = ref 0 in
+  for _ = 1 to n do
+    if Ordseq.insert t (Prng.int g 1_000_000) then incr inserted
+  done;
+  Ordseq.check t;
+  checki "all tracked" !inserted (Ordseq.length t);
+  let c = Ordseq.chunk_count t in
+  checkb "chunk count stays sublinear" true (c * c <= 64 * Ordseq.length t)
+
+(* Reference model: a sorted list of distinct ints. *)
+let model_insert xs k =
+  if List.mem k xs then (xs, false) else (List.sort compare (k :: xs), true)
+
+let model_remove xs k =
+  if List.mem k xs then (List.filter (fun x -> x <> k) xs, true) else (xs, false)
+
+let qcheck_ordseq_model =
+  QCheck.Test.make ~name:"ordseq agrees with sorted-list model" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 200) (pair bool (int_range 0 120)))
+    (fun ops ->
+      let t = Ordseq.create () in
+      let xs = ref [] in
+      List.for_all
+        (fun (ins, k) ->
+          let op_ok =
+            if ins then begin
+              let xs', r = model_insert !xs k in
+              xs := xs';
+              Ordseq.insert t k = r
+            end
+            else begin
+              let xs', r = model_remove !xs k in
+              xs := xs';
+              Ordseq.remove t k = r
+            end
+          in
+          Ordseq.check t;
+          let arr = Array.of_list !xs in
+          let n = Array.length arr in
+          op_ok
+          && Ordseq.to_array t = arr
+          && Ordseq.length t = n
+          && Ordseq.mem t k = Array.exists (fun x -> x = k) arr
+          && Ordseq.lower_bound t k = Ordseq.array_lower_bound arr k
+          && Ordseq.upper_index t k = Ordseq.array_upper_index arr k
+          && Ordseq.predecessor t k
+             = (let i = Ordseq.array_upper_index arr k in
+                if i >= 0 then Some arr.(i) else None)
+          && Ordseq.successor t k
+             = (let i = Ordseq.array_lower_bound arr k in
+                if i < n then Some arr.(i) else None)
+          && (n = 0 || Ordseq.get t (k mod n) = arr.(k mod n)))
+        ops)
+
+let qcheck_vec_model =
+  QCheck.Test.make ~name:"ordseq vec agrees with array model" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 150) (triple (int_range 0 2) small_nat small_nat))
+    (fun ops ->
+      let v = Ordseq.Vec.create () in
+      let m = ref [||] in
+      let ok = ref true in
+      List.iter
+        (fun (op, pos, x) ->
+          let n = Array.length !m in
+          (match op with
+          | 0 ->
+              let i = pos mod (n + 1) in
+              Ordseq.Vec.insert_at v i x;
+              m := Array.concat [ Array.sub !m 0 i; [| x |]; Array.sub !m i (n - i) ]
+          | 1 when n > 0 ->
+              let i = pos mod n in
+              let got = Ordseq.Vec.remove_at v i in
+              ok := !ok && got = !m.(i);
+              m := Array.concat [ Array.sub !m 0 i; Array.sub !m (i + 1) (n - i - 1) ]
+          | _ when n > 0 ->
+              let i = pos mod n in
+              Ordseq.Vec.set v i x;
+              !m.(i) <- x
+          | _ -> ());
+          Ordseq.Vec.check v;
+          ok := !ok && Ordseq.Vec.to_array v = !m && Ordseq.Vec.length v = Array.length !m)
+        ops;
+      !ok)
+
 let qcheck_prng_int =
   QCheck.Test.make ~name:"prng int always in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -351,6 +508,16 @@ let suite =
     Alcotest.test_case "fit least squares constant" `Quick test_fit_constant_least_squares;
     Alcotest.test_case "tables render" `Quick test_tables_render;
     Alcotest.test_case "tables arity check" `Quick test_tables_arity_check;
+    Alcotest.test_case "ordseq shared array searches" `Quick test_array_searches;
+    Alcotest.test_case "ordseq bulk load" `Quick test_ordseq_bulk;
+    Alcotest.test_case "ordseq of_array sorts+dedups" `Quick test_ordseq_of_array;
+    Alcotest.test_case "ordseq rejects unsorted" `Quick test_ordseq_rejects_unsorted;
+    Alcotest.test_case "ordseq empty edge cases" `Quick test_ordseq_empty;
+    Alcotest.test_case "ordseq range_keys" `Quick test_ordseq_range_keys;
+    Alcotest.test_case "ordseq nearest tie-break" `Quick test_ordseq_nearest_tie;
+    Alcotest.test_case "ordseq incremental growth" `Quick test_ordseq_incremental_growth;
     QCheck_alcotest.to_alcotest qcheck_prng_int;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_ordseq_model;
+    QCheck_alcotest.to_alcotest qcheck_vec_model;
   ]
