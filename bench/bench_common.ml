@@ -8,13 +8,39 @@
 module Stats = Skipweb_util.Stats
 module Tables = Skipweb_util.Tables
 module Prng = Skipweb_util.Prng
+module Pool = Skipweb_util.Pool
 
-type config = { sizes : int list; queries : int; updates : int; seeds : int list; quick : bool }
+type config = {
+  sizes : int list;
+  queries : int;
+  updates : int;
+  seeds : int list;
+  quick : bool;
+  jobs : int;  (* read-path parallelism: domains used for query phases *)
+}
 
 let default_config =
-  { sizes = [ 256; 512; 1024; 2048; 4096; 8192 ]; queries = 150; updates = 30; seeds = [ 1; 2; 3 ]; quick = false }
+  {
+    sizes = [ 256; 512; 1024; 2048; 4096; 8192 ];
+    queries = 150;
+    updates = 30;
+    seeds = [ 1; 2; 3 ];
+    quick = false;
+    jobs = 1;
+  }
 
-let quick_config = { sizes = [ 256; 1024 ]; queries = 60; updates = 10; seeds = [ 1 ]; quick = true }
+let quick_config =
+  { sizes = [ 256; 1024 ]; queries = 60; updates = 10; seeds = [ 1 ]; quick = true; jobs = 1 }
+
+(* The single wall-clock source for every exp_* measurement: bechamel's
+   monotonic clock (ns), immune to NTP jumps — [Unix.gettimeofday] is not,
+   and per-file copies of [now] invite it back. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* Run [f] with the pool the config asks for (None when jobs <= 1), and
+   shut the pool down afterwards. Experiments scope their pool to one
+   [run] call so a crashed experiment never leaks domains. *)
+let with_pool (cfg : config) f = Pool.with_pool ~jobs:cfg.jobs f
 
 let log2f n = Float.log (float_of_int n) /. Float.log 2.0
 
@@ -38,8 +64,17 @@ let print_shape_table ~title ~sizes rows =
     rows;
   Tables.print t
 
+(* Per-seed measurements, optionally fanned out over a pool: each seed
+   builds its own structure and network, so seed replicas are trivially
+   independent. [Pool.parallel_map] preserves index order, so the mean is
+   folded in the same order as the sequential map — bit-identical. *)
+let map_seeds ?pool seeds f =
+  match pool with
+  | None -> List.map f seeds
+  | Some p -> Array.to_list (Pool.parallel_map p f (Array.of_list seeds))
+
 (* Mean over seeds of a per-seed measurement. *)
-let mean_over_seeds seeds f = Stats.mean (List.map f seeds)
+let mean_over_seeds ?pool seeds f = Stats.mean (map_seeds ?pool seeds f)
 
 let mean_int_list xs = Stats.mean (List.map float_of_int xs)
 

@@ -22,6 +22,7 @@ let log2i n =
 
 let run (cfg : C.config) =
   C.section "Congestion under uniform query load (E18)";
+  C.with_pool cfg @@ fun pool ->
   let n = List.fold_left max 256 cfg.C.sizes in
   let load = 10 * n in
   let keys = W.distinct_ints ~seed:3 ~n ~bound:(100 * n) in
@@ -35,16 +36,22 @@ let run (cfg : C.config) =
       (float_of_int (Network.max_traffic net) /. Float.max 1.0 (Network.mean_traffic net))
       load (Network.host_count net)
   in
+  (* The skip-web query loads fan out over the --jobs pool: per-host
+     traffic is committed through atomic counters as sums of visit
+     deltas, so the congestion figures are bit-identical to the
+     sequential drives for any jobs count. The baselines below draw
+     per-query coins from a shared rng inside their loops, so they stay
+     sequential. *)
   (* Blocked skip-web. *)
   let net1 = Network.create ~hosts:n in
   let b = B1.build ~net:net1 ~seed:5 ~m:(4 * log2i n) keys in
   let rng1 = Prng.create 6 in
-  drive "blocked 1-d skip-web" (fun () -> Array.iter (fun q -> ignore (B1.query b ~rng:rng1 q)) qs) net1;
+  drive "blocked 1-d skip-web" (fun () -> ignore (B1.query_batch ?pool b ~rng:rng1 qs)) net1;
   (* Generic skip-web. *)
   let net2 = Network.create ~hosts:n in
   let h = HInt.build ~net:net2 ~seed:5 keys in
   let rng2 = Prng.create 6 in
-  drive "generic 1-d skip-web" (fun () -> Array.iter (fun q -> ignore (HInt.query h ~rng:rng2 q)) qs) net2;
+  drive "generic 1-d skip-web" (fun () -> ignore (HInt.query_batch ?pool h ~rng:rng2 qs)) net2;
   (* Skip graph baseline. *)
   let net3 = Network.create ~hosts:n in
   let g = SG.create ~net:net3 ~seed:5 ~keys in
@@ -66,7 +73,7 @@ let run (cfg : C.config) =
   let b2 = B1.build ~net:net5 ~seed:5 ~m:(4 * log2i n) keys in
   let rng5 = Prng.create 6 in
   drive "blocked skip-web, Zipf load"
-    (fun () -> Array.iter (fun q -> ignore (B1.query b2 ~rng:rng5 q)) zipf)
+    (fun () -> ignore (B1.query_batch ?pool b2 ~rng:rng5 zipf))
     net5;
   Printf.printf
     "\nStatic congestion C(n) = max stored units + n/H:\n\

@@ -31,20 +31,22 @@ let one_d ~seed ~n ~queries ~measure =
 
 let run (cfg : C.config) =
   C.section "The rich query set of the introduction (E0)";
+  C.with_pool cfg @@ fun pool ->
   let sizes = List.filter (fun n -> n <= 4096) cfg.C.sizes in
+  (* Query phases fan out over the --jobs pool via [query_batch]; origins
+     are pre-drawn inside the batch, so costs and the in-line answer
+     checks are bit-identical to the sequential loops for any jobs
+     count. Seed replicas stay sequential here (the pool is not
+     re-entrant; it is spent on the inner query loops). *)
   let membership =
     List.map
       (fun n ->
         C.mean_over_seeds cfg.C.seeds (fun seed ->
             one_d ~seed ~n ~queries:cfg.C.queries ~measure:(fun g keys rng count ->
-                let costs = ref [] in
-                for i = 0 to count - 1 do
-                  let k = keys.(i * 7919 mod n) in
-                  let r = B1.query g ~rng k in
-                  assert (r.B1.predecessor = Some k);
-                  costs := float_of_int r.B1.messages :: !costs
-                done;
-                Stats.mean !costs)))
+                let qs = Array.init count (fun i -> keys.(i * 7919 mod n)) in
+                let rs = B1.query_batch ?pool g ~rng qs in
+                Array.iteri (fun i r -> assert (r.B1.predecessor = Some qs.(i))) rs;
+                Stats.mean (Array.to_list (Array.map (fun (r : B1.search_result) -> float_of_int r.B1.messages) rs)))))
       sizes
   in
   let nearest =
@@ -53,9 +55,8 @@ let run (cfg : C.config) =
         C.mean_over_seeds cfg.C.seeds (fun seed ->
             one_d ~seed ~n ~queries:cfg.C.queries ~measure:(fun g keys rng count ->
                 let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:count ~bound:(100 * n) in
-                Stats.mean
-                  (Array.to_list
-                     (Array.map (fun q -> float_of_int (B1.query g ~rng q).B1.messages) qs)))))
+                let rs = B1.query_batch ?pool g ~rng qs in
+                Stats.mean (Array.to_list (Array.map (fun (r : B1.search_result) -> float_of_int r.B1.messages) rs)))))
       sizes
   in
   let range16 =
@@ -81,12 +82,13 @@ let run (cfg : C.config) =
             let net = Network.create ~hosts:n in
             let h = HStr.build ~net ~seed strs in
             let rng = Prng.create (seed + 1) in
-            let costs = ref [] in
-            for p = 0 to min 15 (cfg.C.queries - 1) do
-              let _, stats = HStr.query h ~rng (Printf.sprintf "978-%d-" p) in
-              costs := float_of_int stats.HStr.messages :: !costs
-            done;
-            Stats.mean !costs))
+            let qs =
+              Array.init (min 16 cfg.C.queries) (fun p -> Printf.sprintf "978-%d-" p)
+            in
+            let rs = HStr.query_batch ?pool h ~rng qs in
+            Stats.mean
+              (Array.to_list
+                 (Array.map (fun (_, stats) -> float_of_int stats.HStr.messages) rs))))
       sizes
   in
   let point_location =
@@ -98,13 +100,10 @@ let run (cfg : C.config) =
             let h = HP2.build ~net ~seed pts in
             let rng = Prng.create (seed + 1) in
             let qs = W.uniform_query_points ~seed:(seed + 2) ~n:cfg.C.queries ~dim:2 in
+            let rs = HP2.query_batch ?pool h ~rng qs in
             Stats.mean
               (Array.to_list
-                 (Array.map
-                    (fun q ->
-                      let _, stats = HP2.query h ~rng q in
-                      float_of_int stats.HP2.messages)
-                    qs))))
+                 (Array.map (fun (_, stats) -> float_of_int stats.HP2.messages) rs))))
       sizes
   in
   C.print_shape_table ~title:"message cost per query type (answers verified in-line)" ~sizes

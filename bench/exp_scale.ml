@@ -1,4 +1,5 @@
-(* E15: wall-clock scalability of the host-side update path.
+(* E15: wall-clock scalability of the host-side update path and the
+   parallel read path.
 
    The message-count experiments treat the simulator as free; this one
    makes sure it actually is. We bulk-load a generic 1-d skip-web at
@@ -15,11 +16,22 @@
    routes through): one registration pass, then one sorted sweep per
    level instead of n independent locates.
 
+   After the churn, a query-only phase fans independent queries out over
+   the --jobs domain pool (§4 only serializes updates; queries are
+   read-only walks). Each query i draws its coins from [Prng.stream] i —
+   a pure function of (seed, i) — and each domain records latency into
+   its own [Metrics] shard, merged by name afterwards, so the emitted
+   message statistics are bit-identical for every jobs count and only the
+   wall clock changes.
+
    Per-op wall-clock latency is recorded into a [Metrics] registry
-   (insert/remove/query in microseconds), so the JSON carries
-   p50/p90/p99 latency shapes alongside throughput. Results are printed
-   as a table and written to BENCH_scale.json so the perf trajectory is
-   machine-readable across PRs. *)
+   (insert/remove/query in microseconds, via the monotonic clock in
+   [Bench_common.now]), so the JSON carries p50/p90/p99 latency shapes
+   alongside throughput. Results are printed as a table and written to
+   BENCH_scale.json so the perf trajectory is machine-readable across
+   PRs. Timing fields are confined to the "timing" and "latency" JSON
+   members, so CI can strip them and byte-compare the rest across jobs
+   settings. *)
 
 module Network = Skipweb_net.Network
 module H = Skipweb_core.Hierarchy
@@ -27,11 +39,10 @@ module I = Skipweb_core.Instances
 module W = Skipweb_workload.Workload
 module Prng = Skipweb_util.Prng
 module Metrics = Skipweb_util.Metrics
+module DPool = Skipweb_util.Pool
 module C = Bench_common
 
 module HInt = H.Make (I.Ints)
-
-let now () = Unix.gettimeofday ()
 
 type row = {
   n : int;
@@ -41,12 +52,15 @@ type row = {
   churn_messages : int;
   mean_update_msgs : float;
   final_size : int;
-  metrics : Metrics.t;  (* per-op latency histograms, microseconds *)
+  query_ops : int;
+  query_s : float;
+  jobs : int;
+  metrics : Metrics.t;  (* per-op latency histograms (us) + query messages *)
 }
 
 (* A swap-pop pool of the keys currently stored, for uniform delete
    targets without scanning. *)
-module Pool = struct
+module Key_pool = struct
   type t = { mutable data : int array; mutable len : int; pos : (int, int) Hashtbl.t }
 
   let of_array keys =
@@ -83,41 +97,41 @@ module Pool = struct
     end
 end
 
-let measure ~seed ~n ~ops =
+let measure ~pool ~seed ~n ~ops =
   let bound = 100 * n in
   let keys = W.distinct_ints ~seed ~n ~bound in
   let net = Network.create ~hosts:n in
-  let t0 = now () in
+  let t0 = C.now () in
   let h = HInt.build ~net ~seed keys in
-  let build_s = now () -. t0 in
-  let pool = Pool.of_array keys in
+  let build_s = C.now () -. t0 in
+  let kpool = Key_pool.of_array keys in
   let rng = Prng.create (seed + 0x5ca1e) in
   let messages = ref 0 in
   let updates = ref 0 in
   let m = Metrics.create () in
   let timed name f =
-    let s = now () in
+    let s = C.now () in
     let r = f () in
-    let us = 1e6 *. (now () -. s) in
+    let us = 1e6 *. (C.now () -. s) in
     Metrics.observe m name us;
     Metrics.observe m "op_us" us;
     r
   in
-  let t1 = now () in
+  let t1 = C.now () in
   for i = 0 to ops - 1 do
     match i mod 5 with
     | 0 | 2 ->
         (* Insert a fresh key. *)
         let rec fresh () =
           let k = Prng.int rng bound in
-          if Pool.mem pool k then fresh () else k
+          if Key_pool.mem kpool k then fresh () else k
         in
         let k = fresh () in
         messages := !messages + timed "insert_us" (fun () -> HInt.insert h k);
         incr updates;
-        Pool.add pool k
+        Key_pool.add kpool k
     | 1 | 3 -> (
-        match Pool.remove_random pool rng with
+        match Key_pool.remove_random kpool rng with
         | Some k ->
             messages := !messages + timed "remove_us" (fun () -> HInt.remove h k);
             incr updates
@@ -127,8 +141,40 @@ let measure ~seed ~n ~ops =
         let _, stats = timed "query_us" (fun () -> HInt.query h ~rng q) in
         messages := !messages + stats.HInt.messages
   done;
-  let churn_s = now () -. t1 in
+  let churn_s = C.now () -. t1 in
   HInt.check_invariants h;
+  (* Parallel read phase: independent queries over the settled structure.
+     Query keys are drawn sequentially; query i's origin coins come from
+     [Prng.stream qcoins i], a pure function of (seed, i) — never of the
+     chunk layout — so every jobs count computes the same messages. The
+     message counts land in an index-slotted array and are folded into
+     the registry sequentially (deterministic sample order); only the
+     per-domain latency shards depend on the chunking, and latency is
+     non-deterministic anyway. *)
+  let query_ops = 2 * ops in
+  let qgen = Prng.create (seed + 0xba7c4) in
+  let qs = Array.init query_ops (fun _ -> Prng.int qgen bound) in
+  let qcoins = Prng.create (seed + 0x0271617) in
+  let jobs = match pool with None -> 1 | Some p -> DPool.jobs p in
+  let msgs_of = Array.make query_ops 0 in
+  let shards = Array.init jobs (fun _ -> Metrics.create ()) in
+  let chunk c =
+    let shard = shards.(c) in
+    let lo = c * query_ops / jobs and hi = (c + 1) * query_ops / jobs in
+    for i = lo to hi - 1 do
+      let s = C.now () in
+      let _, stats = HInt.query h ~rng:(Prng.stream qcoins i) qs.(i) in
+      Metrics.observe shard "pq_us" (1e6 *. (C.now () -. s));
+      msgs_of.(i) <- stats.HInt.messages
+    done
+  in
+  let t2 = C.now () in
+  (match pool with
+  | None -> chunk 0
+  | Some p -> DPool.parallel_for p ~lo:0 ~hi:jobs chunk);
+  let query_s = C.now () -. t2 in
+  Array.iter (fun v -> Metrics.observe_int m "query.messages" v) msgs_of;
+  Array.iter (fun shard -> Metrics.merge m shard) shards;
   {
     n;
     build_s;
@@ -138,6 +184,9 @@ let measure ~seed ~n ~ops =
     mean_update_msgs =
       (if !updates = 0 then 0.0 else float_of_int !messages /. float_of_int !updates);
     final_size = HInt.size h;
+    query_ops;
+    query_s;
+    jobs;
     metrics = m;
   }
 
@@ -148,39 +197,58 @@ let json_of_rows rows =
       | Some s -> Some (Printf.sprintf "\"%s\": %s" name (Metrics.json_of_summary s))
       | None -> None
     in
-    String.concat ", " (List.filter_map field [ "insert_us"; "remove_us"; "query_us"; "op_us" ])
+    String.concat ", "
+      (List.filter_map field [ "insert_us"; "remove_us"; "query_us"; "op_us"; "pq_us" ])
+  in
+  let query_messages_json r =
+    match Metrics.histogram_summary r.metrics "query.messages" with
+    | Some s -> Metrics.json_of_summary s
+    | None -> "{\"count\": 0}"
   in
   let row_json r =
     Printf.sprintf
-      "    {\"n\": %d, \"build_s\": %.6f, \"churn_ops\": %d, \"churn_s\": %.6f, \
-       \"churn_ops_per_s\": %.1f, \"churn_messages\": %d, \"mean_update_msgs\": %.2f, \
-       \"final_size\": %d,\n     \"latency\": {%s}}"
-      r.n r.build_s r.churn_ops r.churn_s
+      "    {\"n\": %d, \"churn_ops\": %d, \"churn_messages\": %d, \"mean_update_msgs\": %.2f, \
+       \"final_size\": %d,\n\
+      \     \"query\": {\"ops\": %d, \"messages\": %s},\n\
+      \     \"timing\": {\"jobs\": %d, \"build_s\": %.6f, \"churn_s\": %.6f, \
+       \"churn_ops_per_s\": %.1f, \"query_s\": %.6f, \"query_ops_per_s\": %.1f},\n\
+      \     \"latency\": {%s}}"
+      r.n r.churn_ops r.churn_messages r.mean_update_msgs r.final_size r.query_ops
+      (query_messages_json r) r.jobs r.build_s r.churn_s
       (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s)
-      r.churn_messages r.mean_update_msgs r.final_size (latency_json r)
+      r.query_s
+      (float_of_int r.query_ops /. Float.max 1e-9 r.query_s)
+      (latency_json r)
   in
   Printf.sprintf
     "{\n  \"experiment\": \"scale\",\n  \"structure\": \"1-d generic skip-web (Hierarchy + \
-     sorted lists)\",\n  \"workload\": \"bulk load then mixed churn (40%% insert / 40%% delete \
-     / 20%% query)\",\n  \"rows\": [\n%s\n  ]\n}\n"
+     sorted lists)\",\n  \"workload\": \"bulk load, mixed churn (40%% insert / 40%% delete / \
+     20%% query), then a parallel query phase\",\n  \"rows\": [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map row_json rows))
 
 let run (cfg : C.config) =
-  C.section "Bulk load + churn wall-clock scaling (E15)";
+  C.section "Bulk load + churn + parallel queries: wall-clock scaling (E15)";
   let sizes =
     if cfg.C.quick then [ 1000; 10_000 ] else [ 1000; 10_000; 100_000; 1_000_000 ]
   in
   let rows =
-    List.map
-      (fun n ->
-        let ops = max 500 (min 2000 (n / 10)) in
-        measure ~seed:(List.hd cfg.C.seeds) ~n ~ops)
-      sizes
+    C.with_pool cfg (fun pool ->
+        List.map
+          (fun n ->
+            let ops = max 500 (min 2000 (n / 10)) in
+            measure ~pool ~seed:(List.hd cfg.C.seeds) ~n ~ops)
+          sizes)
   in
   let tbl =
-    Skipweb_util.Tables.create ~title:"host-side wall clock: bulk load + churn"
+    Skipweb_util.Tables.create
+      ~title:
+        (Printf.sprintf "host-side wall clock: bulk load + churn + query phase (%d job(s))"
+           cfg.C.jobs)
       ~columns:
-        [ "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs"; "p50 (us)"; "p99 (us)" ]
+        [
+          "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs"; "p50 (us)";
+          "p99 (us)"; "q ops"; "q (s)"; "q ops/s";
+        ]
   in
   List.iter
     (fun r ->
@@ -199,6 +267,9 @@ let run (cfg : C.config) =
           Printf.sprintf "%.1f" r.mean_update_msgs;
           pct (fun s -> s.Skipweb_util.Stats.p50);
           pct (fun s -> s.Skipweb_util.Stats.p99);
+          string_of_int r.query_ops;
+          Printf.sprintf "%.3f" r.query_s;
+          Printf.sprintf "%.0f" (float_of_int r.query_ops /. Float.max 1e-9 r.query_s);
         ])
     rows;
   Skipweb_util.Tables.print tbl;

@@ -228,14 +228,20 @@ let run (cfg : C.config) =
   Printf.printf
     "Cost model: messages counted per host boundary crossing; M = max stored\n\
      units on any host; C = M + n/H (static congestion, §1.1).\n";
+  C.with_pool cfg @@ fun pool ->
   let results =
     List.map
       (fun spec ->
         let per_n =
           List.map
             (fun n ->
+              (* Each seed replica builds its own network and structure,
+                 so the replicas are independent end to end — including
+                 their updates — and fan out over the --jobs pool as
+                 whole units. [map_seeds] preserves seed order, so the
+                 means below fold identically for any jobs count. *)
               let samples =
-                List.map
+                C.map_seeds ?pool cfg.C.seeds
                   (fun seed ->
                     let queries = W.query_mix ~seed:(seed + 17) ~keys:(W.distinct_ints ~seed ~n ~bound:(100 * n)) ~n:cfg.C.queries ~bound:(100 * n) in
                     let updates =
@@ -243,7 +249,6 @@ let run (cfg : C.config) =
                         ~existing:(W.distinct_ints ~seed ~n ~bound:(100 * n))
                     in
                     spec.run ~seed ~n ~queries ~updates)
-                  cfg.C.seeds
               in
               let mean f = Skipweb_util.Stats.mean (List.map f samples) in
               {

@@ -70,6 +70,7 @@ let trap_messages ~seed ~n ~queries =
 
 let run (cfg : C.config) =
   C.section "Theorem 2: skip-web query complexity (E12-E13)";
+  C.with_pool cfg @@ fun pool ->
   (* Multi-dimensional: O(log n) messages, depth-independent. *)
   let quad_sizes = cfg.C.sizes in
   C.print_shape_table ~title:"quadtree skip-web Q(n) messages" ~sizes:quad_sizes
@@ -194,7 +195,11 @@ let run (cfg : C.config) =
     let g = B1.build ~net ~seed ~m:(4 * log2i n) keys in
     let rng = Prng.create (seed + 1) in
     let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:cfg.C.queries ~bound:(100 * n) in
-    Stats.mean (Array.to_list (Array.map (fun q -> float_of_int (B1.query g ~rng q).B1.messages) qs))
+    (* The E13 query phase fans out over the --jobs pool; the batch
+       pre-draws origins, so the measured costs are bit-identical to the
+       sequential map for any jobs count. *)
+    let rs = B1.query_batch ?pool g ~rng qs in
+    Stats.mean (Array.to_list (Array.map (fun (r : B1.search_result) -> float_of_int r.B1.messages) rs))
   in
   let q_series = List.map (fun n -> C.mean_over_seeds cfg.C.seeds (fun seed -> blocked ~seed ~n)) cfg.C.sizes in
   let normalized =

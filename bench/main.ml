@@ -7,6 +7,10 @@
      dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
      dune exec bench/main.exe -- table1 lemmas   # selected experiments only
      dune exec bench/main.exe -- --no-time    # skip wall-clock benches
+     dune exec bench/main.exe -- --jobs 4     # parallel read path: query
+                                              # phases and seed replicas run
+                                              # on 4 domains (results are
+                                              # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
    bucket, ablations, scale, trace, time. *)
@@ -30,13 +34,33 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_time = List.mem "--no-time" args in
+  (* --jobs N: domains for the parallel read path (query phases and seed
+     replicas). The flag's value is consumed here so the experiment
+     selection below never mistakes the N for an experiment name. *)
+  let jobs, args =
+    let rec take acc = function
+      | "--jobs" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some j when j >= 1 -> (j, List.rev_append acc rest)
+          | Some _ | None ->
+              Printf.eprintf "error: --jobs expects a positive integer, got %S\n" n;
+              exit 2)
+      | [ "--jobs" ] ->
+          Printf.eprintf "error: --jobs expects a value\n";
+          exit 2
+      | a :: rest -> take (a :: acc) rest
+      | [] -> (1, List.rev acc)
+    in
+    take [] args
+  in
   let selected = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
   let cfg = if quick then Bench_common.quick_config else Bench_common.default_config in
+  let cfg = { cfg with Bench_common.jobs } in
   Printf.printf
-    "skip-webs reproduction harness — sizes: %s, %d queries, %d updates, %d seed(s)\n"
+    "skip-webs reproduction harness — sizes: %s, %d queries, %d updates, %d seed(s), %d job(s)\n"
     (String.concat "," (List.map string_of_int cfg.Bench_common.sizes))
     cfg.Bench_common.queries cfg.Bench_common.updates
-    (List.length cfg.Bench_common.seeds);
+    (List.length cfg.Bench_common.seeds) cfg.Bench_common.jobs;
   let unknown = List.filter (fun s -> not (List.mem_assoc s experiments) && s <> "time") selected in
   List.iter (fun s -> Printf.eprintf "warning: unknown experiment %S ignored\n" s) unknown;
   let want name = selected = [] || List.mem name selected in

@@ -54,11 +54,18 @@ let log2i n =
 type driver = {
   describe : string;
   query : int -> int;  (* returns messages *)
+  query_all : Skipweb_util.Pool.t option -> int array -> int array;
+      (* batch query phase; fans out over the pool where the structure
+         supports it, falls back to a sequential map otherwise. The
+         message counts are identical to mapping [query] for any jobs
+         count. *)
   insert : int -> int;
   delete : int -> int;
   host_count : int;
   net : Network.t;  (* for traffic / memory distributions *)
 }
+
+let seq_batch query _pool qs = Array.map query qs
 
 let make_driver structure ~net_pad ~seed ~m ~buckets keys =
   let n = Array.length keys in
@@ -67,9 +74,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       let net = Network.create ~hosts:(n + net_pad) in
       let g = SG.create ~net ~seed ~keys in
       let rng = Prng.create (seed + 1) in
+      let query q = (SG.search_from_random g ~rng q).SG.messages in
       {
         describe = "skip graph (Aspnes-Shah) / SkipNet, H = n";
-        query = (fun q -> (SG.search_from_random g ~rng q).SG.messages);
+        query;
+        query_all = seq_batch query;
         insert = SG.insert g;
         delete = SG.delete g;
         host_count = Network.host_count net;
@@ -79,9 +88,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       let net = Network.create ~hosts:(n + net_pad) in
       let g = NoN.create ~net ~seed ~keys in
       let rng = Prng.create (seed + 1) in
+      let query q = (NoN.search_from_random g ~rng q).NoN.messages in
       {
         describe = "NoN skip graph (Manku-Naor-Wieder lookahead), H = n";
-        query = (fun q -> (NoN.search_from_random g ~rng q).NoN.messages);
+        query;
+        query_all = seq_batch query;
         insert = NoN.insert g;
         delete = NoN.delete g;
         host_count = Network.host_count net;
@@ -91,9 +102,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       let net = Network.create ~hosts:(n + net_pad) in
       let g = FT.create ~net ~seed ~keys in
       let rng = Prng.create (seed + 1) in
+      let query q = (FT.search g ~from:(Prng.int rng (max 1 (FT.size g))) q).FT.messages in
       {
         describe = "family tree comparator (constant-degree overlay), H = n";
-        query = (fun q -> (FT.search g ~from:(Prng.int rng (max 1 (FT.size g))) q).FT.messages);
+        query;
+        query_all = seq_batch query;
         insert = FT.insert g;
         delete = FT.delete g;
         host_count = Network.host_count net;
@@ -102,9 +115,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
   | Det_skipnet ->
       let net = Network.create ~hosts:((2 * n) + net_pad + 4) in
       let g = DS.create ~net ~keys in
+      let query q = (DS.search g ~from:0 q).DS.messages in
       {
         describe = "deterministic SkipNet (1-2-3 skip list), H = n";
-        query = (fun q -> (DS.search g ~from:0 q).DS.messages);
+        query;
+        query_all = seq_batch query;
         insert = DS.insert g;
         delete = DS.delete g;
         host_count = Network.host_count net;
@@ -115,9 +130,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       let net = Network.create ~hosts:(2 * hosts) in
       let g = BSG.create ~net ~seed ~keys ~buckets:hosts in
       let rng = Prng.create (seed + 1) in
+      let query q = (BSG.search g ~rng q).BSG.messages in
       {
         describe = Printf.sprintf "bucket skip graph, H = %d < n" hosts;
-        query = (fun q -> (BSG.search g ~rng q).BSG.messages);
+        query;
+        query_all = seq_batch query;
         insert = (fun k -> BSG.insert g ~rng k);
         delete = (fun k -> BSG.delete g ~rng k);
         host_count = Network.host_count net;
@@ -131,6 +148,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       {
         describe = Printf.sprintf "skip-web, blocked (§2.4.1), H = n, M = %d" m;
         query = (fun q -> (B1.query g ~rng q).B1.messages);
+        query_all =
+          (fun pool qs ->
+            Array.map
+              (fun (r : B1.search_result) -> r.B1.messages)
+              (B1.query_batch ?pool g ~rng qs));
         insert = B1.insert g;
         delete = B1.delete g;
         host_count = Network.host_count net;
@@ -146,19 +168,26 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
           (fun q ->
             let _, stats = HInt.query g ~rng q in
             stats.HInt.messages);
+        query_all =
+          (fun pool qs ->
+            Array.map (fun (_, stats) -> stats.HInt.messages) (HInt.query_batch ?pool g ~rng qs));
         insert = HInt.insert g;
         delete = HInt.remove g;
         host_count = Network.host_count net;
         net;
       }
 
-let run_query structure n queries seed m buckets =
+let run_query structure n queries seed m buckets jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets keys in
   Printf.printf "structure: %s\n" d.describe;
-  Printf.printf "items: %d   hosts: %d   queries: %d\n\n" n d.host_count queries;
+  Printf.printf "items: %d   hosts: %d   queries: %d   jobs: %d\n\n" n d.host_count queries
+    (max 1 jobs);
   let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
-  let costs = Array.to_list (Array.map (fun q -> float_of_int (d.query q)) qs) in
+  (* The measured costs are identical for any --jobs value; the pool only
+     spreads the walks over domains. *)
+  let msgs = Skipweb_util.Pool.with_pool ~jobs (fun pool -> d.query_all pool qs) in
+  let costs = Array.to_list (Array.map float_of_int msgs) in
   let s = Stats.summarize costs in
   let t = Tables.create ~title:"query message cost Q(n)" ~columns:[ "mean"; "p50"; "p90"; "p99"; "max" ] in
   Tables.add_row t
@@ -297,16 +326,21 @@ let run_trace structure n seed m at =
 
 type stats_format = Table | Json | Csv
 
-let run_stats structure n queries updates seed m buckets format =
+let run_stats structure n queries updates seed m buckets format jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets keys in
   let reg = Metrics.create () in
+  let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
+  (* The query phase fans out over --jobs domains; the message counts come
+     back in an index-slotted array and are recorded sequentially, so the
+     registry (and the json/csv dumps) are byte-identical for any jobs
+     count. *)
+  let msgs = Skipweb_util.Pool.with_pool ~jobs (fun pool -> d.query_all pool qs) in
   Array.iter
-    (fun q ->
-      let msgs = d.query q in
+    (fun m ->
       Metrics.incr reg "ops.query";
-      Metrics.observe_int reg "query.messages" msgs)
-    (W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n));
+      Metrics.observe_int reg "query.messages" m)
+    msgs;
   let fresh =
     (* Fresh keys above the stored domain, so inserts always succeed. *)
     let rng = Prng.create (seed + 3) in
@@ -388,11 +422,12 @@ let updates_arg = Arg.(value & opt int 50 & info [ "updates"; "u" ] ~docv:"U" ~d
 let seed_arg = Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc:"Per-host memory target for skip-webs (default 4 log n).")
 let buckets_arg = Arg.(value & opt (some int) None & info [ "buckets" ] ~docv:"H" ~doc:"Host count for bucket structures (default n / log n).")
+let jobs_arg = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc:"Domains for the query phase (skip-web structures only; 1 = sequential). Measured costs are identical for any value.")
 
 let query_cmd =
   let doc = "Measure query message costs on a structure." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg)
+    Term.(const run_query $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ jobs_arg)
 
 let update_cmd =
   let doc = "Measure insert/delete message costs on a structure." in
@@ -418,7 +453,7 @@ let format_arg =
 let stats_cmd =
   let doc = "Run a query/update workload and dump the metrics registry (messages-per-op distributions, per-host traffic and memory histograms)." in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg)
+    Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg $ jobs_arg)
 
 let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in

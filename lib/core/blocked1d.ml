@@ -258,6 +258,7 @@ let query_from ?trace t origin q =
     end
   in
   descend t.top;
+  Network.finish session;
   let predecessor = O.predecessor t.keys q in
   let successor = O.successor t.keys q in
   { predecessor; successor; nearest = O.nearest t.keys q; messages = Network.messages session }
@@ -265,6 +266,29 @@ let query_from ?trace t origin q =
 let query ?trace t ~rng q =
   if size t = 0 then { predecessor = None; successor = None; nearest = None; messages = 0 }
   else query_from ?trace t (O.get t.keys (Prng.int rng (size t))) q
+
+(* Parallel fan-out of independent queries: origins pre-drawn sequentially
+   (one rng draw per query, matching a loop of [query] coin-for-coin), then
+   each descent is a pure read-only walk whose session commits through the
+   network's atomic counters — results and network totals are bit-identical
+   for any jobs count. An empty structure consumes no rng draws, exactly
+   like the sequential loop. *)
+let query_batch ?pool t ~rng qs =
+  let n = Array.length qs in
+  if size t = 0 then
+    Array.map (fun _ -> { predecessor = None; successor = None; nearest = None; messages = 0 }) qs
+  else begin
+    let origins = Array.init n (fun _ -> O.get t.keys (Prng.int rng (size t))) in
+    let out = Array.make n None in
+    let run i = out.(i) <- Some (query_from t origins.(i) qs.(i)) in
+    (match pool with
+    | None ->
+        for i = 0 to n - 1 do
+          run i
+        done
+    | Some p -> Skipweb_util.Pool.parallel_for p ~lo:0 ~hi:n run);
+    Array.map (function Some r -> r | None -> assert false) out
+  end
 
 let mem t k = O.mem t.keys k
 

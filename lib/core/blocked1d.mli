@@ -62,6 +62,16 @@ val query : ?trace:Skipweb_net.Trace.t -> t -> rng:Prng.t -> int -> search_resul
     exactly where the O(log n / log log n) bound spends its messages.
     Tracing never changes the message cost. *)
 
+val query_batch :
+  ?pool:Skipweb_util.Pool.t -> t -> rng:Prng.t -> int array -> search_result array
+(** A batch of independent nearest-neighbor queries, fanned out over
+    [pool]'s domains when one is given. Origins are pre-drawn sequentially
+    from [rng] (one draw per query, exactly as a loop of {!query} would),
+    so answers, per-query message counts and the network's message /
+    traffic totals are bit-identical to the sequential loop for {e any}
+    jobs count — [?pool] only changes wall-clock time. The structure must
+    not be updated while a batch is in flight (§4 serializes updates). *)
+
 val insert : t -> int -> int
 (** Message cost: locate + O(1) per basic level. No-op cost 0 on
     duplicates. *)

@@ -2,6 +2,7 @@ module Network = Skipweb_net.Network
 module Trace = Skipweb_net.Trace
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
+module Pool = Skipweb_util.Pool
 
 module Make (S : Range_structure.S) = struct
   (* Level sets are identified by (level, prefix): the level-ℓ set with
@@ -296,6 +297,7 @@ module Make (S : Range_structure.S) = struct
       end
     in
     let loc_final, s_final = descend (t.top - 1) loc0 s_top in
+    Network.finish session;
     let answer = S.answer s_final loc_final q in
     ( answer,
       {
@@ -307,6 +309,27 @@ module Make (S : Range_structure.S) = struct
   let query ?trace t ~rng q =
     if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
     query_from ?trace t (sample_id t rng) q
+
+  (* Parallel fan-out of independent queries. Origins are pre-drawn
+     sequentially from the caller's rng — [query] consumes exactly one
+     draw per call, so the batch sees the same coin sequence a sequential
+     loop of [query] would — after which each [query_from] is a pure
+     read-only walk committing its session via the network's atomic
+     counters. Answers, stats and network totals are therefore
+     bit-identical for any jobs count, including [pool = None]. *)
+  let query_batch ?pool t ~rng qs =
+    let n = Array.length qs in
+    if n > 0 && size t = 0 then invalid_arg "Hierarchy.query_batch: empty structure";
+    let origins = Array.init n (fun _ -> sample_id t rng) in
+    let out = Array.make n None in
+    let run i = out.(i) <- Some (query_from t origins.(i) qs.(i)) in
+    (match pool with
+    | None ->
+        for i = 0 to n - 1 do
+          run i
+        done
+    | Some p -> Pool.parallel_for p ~lo:0 ~hi:n run);
+    Array.map (function Some r -> r | None -> assert false) out
 
   (* The counterpart of [grow_top]: after deletions the required number of
      levels shrinks, so dead levels must be dropped — otherwise the

@@ -52,6 +52,21 @@ module Make (S : Range_structure.S) : sig
       {!Skipweb_net.Trace.per_level_hops} decomposes [messages] by level.
       Tracing never changes the message cost. *)
 
+  val query_batch :
+    ?pool:Skipweb_util.Pool.t ->
+    t ->
+    rng:Skipweb_util.Prng.t ->
+    S.query array ->
+    (S.answer * query_stats) array
+  (** A batch of independent queries, fanned out over [pool]'s domains
+      when one is given. Origins are pre-drawn sequentially from [rng]
+      (one draw per query, exactly as a loop of {!query} would draw
+      them), so the answers, per-query stats and the network's message /
+      traffic totals are bit-identical to the sequential loop for {e any}
+      jobs count — [?pool] only changes wall-clock time. The structure
+      must not be updated while a batch is in flight (the paper
+      serializes updates against queries, §4). *)
+
   val insert : t -> S.key -> int
   (** Add an element; returns the message cost (a locate plus O(1) linking
       messages per level, §4). Grows the level hierarchy when n crosses a

@@ -1,16 +1,26 @@
 type host = int
 
+(* Shared workload counters are atomics so that sessions running on
+   different domains can commit concurrently; memory charges stay plain
+   (updates are serialized per the paper's §4 model, and only updates
+   charge memory). *)
 type t = {
   hosts : int;
   memory : int array;
-  traffic : int array;
-  mutable total_messages : int;
-  mutable sessions : int;
+  traffic : int Atomic.t array;
+  total_messages : int Atomic.t;
+  sessions : int Atomic.t;
 }
 
 let create ~hosts =
   if hosts < 1 then invalid_arg "Network.create: need at least one host";
-  { hosts; memory = Array.make hosts 0; traffic = Array.make hosts 0; total_messages = 0; sessions = 0 }
+  {
+    hosts;
+    memory = Array.make hosts 0;
+    traffic = Array.init hosts (fun _ -> Atomic.make 0);
+    total_messages = Atomic.make 0;
+    sessions = Atomic.make 0;
+  }
 
 let host_count t = t.hosts
 
@@ -32,47 +42,68 @@ let total_memory t = Array.fold_left ( + ) 0 t.memory
 
 let mean_memory t = float_of_int (total_memory t) /. float_of_int t.hosts
 
-type session = { net : t; mutable at : host; mutable msgs : int; trace : Trace.t option }
+(* A session buffers everything it will charge the network — its message
+   count and the reversed list of host visits — and commits the lot in
+   [finish]. Until then it touches no shared state, so any number of
+   sessions may run concurrently on different domains; the committed
+   quantities are sums, and sums are order-independent, so the totals are
+   bit-identical to a sequential run of the same sessions. *)
+type session = {
+  net : t;
+  mutable at : host;
+  mutable msgs : int;
+  mutable visits : host list;  (* reverse order, includes the start host *)
+  mutable finished : bool;
+  trace : Trace.t option;
+}
 
 let start ?trace t h =
   check_host t h;
-  t.sessions <- t.sessions + 1;
-  t.traffic.(h) <- t.traffic.(h) + 1;
-  { net = t; at = h; msgs = 0; trace }
+  { net = t; at = h; msgs = 0; visits = [ h ]; finished = false; trace }
 
 let current s = s.at
 
 let session_trace s = s.trace
 
 let goto ?label s h =
+  if s.finished then invalid_arg "Network.goto: session already finished";
   check_host s.net h;
   if h <> s.at then begin
     (match s.trace with None -> () | Some tr -> Trace.hop tr ?label ~src:s.at ~dst:h ());
     s.msgs <- s.msgs + 1;
-    s.net.total_messages <- s.net.total_messages + 1;
-    s.net.traffic.(h) <- s.net.traffic.(h) + 1;
+    s.visits <- h :: s.visits;
     s.at <- h
   end
 
 let messages s = s.msgs
 
-let total_messages t = t.total_messages
+let finish s =
+  if not s.finished then begin
+    s.finished <- true;
+    Atomic.incr s.net.sessions;
+    if s.msgs > 0 then ignore (Atomic.fetch_and_add s.net.total_messages s.msgs);
+    List.iter (fun h -> Atomic.incr s.net.traffic.(h)) s.visits;
+    s.visits <- []
+  end
 
-let sessions_started t = t.sessions
+let total_messages t = Atomic.get t.total_messages
+
+let sessions_started t = Atomic.get t.sessions
 
 let traffic t h =
   check_host t h;
-  t.traffic.(h)
+  Atomic.get t.traffic.(h)
 
-let max_traffic t = Array.fold_left max 0 t.traffic
+let max_traffic t = Array.fold_left (fun acc a -> max acc (Atomic.get a)) 0 t.traffic
 
 let mean_traffic t =
-  float_of_int (Array.fold_left ( + ) 0 t.traffic) /. float_of_int t.hosts
+  float_of_int (Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.traffic)
+  /. float_of_int t.hosts
 
 let reset_traffic t =
-  Array.fill t.traffic 0 t.hosts 0;
-  t.total_messages <- 0;
-  t.sessions <- 0
+  Array.iter (fun a -> Atomic.set a 0) t.traffic;
+  Atomic.set t.total_messages 0;
+  Atomic.set t.sessions 0
 
 let congestion t ~items =
   let worst = max_memory t in

@@ -8,10 +8,14 @@
     memory is measured in stored items / nodes / pointers / host IDs.
 
     Every query or update runs inside a {!session}, which tracks the host
-    currently processing the operation and counts boundary crossings. The
-    network accumulates per-host traffic (visits) across sessions for
-    congestion reporting, and per-host memory charges for the [M] and [C(n)]
-    columns of Table 1. *)
+    currently processing the operation and counts boundary crossings. A
+    session buffers its counts locally and commits them to the network's
+    shared counters only at {!finish}; the shared counters are atomics, so
+    finished sessions may have run concurrently on different domains (the
+    parallel read path) and the accumulated totals are still exactly the
+    sums a sequential run would produce. The network accumulates per-host
+    traffic (visits) across sessions for congestion reporting, and per-host
+    memory charges for the [M] and [C(n)] columns of Table 1. *)
 
 type t
 
@@ -24,7 +28,11 @@ val create : hosts:int -> t
 
 val host_count : t -> int
 
-(** {1 Memory accounting} *)
+(** {1 Memory accounting}
+
+    Memory charges describe the structure, not a workload, and updates are
+    serialized (§4), so these are plain (non-atomic) counters: never call
+    them from concurrent sessions. *)
 
 val charge_memory : t -> host -> int -> unit
 (** [charge_memory net h k] records that host [h] stores [k] more units
@@ -36,17 +44,28 @@ val max_memory : t -> int
 val mean_memory : t -> float
 val total_memory : t -> int
 
-(** {1 Sessions: one query or update} *)
+(** {1 Sessions: one query or update}
+
+    Lifecycle: {!start} … {!goto}* … {!finish}. Between [start] and
+    [finish] a session touches only its own state, so independent sessions
+    (read-only queries) may run concurrently on different domains against
+    the same network. [finish] commits the session's message count and its
+    per-host visit deltas to the shared atomic counters; since every
+    committed quantity is a sum of non-negative deltas, the network totals
+    after all sessions finish are independent of interleaving —
+    bit-identical to running the same sessions sequentially. A session
+    that is never finished contributes nothing to the network. *)
 
 type session
 
 val start : ?trace:Trace.t -> t -> host -> session
 (** Begin an operation at host [h] (the host owning the operation's root
-    pointer). The starting visit is recorded for congestion but costs no
-    message. When [trace] is supplied, every subsequent boundary crossing
-    of this session is recorded into it as a {!Trace.Hop}; when absent the
-    session does no trace work at all, so the cost model is unchanged by
-    the existence of the tracing machinery. *)
+    pointer). The starting visit is recorded for congestion (committed at
+    {!finish}) but costs no message. When [trace] is supplied, every
+    subsequent boundary crossing of this session is recorded into it as a
+    {!Trace.Hop}; when absent the session does no trace work at all, so
+    the cost model is unchanged by the existence of the tracing
+    machinery. *)
 
 val current : session -> host
 
@@ -54,22 +73,37 @@ val session_trace : session -> Trace.t option
 
 val goto : ?label:string -> session -> host -> unit
 (** [goto s h] moves the locus of processing to host [h]. Costs one message
-    (and one unit of traffic at [h]) iff [h] differs from the current
-    host. [label] tags the hop in the session's trace (ignored for
-    untraced sessions); it never affects costs. *)
+    (and one unit of traffic at [h], committed at {!finish}) iff [h]
+    differs from the current host. [label] tags the hop in the session's
+    trace (ignored for untraced sessions); it never affects costs.
+    Raises [Invalid_argument] if the session is already finished. *)
 
 val messages : session -> int
-(** Messages sent so far in this session. *)
+(** Messages sent so far in this session (session-local; readable at any
+    time, before or after {!finish}). *)
+
+val finish : session -> unit
+(** Commit the session: one started session, [messages s] toward
+    {!total_messages}, and one traffic unit per buffered host visit.
+    Idempotent — a second [finish] is a no-op. Every [start] must be
+    paired with a [finish] before the network's workload counters are
+    read; the pinned message-total guards in the test suite exist to
+    catch a forgotten one. *)
 
 (** {1 Traffic / congestion} *)
 
 val total_messages : t -> int
-(** Sum of messages over all sessions since the last {!reset_traffic}. *)
+(** Sum of messages over all {e finished} sessions since the last
+    {!reset_traffic}. *)
 
 val sessions_started : t -> int
+(** Number of {e finished} sessions (the name predates the deferred-commit
+    sessions: a session is counted when it finishes, so that
+    [total_messages / sessions_started] always describes completed
+    operations only). *)
 
 val traffic : t -> host -> int
-(** Number of session visits host [h] has served. *)
+(** Number of session visits host [h] has served (finished sessions). *)
 
 val max_traffic : t -> int
 val mean_traffic : t -> float
@@ -79,7 +113,8 @@ val reset_traffic : t -> unit
     total, {e and} {!sessions_started} — the three always describe the same
     window of operations, so a partial reset would silently skew per-session
     averages computed as [total_messages / sessions_started]. Memory charges
-    are kept: they describe the structure, not the workload. *)
+    are kept: they describe the structure, not the workload. Must not run
+    concurrently with live sessions. *)
 
 val congestion : t -> items:int -> float
 (** The paper's static congestion measure for the most loaded host:

@@ -116,6 +116,7 @@ let search t ~from q =
   else begin
     let session = Network.start t.net from in
     let pos = descend t session q ~stop_level:1 in
+    Network.finish session;
     let predecessor = if pos >= 0 then Some (O.get t.xs pos) else None in
     let successor =
       if pos >= 0 && O.get t.xs pos = q then Some q
@@ -155,6 +156,7 @@ let insert t k =
   (* Locate: a full search paid by the inserting host. *)
   let session = Network.start t.net header_host in
   let _ = descend t session k ~stop_level:1 in
+  Network.finish session;
   let locate_cost = Network.messages session in
   (* Splice in at height 1. *)
   ignore (O.insert t.xs k);
@@ -177,6 +179,7 @@ let insert t k =
       (* Partial search to level h+1 to find the gap, then scan and link. *)
       let s = Network.start t.net header_host in
       let _ = descend t s (O.get t.xs promoted) ~stop_level:(min (height t) (h + 1)) in
+      Network.finish s;
       msgs := !msgs + Network.messages s + List.length members + 2;
       fixup promoted (h + 1)
     end
@@ -204,6 +207,7 @@ let delete t k =
   if pos >= n || O.get t.xs pos <> k then invalid_arg "Det_skipnet.delete: absent key";
   let session = Network.start t.net header_host in
   let _ = descend t session k ~stop_level:1 in
+  Network.finish session;
   let msgs = ref (Network.messages session) in
   let h0 = O.Vec.get t.hs pos in
   (* Unlink at each of its levels. *)
@@ -236,6 +240,7 @@ let delete t k =
   let partial_search_cost key stop =
     let s = Network.start t.net header_host in
     let _ = descend t s key ~stop_level:(min (height t) (max 1 stop)) in
+    Network.finish s;
     Network.messages s
   in
   (* Phase (a): re-split overflowing merged gaps at levels below h0. *)

@@ -67,6 +67,7 @@ let search t ~from q =
         | None, Some s -> Some s
         | Some p, Some s -> if q - p <= s - q then Some p else Some s
       in
+      Network.finish session;
       { predecessor = !pred; successor = !succ; nearest; messages = Network.messages session }
 
 let rotate_right n =

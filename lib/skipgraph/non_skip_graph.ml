@@ -110,6 +110,7 @@ let search t ~from q =
           Network.goto session (host_of_index t j)
       | None -> continue := false
     done;
+    Network.finish session;
     result t ~messages:(Network.messages session) q
   end
 

@@ -87,6 +87,7 @@ let search t ~from q =
       done;
       decr level
     done;
+    Network.finish session;
     result t ~messages:(Network.messages session) q
   end
 

@@ -48,6 +48,23 @@ let histogram_summary t name =
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [] |> List.sort compare
 
+(* Shard merging for parallel recording: each worker records into its own
+   registry, then the shards are folded into one. Counters add and
+   histogram sample multisets union, both commutative — and every exported
+   histogram figure is computed from the sorted sample multiset — so the
+   merged registry's exports do not depend on the merge order or on which
+   worker recorded which sample. *)
+let merge dst src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find src.entries name with
+      | Counter c -> incr dst ~by:!c name
+      | Histogram s ->
+          let d = histogram dst name in
+          d.values <- List.rev_append s.values d.values;
+          d.count <- d.count + s.count)
+    (names src)
+
 let json_of_summary (s : Stats.summary) =
   Printf.sprintf
     "{\"count\": %d, \"mean\": %g, \"stddev\": %g, \"min\": %g, \"max\": %g, \"p50\": %g, \

@@ -1,0 +1,153 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* tasks queued or executing, current batch *)
+  mutable active : bool;  (* a parallel_for is in flight *)
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable workers : unit Domain.t list;
+}
+
+(* Run one task; record the first exception rather than killing the domain,
+   then account for its completion. *)
+let exec pool task =
+  (try task ()
+   with e ->
+     Mutex.lock pool.mutex;
+     if pool.failure = None then pool.failure <- Some e;
+     Mutex.unlock pool.mutex);
+  Mutex.lock pool.mutex;
+  pool.pending <- pool.pending - 1;
+  if pool.pending = 0 then Condition.broadcast pool.work_done;
+  Mutex.unlock pool.mutex
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.work_ready pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* stop *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    exec pool task;
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      active = false;
+      stop = false;
+      failure = None;
+      workers = [];
+    }
+  in
+  (* The caller participates in draining the queue, so jobs - 1 extra
+     domains suffice for a concurrency level of [jobs]. *)
+  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+(* The submitting domain helps: run queued tasks until none are left, then
+   wait for the stragglers other domains are still executing. *)
+let drain pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      exec pool task;
+      loop ()
+    end
+    else begin
+      while pool.pending > 0 do
+        Condition.wait pool.work_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex
+    end
+  in
+  loop ()
+
+let parallel_for pool ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then
+    if pool.jobs = 1 || n = 1 then
+      for i = lo to hi - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock pool.mutex;
+      if pool.stop then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.parallel_for: pool is shut down"
+      end;
+      if pool.active then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.parallel_for: pool already running a batch (not re-entrant)"
+      end;
+      pool.active <- true;
+      pool.failure <- None;
+      (* Deterministic static chunking: [chunks] contiguous index ranges
+         whose boundaries depend only on (lo, hi, jobs), never on timing. *)
+      let chunks = min pool.jobs n in
+      let base = n / chunks and extra = n mod chunks in
+      pool.pending <- chunks;
+      for c = 0 to chunks - 1 do
+        let start = lo + (c * base) + min c extra in
+        let stop = start + base + if c < extra then 1 else 0 in
+        Queue.push
+          (fun () ->
+            for i = start to stop - 1 do
+              f i
+            done)
+          pool.queue
+      done;
+      Condition.broadcast pool.work_ready;
+      Mutex.unlock pool.mutex;
+      drain pool;
+      Mutex.lock pool.mutex;
+      pool.active <- false;
+      let failure = pool.failure in
+      pool.failure <- None;
+      Mutex.unlock pool.mutex;
+      match failure with Some e -> raise e | None -> ()
+    end
+
+let parallel_map pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let already = pool.stop in
+  pool.stop <- true;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  if not already then begin
+    List.iter Domain.join pool.workers;
+    pool.workers <- []
+  end
+
+let with_pool ~jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+  end

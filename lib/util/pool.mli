@@ -1,0 +1,52 @@
+(** A fixed-size domain pool for the parallel read path.
+
+    Queries against a skip-web are independent read-only walks; the paper
+    only serializes updates (§4). This pool is the execution engine for
+    fanning such walks out over OCaml 5 domains: [jobs - 1] worker domains
+    plus the submitting domain drain a shared task queue, so a pool of
+    [~jobs:k] runs at concurrency [k].
+
+    Work is split by {e deterministic static chunking}: an index range is
+    cut into at most [jobs] contiguous chunks whose boundaries depend only
+    on the range and the jobs count — never on scheduling — so any
+    per-chunk derivation (PRNG streams, metrics shards) is reproducible
+    across runs. [~jobs:1] executes inline on the calling domain with no
+    queue, no locks and no domains: the sequential behaviour is the
+    identity case, not a special one.
+
+    A pool is {e not re-entrant}: tasks must not themselves call
+    {!parallel_for}/{!parallel_map} on the same pool (detected and
+    rejected with [Invalid_argument]). One batch runs at a time. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains. Requires [jobs >= 1];
+    [~jobs:1] spawns nothing. Call {!shutdown} when done. *)
+
+val jobs : t -> int
+(** The concurrency level the pool was created with. *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [i] in [\[lo, hi)],
+    split into contiguous chunks across the pool's domains. Within a chunk,
+    indices run in ascending order. If any [f i] raises, the first
+    exception (in completion order) is re-raised in the caller after all
+    chunks have finished; the pool remains usable. Empty ranges are
+    no-ops. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f xs] is [Array.map f xs] with the elements
+    processed as {!parallel_for} chunks; the result preserves index
+    order, so reductions over it are bit-identical to the sequential
+    map regardless of the jobs count. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. Using the pool after
+    shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t option -> 'a) -> 'a
+(** [with_pool ~jobs f] calls [f (Some pool)] with a fresh pool and shuts
+    it down afterwards (also on exceptions) — or calls [f None] when
+    [jobs <= 1], the convention query-batch entry points use for "run
+    sequentially inline". *)

@@ -18,6 +18,15 @@ let next64 g =
 
 let split g = { state = mix64 (Int64.logxor (next64 g) 0xA3EC647659359ACDL) }
 
+let stream g i =
+  if i < 0 then invalid_arg "Prng.stream: index must be non-negative";
+  (* Indexed substream derivation: jump the (unmodified) base state by
+     [i + 1] gammas and re-mix, as if the stream were the result of the
+     (i + 1)-th split. Unlike [split] this never advances [g], so the
+     mapping (base state, i) -> stream is a pure function and any worker
+     can derive stream [i] without coordinating with the others. *)
+  { state = mix64 (Int64.logxor (Int64.add g.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) 0xA3EC647659359ACDL) }
+
 let bits g = Int64.to_int (Int64.shift_right_logical (next64 g) 2)
 
 let int g n =

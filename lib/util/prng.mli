@@ -24,6 +24,16 @@ val split : t -> t
 (** [split g] advances [g] and returns a new generator whose stream is
     (for practical purposes) independent of the rest of [g]'s stream. *)
 
+val stream : t -> int -> t
+(** [stream g i] derives the [i]-th indexed substream of [g] {e without}
+    advancing [g]: a pure function of ([g]'s current state, [i]), with
+    distinct [i] giving (for practical purposes) independent streams.
+    This is the per-worker derivation for parallel workloads: each unit
+    of work [i] uses [stream g i], so the coins it sees depend only on
+    the base seed and [i] — never on which domain ran it or in what
+    order — making parallel runs bit-identical to sequential ones.
+    Requires [i >= 0]. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

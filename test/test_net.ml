@@ -33,9 +33,11 @@ let test_total_messages_accumulate () =
   let net = Network.create ~hosts:3 in
   let s1 = Network.start net 0 in
   Network.goto s1 1;
+  Network.finish s1;
   let s2 = Network.start net 2 in
   Network.goto s2 0;
   Network.goto s2 1;
+  Network.finish s2;
   checki "global total" 3 (Network.total_messages net);
   checki "sessions" 2 (Network.sessions_started net)
 
@@ -45,12 +47,43 @@ let test_traffic_tracking () =
   Network.goto s 1;
   Network.goto s 2;
   Network.goto s 1;
+  Network.finish s;
   checki "host 1 visited twice" 2 (Network.traffic net 1);
   checki "host 0 visited once (start)" 1 (Network.traffic net 0);
   checki "max traffic" 2 (Network.max_traffic net);
   Network.reset_traffic net;
   checki "reset clears traffic" 0 (Network.traffic net 1);
   checki "reset clears totals" 0 (Network.total_messages net)
+
+(* Pins the deferred-commit contract behind the parallel read path: a
+   session buffers its messages and visits locally and charges the
+   network only at [finish], so concurrent sessions never race on the
+   shared counters and the committed totals are plain sums. *)
+let test_deferred_commit () =
+  let net = Network.create ~hosts:4 in
+  let s = Network.start net 0 in
+  Network.goto s 1;
+  Network.goto s 2;
+  checki "session sees its own cost" 2 (Network.messages s);
+  checki "network sees nothing before finish" 0 (Network.total_messages net);
+  checki "no traffic before finish" 0 (Network.traffic net 1);
+  checki "no session counted before finish" 0 (Network.sessions_started net);
+  Network.finish s;
+  checki "messages committed" 2 (Network.total_messages net);
+  checki "start host visit committed" 1 (Network.traffic net 0);
+  checki "hop visits committed" 1 (Network.traffic net 1);
+  checki "session counted" 1 (Network.sessions_started net);
+  (* finish is idempotent: a second call commits nothing more. *)
+  Network.finish s;
+  checki "second finish is a no-op (messages)" 2 (Network.total_messages net);
+  checki "second finish is a no-op (traffic)" 1 (Network.traffic net 0);
+  checki "second finish is a no-op (sessions)" 1 (Network.sessions_started net);
+  (* the session stays readable after finish... *)
+  checki "messages readable after finish" 2 (Network.messages s);
+  checki "current readable after finish" 2 (Network.current s);
+  (* ...but cannot move again. *)
+  Alcotest.check_raises "goto after finish"
+    (Invalid_argument "Network.goto: session already finished") (fun () -> Network.goto s 3)
 
 let test_memory_accounting () =
   let net = Network.create ~hosts:4 in
@@ -69,7 +102,9 @@ let test_reset_traffic_resets_sessions () =
   let net = Network.create ~hosts:3 in
   let s = Network.start net 0 in
   Network.goto s 1;
-  ignore (Network.start net 2);
+  Network.finish s;
+  let s' = Network.start net 2 in
+  Network.finish s';
   checki "two sessions before reset" 2 (Network.sessions_started net);
   Network.reset_traffic net;
   checki "sessions reset too" 0 (Network.sessions_started net);
@@ -78,6 +113,7 @@ let test_reset_traffic_resets_sessions () =
   (* The window restarts cleanly. *)
   let s2 = Network.start net 0 in
   Network.goto s2 1;
+  Network.finish s2;
   checki "fresh window counts sessions" 1 (Network.sessions_started net);
   checki "fresh window counts messages" 1 (Network.total_messages net)
 
@@ -241,6 +277,7 @@ let suite =
     Alcotest.test_case "session counts crossings" `Quick test_session_counts_crossings;
     Alcotest.test_case "total messages accumulate" `Quick test_total_messages_accumulate;
     Alcotest.test_case "traffic tracking" `Quick test_traffic_tracking;
+    Alcotest.test_case "deferred commit at finish" `Quick test_deferred_commit;
     Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
     Alcotest.test_case "reset_traffic resets sessions too" `Quick test_reset_traffic_resets_sessions;
     Alcotest.test_case "trace exact hop sequence" `Quick test_trace_exact_hop_sequence;
