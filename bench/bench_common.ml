@@ -16,7 +16,7 @@ type config = {
   updates : int;
   seeds : int list;
   quick : bool;
-  jobs : int;  (* read-path parallelism: domains used for query phases *)
+  jobs : int;  (* domains used for parallel query and batch-write phases *)
 }
 
 let default_config =
@@ -36,6 +36,14 @@ let quick_config =
    monotonic clock (ns), immune to NTP jumps — [Unix.gettimeofday] is not,
    and per-file copies of [now] invite it back. *)
 let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* Wall-clock a phase on the monotonic clock. Used for whole parallel
+   phases, so the result is elapsed time, not summed per-domain CPU time —
+   [Sys.time] would report the latter and hide any speedup. *)
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
 
 (* Run [f] with the pool the config asks for (None when jobs <= 1), and
    shut the pool down afterwards. Experiments scope their pool to one

@@ -14,7 +14,10 @@
 
    Bulk load goes through [Hierarchy.insert_batch] (which [build]
    routes through): one registration pass, then one sorted sweep per
-   level instead of n independent locates.
+   level instead of n independent locates. With --jobs > 1 the per-level
+   sweeps fan out over the domain pool (one task per level, heaviest
+   first), so the build is timed as a parallel phase; the resulting
+   structure and charges are bit-identical for every jobs count.
 
    After the churn, a query-only phase fans independent queries out over
    the --jobs domain pool (§4 only serializes updates; queries are
@@ -23,6 +26,13 @@
    its own [Metrics] shard, merged by name afterwards, so the emitted
    message statistics are bit-identical for every jobs count and only the
    wall clock changes.
+
+   A final batch-write phase times [insert_batch]/[remove_batch] of a
+   fresh key batch under the same pool — the parallel write path's
+   headline number. Batch writes are host-side maintenance (no query
+   routing), so the phase adds no messages and leaves every deterministic
+   field untouched; its wall clocks live in the "write" JSON member,
+   stripped by CI alongside "timing" and "latency".
 
    Per-op wall-clock latency is recorded into a [Metrics] registry
    (insert/remove/query in microseconds, via the monotonic clock in
@@ -54,6 +64,10 @@ type row = {
   final_size : int;
   query_ops : int;
   query_s : float;
+  write_batch : int;
+  write_insert_s : float;
+  write_remove_s : float;
+  write_mem_total : int;  (* total charged memory after the write phase *)
   jobs : int;
   metrics : Metrics.t;  (* per-op latency histograms (us) + query messages *)
 }
@@ -101,9 +115,7 @@ let measure ~pool ~seed ~n ~ops =
   let bound = 100 * n in
   let keys = W.distinct_ints ~seed ~n ~bound in
   let net = Network.create ~hosts:n in
-  let t0 = C.now () in
-  let h = HInt.build ~net ~seed keys in
-  let build_s = C.now () -. t0 in
+  let h, build_s = C.timed (fun () -> HInt.build ~net ~seed ?pool keys) in
   let kpool = Key_pool.of_array keys in
   let rng = Prng.create (seed + 0x5ca1e) in
   let messages = ref 0 in
@@ -175,6 +187,31 @@ let measure ~pool ~seed ~n ~ops =
   let query_s = C.now () -. t2 in
   Array.iter (fun v -> Metrics.observe_int m "query.messages" v) msgs_of;
   Array.iter (fun shard -> Metrics.merge m shard) shards;
+  let final_size = HInt.size h in
+  (* Batch-write phase: bulk-insert a fresh batch and bulk-remove it
+     again, both fanned per level over the pool. Keys are drawn above the
+     stored domain so the batch is disjoint from the structure by
+     construction; writes route no queries, so the phase adds no messages
+     and the only deterministic fields it contributes are the op count and
+     the (restored) total charged memory. *)
+  let write_batch = max 500 (min 20_000 (n / 5)) in
+  let wgen = Prng.create (seed + 0x3b17e) in
+  let wtaken = Hashtbl.create write_batch in
+  let wkeys = Array.make write_batch 0 in
+  let filled = ref 0 in
+  while !filled < write_batch do
+    let k = bound + Prng.int wgen bound in
+    if not (Hashtbl.mem wtaken k) then begin
+      Hashtbl.replace wtaken k ();
+      wkeys.(!filled) <- k;
+      incr filled
+    end
+  done;
+  let inserted, write_insert_s = C.timed (fun () -> HInt.insert_batch ?pool h wkeys) in
+  let removed, write_remove_s = C.timed (fun () -> HInt.remove_batch ?pool h wkeys) in
+  if inserted <> write_batch || removed <> write_batch then
+    failwith "exp_scale: write phase lost keys";
+  HInt.check_invariants h;
   {
     n;
     build_s;
@@ -183,9 +220,13 @@ let measure ~pool ~seed ~n ~ops =
     churn_messages = !messages;
     mean_update_msgs =
       (if !updates = 0 then 0.0 else float_of_int !messages /. float_of_int !updates);
-    final_size = HInt.size h;
+    final_size;
     query_ops;
     query_s;
+    write_batch;
+    write_insert_s;
+    write_remove_s;
+    write_mem_total = Network.total_memory net;
     jobs;
     metrics = m;
   }
@@ -206,24 +247,31 @@ let json_of_rows rows =
     | None -> "{\"count\": 0}"
   in
   let row_json r =
+    let write_ops = 2 * r.write_batch in
+    let write_s = r.write_insert_s +. r.write_remove_s in
     Printf.sprintf
       "    {\"n\": %d, \"churn_ops\": %d, \"churn_messages\": %d, \"mean_update_msgs\": %.2f, \
-       \"final_size\": %d,\n\
+       \"final_size\": %d, \"write_ops\": %d, \"write_mem_total\": %d,\n\
       \     \"query\": {\"ops\": %d, \"messages\": %s},\n\
       \     \"timing\": {\"jobs\": %d, \"build_s\": %.6f, \"churn_s\": %.6f, \
        \"churn_ops_per_s\": %.1f, \"query_s\": %.6f, \"query_ops_per_s\": %.1f},\n\
+      \     \"write\": {\"batch\": %d, \"insert_s\": %.6f, \"remove_s\": %.6f, \
+       \"write_ops_per_s\": %.1f},\n\
       \     \"latency\": {%s}}"
-      r.n r.churn_ops r.churn_messages r.mean_update_msgs r.final_size r.query_ops
-      (query_messages_json r) r.jobs r.build_s r.churn_s
+      r.n r.churn_ops r.churn_messages r.mean_update_msgs r.final_size write_ops
+      r.write_mem_total r.query_ops (query_messages_json r) r.jobs r.build_s r.churn_s
       (float_of_int r.churn_ops /. Float.max 1e-9 r.churn_s)
       r.query_s
       (float_of_int r.query_ops /. Float.max 1e-9 r.query_s)
+      r.write_batch r.write_insert_s r.write_remove_s
+      (float_of_int write_ops /. Float.max 1e-9 write_s)
       (latency_json r)
   in
   Printf.sprintf
     "{\n  \"experiment\": \"scale\",\n  \"structure\": \"1-d generic skip-web (Hierarchy + \
      sorted lists)\",\n  \"workload\": \"bulk load, mixed churn (40%% insert / 40%% delete / \
-     20%% query), then a parallel query phase\",\n  \"rows\": [\n%s\n  ]\n}\n"
+     20%% query), a parallel query phase, then a parallel batch-write phase\",\n  \"rows\": \
+     [\n%s\n  ]\n}\n"
     (String.concat ",\n" (List.map row_json rows))
 
 let run (cfg : C.config) =
@@ -247,7 +295,7 @@ let run (cfg : C.config) =
       ~columns:
         [
           "n"; "build (s)"; "churn ops"; "churn (s)"; "ops/s"; "mean upd msgs"; "p50 (us)";
-          "p99 (us)"; "q ops"; "q (s)"; "q ops/s";
+          "p99 (us)"; "q ops"; "q (s)"; "q ops/s"; "w batch"; "w (s)"; "w ops/s";
         ]
   in
   List.iter
@@ -270,6 +318,11 @@ let run (cfg : C.config) =
           string_of_int r.query_ops;
           Printf.sprintf "%.3f" r.query_s;
           Printf.sprintf "%.0f" (float_of_int r.query_ops /. Float.max 1e-9 r.query_s);
+          string_of_int r.write_batch;
+          Printf.sprintf "%.3f" (r.write_insert_s +. r.write_remove_s);
+          Printf.sprintf "%.0f"
+            (float_of_int (2 * r.write_batch)
+            /. Float.max 1e-9 (r.write_insert_s +. r.write_remove_s));
         ])
     rows;
   Skipweb_util.Tables.print tbl;

@@ -7,9 +7,11 @@
      dune exec bench/main.exe -- --quick      # reduced sizes (CI-friendly)
      dune exec bench/main.exe -- table1 lemmas   # selected experiments only
      dune exec bench/main.exe -- --no-time    # skip wall-clock benches
-     dune exec bench/main.exe -- --jobs 4     # parallel read path: query
-                                              # phases and seed replicas run
-                                              # on 4 domains (results are
+     dune exec bench/main.exe -- --jobs 4     # parallel read + write paths:
+                                              # query phases, seed replicas
+                                              # and the scale bench's bulk
+                                              # load / batch churn run on 4
+                                              # domains (results are
                                               # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
@@ -34,9 +36,10 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_time = List.mem "--no-time" args in
-  (* --jobs N: domains for the parallel read path (query phases and seed
-     replicas). The flag's value is consumed here so the experiment
-     selection below never mistakes the N for an experiment name. *)
+  (* --jobs N: domains for the parallel read and write paths (query
+     phases, seed replicas, bulk load and batch churn). The flag's value
+     is consumed here so the experiment selection below never mistakes the
+     N for an experiment name. *)
   let jobs, args =
     let rec take acc = function
       | "--jobs" :: n :: rest -> (

@@ -6,7 +6,13 @@
      dune exec bin/skipweb_cli.exe -- query --structure skipweb -n 4096
      dune exec bin/skipweb_cli.exe -- query --structure non -n 1024 --queries 500
      dune exec bin/skipweb_cli.exe -- update --structure skipgraph -n 2048
-     dune exec bin/skipweb_cli.exe -- census -n 1024 *)
+     dune exec bin/skipweb_cli.exe -- load -s skipweb-generic -n 100000 --jobs 4
+     dune exec bin/skipweb_cli.exe -- census -n 1024
+
+   --jobs threads a domain pool through both the read phases (query/stats)
+   and the write paths (load's bulk build, update's rebuilds on the
+   skip-web structures); every measured cost is bit-identical for any
+   jobs count — only wall-clock time changes. *)
 
 module Network = Skipweb_net.Network
 module Trace = Skipweb_net.Trace
@@ -67,7 +73,18 @@ type driver = {
 
 let seq_batch query _pool qs = Array.map query qs
 
-let make_driver structure ~net_pad ~seed ~m ~buckets keys =
+(* Monotonic wall clock for the load subcommand: elapsed time, not summed
+   per-domain CPU time ([Sys.time] would report the latter and hide any
+   parallel speedup). *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* [pool] accelerates the skip-web structures only: it is passed to
+   [B1.build]/[HInt.build] (per-level bulk construction) and kept by the
+   blocked structure for its update-triggered rebuilds, so it must outlive
+   the driver — every caller scopes driver creation and use inside one
+   [Pool.with_pool]. The overlay baselines build node-by-node and ignore
+   it. *)
+let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
   let n = Array.length keys in
   match structure with
   | Skip_graph ->
@@ -143,7 +160,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
   | Skipweb ->
       let net = Network.create ~hosts:(n + net_pad) in
       let m = match m with Some m -> m | None -> 4 * log2i n in
-      let g = B1.build ~net ~seed ~m keys in
+      let g = B1.build ~net ~seed ~m ?pool keys in
       let rng = Prng.create (seed + 1) in
       {
         describe = Printf.sprintf "skip-web, blocked (§2.4.1), H = n, M = %d" m;
@@ -160,7 +177,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
       }
   | Skipweb_generic ->
       let net = Network.create ~hosts:(n + net_pad) in
-      let g = HInt.build ~net ~seed keys in
+      let g = HInt.build ~net ~seed ?pool keys in
       let rng = Prng.create (seed + 1) in
       {
         describe = "skip-web, arbitrary placement (§2.4 general)";
@@ -179,14 +196,17 @@ let make_driver structure ~net_pad ~seed ~m ~buckets keys =
 
 let run_query structure n queries seed m buckets jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
-  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets keys in
+  (* The measured costs are identical for any --jobs value; the pool only
+     spreads the build sweeps and query walks over domains. *)
+  let d, msgs =
+    Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+        let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
+        let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
+        (d, d.query_all pool qs))
+  in
   Printf.printf "structure: %s\n" d.describe;
   Printf.printf "items: %d   hosts: %d   queries: %d   jobs: %d\n\n" n d.host_count queries
     (max 1 jobs);
-  let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
-  (* The measured costs are identical for any --jobs value; the pool only
-     spreads the walks over domains. *)
-  let msgs = Skipweb_util.Pool.with_pool ~jobs (fun pool -> d.query_all pool qs) in
   let costs = Array.to_list (Array.map float_of_int msgs) in
   let s = Stats.summarize costs in
   let t = Tables.create ~title:"query message cost Q(n)" ~columns:[ "mean"; "p50"; "p90"; "p99"; "max" ] in
@@ -201,10 +221,17 @@ let run_query structure n queries seed m buckets jobs =
   Tables.print t;
   0
 
-let run_update structure n updates seed m buckets =
+let run_update structure n updates seed m buckets jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
-  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets keys in
+  (* The whole write workload runs inside the pool scope: the blocked
+     skip-web keeps the pool it was built with and fans its
+     update-triggered rebuilds over it, so the pool must stay alive until
+     the last delete. Message costs are identical for any --jobs value. *)
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets ?pool keys in
   Printf.printf "structure: %s\n" d.describe;
+  Printf.printf "items: %d   hosts: %d   updates: %d   jobs: %d\n" n d.host_count updates
+    (max 1 jobs);
   let rng = Prng.create (seed + 3) in
   let inserted = ref [] in
   let insert_costs = ref [] in
@@ -235,6 +262,32 @@ let run_update structure n updates seed m buckets =
       Tables.add_row t
         [ "delete"; string_of_int s.Stats.count; Tables.cell_float s.Stats.mean; Tables.cell_float s.Stats.max ]);
   Tables.print t;
+  0
+
+(* Bulk-load a structure and report its storage footprint plus the build
+   wall clock. Everything except the "wall clock" line is deterministic
+   and bit-identical for any --jobs value, so two runs can be diffed with
+   the timing stripped (grep -v 'wall clock') to check the contract. *)
+let run_load structure n seed m buckets jobs =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let t0 = now () in
+  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
+  let build_s = now () -. t0 in
+  Printf.printf "structure: %s\n" d.describe;
+  Printf.printf "items: %d   hosts: %d   jobs: %d\n\n" n d.host_count (max 1 jobs);
+  let mem = Array.init d.host_count (fun h -> Network.memory d.net h) in
+  let total = Array.fold_left ( + ) 0 mem in
+  let busiest = Array.fold_left max 0 mem in
+  let t = Tables.create ~title:"bulk load" ~columns:[ "metric"; "value" ] in
+  Tables.add_row t [ "total memory (units)"; string_of_int total ];
+  Tables.add_row t [ "busiest host (units)"; string_of_int busiest ];
+  Tables.add_row t
+    [ "mean per host (units)"; Tables.cell_float (float_of_int total /. float_of_int d.host_count) ];
+  Tables.add_row t [ "build messages"; string_of_int (Network.total_messages d.net) ];
+  Tables.print t;
+  Printf.printf "build wall clock: %.3f s (%.0f keys/s)\n" build_s
+    (float_of_int n /. Float.max build_s 1e-9);
   0
 
 let run_census n seed =
@@ -328,14 +381,17 @@ type stats_format = Table | Json | Csv
 
 let run_stats structure n queries updates seed m buckets format jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
-  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets keys in
+  (* The build, query and update phases all run inside one pool scope: the
+     build fans its per-level sweeps out, the query phase fans its walks
+     out, and the blocked skip-web keeps the pool for update-triggered
+     rebuilds. Message counts come back in index-slotted arrays and are
+     recorded sequentially, so the registry (and the json/csv dumps) are
+     byte-identical for any jobs count. *)
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let d = make_driver structure ~net_pad:(updates + 16) ~seed ~m ~buckets ?pool keys in
   let reg = Metrics.create () in
   let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:queries ~bound:(100 * n) in
-  (* The query phase fans out over --jobs domains; the message counts come
-     back in an index-slotted array and are recorded sequentially, so the
-     registry (and the json/csv dumps) are byte-identical for any jobs
-     count. *)
-  let msgs = Skipweb_util.Pool.with_pool ~jobs (fun pool -> d.query_all pool qs) in
+  let msgs = d.query_all pool qs in
   Array.iter
     (fun m ->
       Metrics.incr reg "ops.query";
@@ -422,7 +478,7 @@ let updates_arg = Arg.(value & opt int 50 & info [ "updates"; "u" ] ~docv:"U" ~d
 let seed_arg = Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc:"Per-host memory target for skip-webs (default 4 log n).")
 let buckets_arg = Arg.(value & opt (some int) None & info [ "buckets" ] ~docv:"H" ~doc:"Host count for bucket structures (default n / log n).")
-let jobs_arg = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc:"Domains for the query phase (skip-web structures only; 1 = sequential). Measured costs are identical for any value.")
+let jobs_arg = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc:"Domains for the query phase and the write paths (bulk load, update rebuilds; skip-web structures only; 1 = sequential). Measured costs are identical for any value; only wall-clock time changes.")
 
 let query_cmd =
   let doc = "Measure query message costs on a structure." in
@@ -432,7 +488,12 @@ let query_cmd =
 let update_cmd =
   let doc = "Measure insert/delete message costs on a structure." in
   Cmd.v (Cmd.info "update" ~doc)
-    Term.(const run_update $ structure_arg $ n_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg)
+    Term.(const run_update $ structure_arg $ n_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ jobs_arg)
+
+let load_cmd =
+  let doc = "Bulk-load a structure and report its storage footprint and build wall clock. With --jobs, the skip-web builds fan their per-level sweeps over a domain pool; everything but the wall-clock line is bit-identical for any jobs count." in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(const run_load $ structure_arg $ n_arg $ seed_arg $ m_arg $ buckets_arg $ jobs_arg)
 
 let census_cmd =
   let doc = "Print the skip-web level census (Figure 2)." in
@@ -459,6 +520,6 @@ let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in
   Cmd.group
     (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
-    [ query_cmd; update_cmd; census_cmd; trace_cmd; stats_cmd ]
+    [ query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -20,7 +20,10 @@ type t = {
   replicas : (int * int, (int * int * Network.host) list) Hashtbl.t;
       (* non-basic (level, prefix) -> cone intervals (code_lo, code_hi, host) *)
   host_mem : (Network.host, int) Hashtbl.t;  (* what we charged, for rebuilds *)
+  mutable pool : Skipweb_util.Pool.t option;  (* fans rebuild phases out when set *)
 }
+
+let set_pool t pool = t.pool <- pool
 
 let size t = O.length t.keys
 let levels t = t.top + 1
@@ -68,6 +71,32 @@ let codes_touching arr (lo, hi) =
   in
   (clo, chi)
 
+(* Run [f i] for every i in [0, n) — over the pool when one is set, inline
+   otherwise. Rebuild work items (levels, blocks) cost about the same, so
+   the weights are uniform; dynamic dispatch still keeps every domain busy
+   until the batch drains. *)
+let for_items t n f =
+  match t.pool with
+  | None ->
+      for i = 0 to n - 1 do
+        f i
+      done
+  | Some p -> Skipweb_util.Pool.parallel_for_tasks p ~weights:(Array.make (max n 1) 1) f
+
+(* A rebuild parallelizes in two fan-out phases with sequential commits in
+   between, so the result — including the *order* of every cone-replica
+   list, which [hosts_of] reads head-first and therefore shows up in
+   message counts — is bit-identical to the sequential rebuild:
+
+     1. Level sets: one task per level, each bucketing the (read-only)
+        ground set by its own level's prefixes into a private slot;
+        committed into [t.sets] afterwards.
+     2. Blocks and cones: block boundaries and their round-robin owners
+        depend only on code counts, so they are enumerated sequentially
+        first (freezing the block -> host map); the expensive per-block
+        cone scans then fan out, each buffering its charges and replica
+        intervals in chronological order into its own slot, and the
+        buffers are committed sequentially in the original block order. *)
 let rebuild t =
   uncharge_all t;
   Hashtbl.reset t.sets;
@@ -78,26 +107,28 @@ let rebuild t =
   (* Level sets along every element's membership path. The ground set is
      iterated in key order, so each bucket fills already sorted — no
      per-bucket re-sort. *)
-  for level = 0 to t.top do
-    let buckets = Hashtbl.create 64 in
-    O.iter
-      (fun k ->
-        let b = prefix t k level in
-        match Hashtbl.find_opt buckets b with
-        | Some (arr, len) ->
-            if !len = Array.length !arr then begin
-              let bigger = Array.make (2 * !len) 0 in
-              Array.blit !arr 0 bigger 0 !len;
-              arr := bigger
-            end;
-            !arr.(!len) <- k;
-            incr len
-        | None -> Hashtbl.replace buckets b (ref (Array.make 8 k), ref 1))
-      t.keys;
-    Hashtbl.iter
-      (fun b (arr, len) -> Hashtbl.replace t.sets (level, b) (Array.sub !arr 0 !len))
-      buckets
-  done;
+  let level_sets = Array.make (t.top + 1) [] in
+  for_items t (t.top + 1) (fun level ->
+      let buckets = Hashtbl.create 64 in
+      O.iter
+        (fun k ->
+          let b = prefix t k level in
+          match Hashtbl.find_opt buckets b with
+          | Some (arr, len) ->
+              if !len = Array.length !arr then begin
+                let bigger = Array.make (2 * !len) 0 in
+                Array.blit !arr 0 bigger 0 !len;
+                arr := bigger
+              end;
+              !arr.(!len) <- k;
+              incr len
+          | None -> Hashtbl.replace buckets b (ref (Array.make 8 k), ref 1))
+        t.keys;
+      level_sets.(level) <-
+        Hashtbl.fold (fun b (arr, len) acc -> (b, Array.sub !arr 0 !len) :: acc) buckets []);
+  Array.iteri
+    (fun level sets -> List.iter (fun (b, arr) -> Hashtbl.replace t.sets (level, b) arr) sets)
+    level_sets;
   (* Size blocks so there is about one block per host (each block drags an
      O(M)-sized cone along, so several blocks per host would overshoot the
      memory budget). *)
@@ -108,8 +139,11 @@ let rebuild t =
       t.sets 0
   in
   t.bsize <- max (max 2 (t.m / 4)) ((total_basic_codes + hosts - 1) / hosts);
+  (* Enumerate every block in the canonical (level, sorted prefix, block)
+     order, assigning owners from the round-robin counter. *)
+  let blocks_rev = ref [] in
+  let nblocks_total = ref 0 in
   let counter = ref 0 in
-  let cone_replicas = Hashtbl.create 64 in
   for level = 0 to t.top do
     if level mod t.stride = 0 then begin
       let sets_here =
@@ -124,40 +158,59 @@ let rebuild t =
             let host = !counter mod hosts in
             incr counter;
             Hashtbl.replace t.blocks (level, b, j) host;
-            let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
-            charge t host (chi - clo + 1);
-            (* The cone: for each non-basic level above, every descendant
-               set's ranges touching the block's key span. (This is the
-               conflict closure clamped to the block span; clamping keeps
-               per-host space O(M) while every range stays covered by the
-               block whose span it touches.) *)
-            let span_block = interval_span arr clo chi in
-            let lvl = ref (level + 1) in
-            while !lvl <= t.top && !lvl mod t.stride <> 0 do
-              let fan = 1 lsl (!lvl - level) in
-              for suffix = 0 to fan - 1 do
-                let cb = (b * fan) + suffix in
-                match Hashtbl.find_opt t.sets (!lvl, cb) with
-                | None -> ()
-                | Some child_arr ->
-                    let clo', chi' = codes_touching child_arr span_block in
-                    if clo' <= chi' then begin
-                      let key = (!lvl, cb) in
-                      Hashtbl.replace cone_replicas key
-                        ((clo', chi', host)
-                        :: (try Hashtbl.find cone_replicas key with Not_found -> []));
-                      charge t host (chi' - clo' + 1)
-                    end
-              done;
-              incr lvl
-            done
+            blocks_rev := (level, b, arr, j, host) :: !blocks_rev;
+            incr nblocks_total
           done)
         sets_here
     end
   done;
+  let block_arr = Array.of_list (List.rev !blocks_rev) in
+  (* The cone of each block: for each non-basic level above, every
+     descendant set's ranges touching the block's key span. (This is the
+     conflict closure clamped to the block span; clamping keeps per-host
+     space O(M) while every range stays covered by the block whose span it
+     touches.) Pure reads of [t.sets]; charges and replica intervals are
+     buffered chronologically per block. *)
+  let results = Array.make !nblocks_total ([], []) in
+  for_items t !nblocks_total (fun i ->
+      let level, b, arr, j, host = block_arr.(i) in
+      let codes = L.num_ranges arr in
+      let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
+      let charges = ref [ (host, chi - clo + 1) ] in
+      let reps = ref [] in
+      let span_block = interval_span arr clo chi in
+      let lvl = ref (level + 1) in
+      while !lvl <= t.top && !lvl mod t.stride <> 0 do
+        let fan = 1 lsl (!lvl - level) in
+        for suffix = 0 to fan - 1 do
+          let cb = (b * fan) + suffix in
+          match Hashtbl.find_opt t.sets (!lvl, cb) with
+          | None -> ()
+          | Some child_arr ->
+              let clo', chi' = codes_touching child_arr span_block in
+              if clo' <= chi' then begin
+                reps := ((!lvl, cb), (clo', chi', host)) :: !reps;
+                charges := (host, chi' - clo' + 1) :: !charges
+              end
+        done;
+        incr lvl
+      done;
+      results.(i) <- (List.rev !charges, List.rev !reps));
+  (* Sequential commit in block order reproduces the sequential rebuild's
+     exact charge sequence and replica-list construction order. *)
+  let cone_replicas = Hashtbl.create 64 in
+  Array.iter
+    (fun (charges, reps) ->
+      List.iter (fun (host, units) -> charge t host units) charges;
+      List.iter
+        (fun (key, entry) ->
+          Hashtbl.replace cone_replicas key
+            (entry :: (try Hashtbl.find cone_replicas key with Not_found -> [])))
+        reps)
+    results;
   Hashtbl.iter (fun key lst -> Hashtbl.replace t.replicas key lst) cone_replicas
 
-let build ~net ~seed ~m keys =
+let build ~net ~seed ~m ?pool keys =
   if m < 4 then invalid_arg "Blocked1d.build: m >= 4";
   let xs = Array.copy keys in
   Array.sort compare xs;
@@ -180,6 +233,7 @@ let build ~net ~seed ~m keys =
       blocks = Hashtbl.create 64;
       replicas = Hashtbl.create 64;
       host_mem = Hashtbl.create 64;
+      pool;
     }
   in
   rebuild t;

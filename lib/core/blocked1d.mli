@@ -27,10 +27,25 @@ module Prng = Skipweb_util.Prng
 
 type t
 
-val build : net:Network.t -> seed:int -> m:int -> int array -> t
+val build : net:Network.t -> seed:int -> m:int -> ?pool:Skipweb_util.Pool.t -> int array -> t
 (** [build ~net ~seed ~m keys]: distribute over all hosts of [net] with
     per-host memory target [m] (the M parameter). Keys must be distinct.
-    Raises [Invalid_argument] if [m < 4]. *)
+    Raises [Invalid_argument] if [m < 4].
+
+    With [pool], the rebuild's two bulk phases — per-level set bucketing
+    and per-block cone computation — fan out over the pool's domains,
+    with sequential commits in between, so the resulting structure
+    (including the head-host order of every replica list, and hence every
+    later query's message count) and all memory charges are bit-identical
+    for any jobs count. The structure {e keeps} the pool for the rebuilds
+    that {!insert}/{!delete} trigger: the pool must stay alive as long as
+    this structure receives updates, or be detached with {!set_pool}. *)
+
+val set_pool : t -> Skipweb_util.Pool.t option -> unit
+(** Attach or detach the domain pool used by update-triggered rebuilds.
+    [set_pool t None] makes every later rebuild sequential (safe after the
+    building pool is shut down); attaching never changes results, only
+    wall-clock time. *)
 
 val size : t -> int
 val levels : t -> int

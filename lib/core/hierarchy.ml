@@ -14,13 +14,23 @@ module Make (S : Range_structure.S) = struct
      live-id arena supports O(1) insert/remove/uniform-sample, and memory
      charges follow the O(1) range deltas the structures report instead of
      re-diffing the full live range set per update. *)
+
+  (* All mutable state of one level lives in its [level_state] and nowhere
+     else. That ownership boundary is what the parallel write path runs on:
+     a batch hands each level to its own domain, and the level tasks share
+     nothing but the read-only batch array, the read-only key index and the
+     network's charge buffers — no locks needed, no interleaving visible. *)
+  type level_state = {
+    structures : (int, S.t) Hashtbl.t;  (* prefix -> structure *)
+    members : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* prefix -> member ids *)
+    charged : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* prefix -> charged range ids *)
+  }
+
   type t = {
     net : Network.t;
     place_seed : int;
     vecs : Membership.t;
-    structures : (int * int, S.t) Hashtbl.t;
-    members : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
-    charged : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+    mutable layers : level_state array;  (* index = level; length = top + 1 *)
     key_ids : (S.key, int) Hashtbl.t;
     id_keys : (int, S.key) Hashtbl.t;
     (* Swap-pop arena of live element ids: the first [live] slots of [ids]
@@ -38,7 +48,8 @@ module Make (S : Range_structure.S) = struct
 
   let prefix t id len = Membership.prefix t.vecs ~id ~len
 
-  let set_key level b = (level, b)
+  let fresh_layer () =
+    { structures = Hashtbl.create 16; members = Hashtbl.create 16; charged = Hashtbl.create 16 }
 
   let host_of_range t level b rid =
     Prng.hash3 t.place_seed ((level * 0x100000) + b) rid mod Network.host_count t.net
@@ -78,48 +89,51 @@ module Make (S : Range_structure.S) = struct
         Hashtbl.replace tbl key h;
         h
 
-  let member_table t level b = find_or_create t.members (set_key level b)
+  let member_table ly b = find_or_create ly.members b
 
-  let charged_table t level b = find_or_create t.charged (set_key level b)
+  let charged_table ly b = find_or_create ly.charged b
+
+  (* The charge sink: serialized single-op paths charge the network
+     directly; per-level batch tasks pass a [Network.charge buffer] sink
+     instead, so concurrent levels commit order-independent netted sums. *)
+  let direct_charge t h k = Network.charge_memory t.net h k
 
   (* Charge every given range of a freshly built level structure (its
      charged table must be empty). *)
-  let charge_fresh t level b rids =
-    let ch = charged_table t level b in
+  let charge_fresh t ~charge ly level b rids =
+    let ch = charged_table ly b in
     List.iter
       (fun rid ->
         Hashtbl.replace ch rid ();
-        Network.charge_memory t.net (host_of_range t level b rid) 1)
+        charge (host_of_range t level b rid) 1)
       rids
 
   (* Release every charge of one level set (structure dropped or level
      shrunk away). *)
-  let uncharge_set t level b =
-    match Hashtbl.find_opt t.charged (set_key level b) with
+  let uncharge_set t ~charge ly level b =
+    match Hashtbl.find_opt ly.charged b with
     | None -> ()
     | Some ch ->
-        Hashtbl.iter
-          (fun rid () -> Network.charge_memory t.net (host_of_range t level b rid) (-1))
-          ch;
-        Hashtbl.remove t.charged (set_key level b)
+        Hashtbl.iter (fun rid () -> charge (host_of_range t level b rid) (-1)) ch;
+        Hashtbl.remove ly.charged b
 
   (* Apply an O(1) range delta reported by [S.insert]/[S.remove]: the only
      memory traffic an update generates. Membership-guarded so a duplicate
      report cannot double-charge. *)
-  let apply_delta t level b (d : Range_structure.range_delta) =
-    let ch = charged_table t level b in
+  let apply_delta t ~charge ly level b (d : Range_structure.range_delta) =
+    let ch = charged_table ly b in
     List.iter
       (fun rid ->
         if not (Hashtbl.mem ch rid) then begin
           Hashtbl.replace ch rid ();
-          Network.charge_memory t.net (host_of_range t level b rid) 1
+          charge (host_of_range t level b rid) 1
         end)
       d.Range_structure.added;
     List.iter
       (fun rid ->
         if Hashtbl.mem ch rid then begin
           Hashtbl.remove ch rid;
-          Network.charge_memory t.net (host_of_range t level b rid) (-1)
+          charge (host_of_range t level b rid) (-1)
         end)
       d.Range_structure.removed
 
@@ -128,27 +142,33 @@ module Make (S : Range_structure.S) = struct
     go 0
 
   (* Build every set of one level in a single pass over the ground set:
-     bucket the keys by level prefix, then one [S.build] per bucket. *)
-  let build_level t level =
+     bucket the keys by level prefix, then one [S.build] per bucket. Reads
+     only [t.id_keys] (frozen during a batch) and writes only this level's
+     state, so levels build concurrently. *)
+  let build_level t ~charge level =
+    let ly = t.layers.(level) in
     let buckets = Hashtbl.create 64 in
     Hashtbl.iter
       (fun id k ->
         let b = prefix t id level in
-        Hashtbl.replace (member_table t level b) id ();
+        Hashtbl.replace (member_table ly b) id ();
         Hashtbl.replace buckets b (k :: (try Hashtbl.find buckets b with Not_found -> [])))
       t.id_keys;
     Hashtbl.iter
       (fun b ks ->
         let s = S.build (Array.of_list ks) in
-        Hashtbl.replace t.structures (set_key level b) s;
-        charge_fresh t level b (S.range_ids s))
+        Hashtbl.replace ly.structures b s;
+        charge_fresh t ~charge ly level b (S.range_ids s))
       buckets
 
   (* Register a fresh key: allocate its id and index it. Ids are handed out
      in presentation order, and the id fixes the element's membership
      vector — every entry point (build, insert, insert_batch) must agree on
      this order for a bulk load to be indistinguishable from the same keys
-     arriving one at a time. *)
+     arriving one at a time. Registration is the coin-drawing step, so it
+     always runs sequentially before any level task starts: the membership
+     bits [Membership.prefix] derives from (seed, id, level) can never
+     depend on how the levels are later scheduled. *)
   let register t k =
     let id = t.next_id in
     t.next_id <- id + 1;
@@ -159,20 +179,83 @@ module Make (S : Range_structure.S) = struct
 
   let grow_top t =
     let wanted = required_top (size t) in
-    while t.top < wanted do
-      let level = t.top + 1 in
-      build_level t level;
-      t.top <- level
-    done
+    if t.top < wanted then begin
+      let old = t.layers in
+      t.layers <-
+        Array.init (wanted + 1) (fun l -> if l < Array.length old then old.(l) else fresh_layer ());
+      while t.top < wanted do
+        let level = t.top + 1 in
+        build_level t ~charge:(direct_charge t) level;
+        t.top <- level
+      done
+    end
 
-  (* Bulk insertion: register the whole batch, then stream it through the
-     hierarchy level by level in sorted key order, so each level structure
-     absorbs its keys in one ascending sweep instead of [batch] independent
-     random-rank updates. A batch landing in an empty hierarchy takes the
-     bucketed [build_level] path outright. Pure host-side work — no query
+  (* One level's slice of a bulk insertion: a single ascending sweep of the
+     sorted fresh batch through the level's sets. *)
+  let insert_sweep t ~charge fresh level =
+    let ly = t.layers.(level) in
+    Array.iter
+      (fun (k, id) ->
+        let b = prefix t id level in
+        Hashtbl.replace (member_table ly b) id ();
+        match Hashtbl.find_opt ly.structures b with
+        | Some s -> apply_delta t ~charge ly level b (S.insert s k)
+        | None ->
+            let s = S.build [| k |] in
+            Hashtbl.replace ly.structures b s;
+            charge_fresh t ~charge ly level b (S.range_ids s))
+      fresh
+
+  (* One level's slice of a bulk deletion: drop a set's structure outright
+     once the batch empties its member set. *)
+  let remove_sweep t ~charge victims level =
+    let ly = t.layers.(level) in
+    Array.iter
+      (fun (k, id) ->
+        let b = prefix t id level in
+        Hashtbl.remove (member_table ly b) id;
+        match Hashtbl.find_opt ly.structures b with
+        | Some s ->
+            if Hashtbl.length (member_table ly b) = 0 then begin
+              Hashtbl.remove ly.structures b;
+              uncharge_set t ~charge ly level b
+            end
+            else apply_delta t ~charge ly level b (S.remove s k)
+        | None -> failwith "Hierarchy.remove_batch: missing structure")
+      victims
+
+  (* Fan one task per level out over the pool, heaviest level first. Level
+     ℓ holds every key whose first ℓ coins came up heads, so per-level
+     sweep cost falls geometrically with ℓ — exactly the skew
+     [Pool.parallel_for_tasks] largest-first dispatch is for: static
+     equal-count chunking would hand level 0 and the trivial top levels to
+     the same domain. Each task buffers its memory charges and commits the
+     netted per-host sums through the network's atomics, so per-host
+     memory is bit-identical to the sequential loop for any jobs count. *)
+  let run_levels ?pool t f =
+    match pool with
+    | None ->
+        for level = 0 to t.top do
+          f ~charge:(direct_charge t) level
+        done
+    | Some p ->
+        let n = size t in
+        let weights = Array.init (t.top + 1) (fun level -> (n lsr level) + 1) in
+        Pool.parallel_for_tasks p ~weights (fun level ->
+            let buf = Network.deferred_charges t.net in
+            f ~charge:(Network.charge buf) level;
+            Network.commit_charges buf)
+
+  (* Bulk insertion: register the whole batch (drawing every membership
+     coin sequentially), then stream it through the hierarchy level by
+     level in sorted key order, so each level structure absorbs its keys in
+     one ascending sweep instead of [batch] independent random-rank
+     updates; with a pool the per-level sweeps run on separate domains. A
+     batch landing in an empty hierarchy takes the bucketed [build_level]
+     path outright, also fanned per level. Pure host-side work — no query
      routing, hence no messages; returns the number of keys actually
      inserted. *)
-  let insert_batch t keys =
+  let insert_batch ?pool t keys =
     let was_empty = size t = 0 in
     let fresh = ref [] in
     Array.iter
@@ -183,40 +266,25 @@ module Make (S : Range_structure.S) = struct
     if count = 0 then 0
     else if was_empty then begin
       t.top <- required_top (size t);
-      for level = 0 to t.top do
-        build_level t level
-      done;
+      t.layers <- Array.init (t.top + 1) (fun _ -> fresh_layer ());
+      run_levels ?pool t (fun ~charge level -> build_level t ~charge level);
       count
     end
     else begin
       Array.sort (fun (a, _) (b, _) -> compare a b) fresh;
-      for level = 0 to t.top do
-        Array.iter
-          (fun (k, id) ->
-            let b = prefix t id level in
-            Hashtbl.replace (member_table t level b) id ();
-            match Hashtbl.find_opt t.structures (set_key level b) with
-            | Some s -> apply_delta t level b (S.insert s k)
-            | None ->
-                let s = S.build [| k |] in
-                Hashtbl.replace t.structures (set_key level b) s;
-                charge_fresh t level b (S.range_ids s))
-          fresh
-      done;
+      run_levels ?pool t (fun ~charge level -> insert_sweep t ~charge fresh level);
       grow_top t;
       count
     end
 
-  let build ~net ~seed ?(p = 0.5) keys =
+  let build ~net ~seed ?(p = 0.5) ?pool keys =
     let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
     let t =
       {
         net;
         place_seed = seed + 0x5157;
         vecs;
-        structures = Hashtbl.create 64;
-        members = Hashtbl.create 64;
-        charged = Hashtbl.create 64;
+        layers = [| fresh_layer () |];
         key_ids = Hashtbl.create 64;
         id_keys = Hashtbl.create 64;
         ids = [||];
@@ -226,21 +294,21 @@ module Make (S : Range_structure.S) = struct
         next_id = 0;
       }
     in
-    ignore (insert_batch t keys);
+    ignore (insert_batch ?pool t keys);
     t
 
   let level_set_sizes t level =
-    Hashtbl.fold
-      (fun (l, _) s acc -> if l = level then S.size s :: acc else acc)
-      t.structures []
+    Hashtbl.fold (fun _ s acc -> S.size s :: acc) t.layers.(level).structures []
 
   let total_storage t =
-    Hashtbl.fold (fun _ s acc -> acc + S.storage_units s) t.structures 0
+    Array.fold_left
+      (fun acc ly -> Hashtbl.fold (fun _ s acc -> acc + S.storage_units s) ly.structures acc)
+      0 t.layers
 
   type query_stats = { messages : int; ranges_visited : int; per_level_visits : int list }
 
   let structure_exn t level b =
-    match Hashtbl.find_opt t.structures (set_key level b) with
+    match Hashtbl.find_opt t.layers.(level).structures b with
     | Some s -> s
     | None -> failwith "Hierarchy: missing level structure on an element's path"
 
@@ -333,24 +401,24 @@ module Make (S : Range_structure.S) = struct
 
   (* The counterpart of [grow_top]: after deletions the required number of
      levels shrinks, so dead levels must be dropped — otherwise the
-     hierarchy pays their linking messages and per-host memory forever. *)
+     hierarchy pays their linking messages and per-host memory forever.
+     With per-level state this is: release every charge the dying layers
+     hold, then truncate the layer array. *)
   let shrink_top t =
     let wanted = required_top (size t) in
-    while t.top > wanted do
-      let level = t.top in
-      let seen = Hashtbl.create 16 in
-      let collect (l, b) _ = if l = level then Hashtbl.replace seen b () in
-      Hashtbl.iter collect t.structures;
-      Hashtbl.iter collect t.members;
-      Hashtbl.iter collect t.charged;
-      Hashtbl.iter
-        (fun b () ->
-          uncharge_set t level b;
-          Hashtbl.remove t.structures (set_key level b);
-          Hashtbl.remove t.members (set_key level b))
-        seen;
-      t.top <- level - 1
-    done
+    if t.top > wanted then begin
+      for level = wanted + 1 to t.top do
+        let ly = t.layers.(level) in
+        Hashtbl.iter
+          (fun b ch ->
+            Hashtbl.iter
+              (fun rid () -> Network.charge_memory t.net (host_of_range t level b rid) (-1))
+              ch)
+          ly.charged
+      done;
+      t.layers <- Array.sub t.layers 0 (wanted + 1);
+      t.top <- wanted
+    end
 
   let insert t k =
     if Hashtbl.mem t.key_ids k then 0
@@ -365,15 +433,17 @@ module Make (S : Range_structure.S) = struct
           stats.messages
       in
       let id = register t k in
+      let charge = direct_charge t in
       for level = 0 to t.top do
+        let ly = t.layers.(level) in
         let b = prefix t id level in
-        Hashtbl.replace (member_table t level b) id ();
-        match Hashtbl.find_opt t.structures (set_key level b) with
-        | Some s -> apply_delta t level b (S.insert s k)
+        Hashtbl.replace (member_table ly b) id ();
+        match Hashtbl.find_opt ly.structures b with
+        | Some s -> apply_delta t ~charge ly level b (S.insert s k)
         | None ->
             let s = S.build [| k |] in
-            Hashtbl.replace t.structures (set_key level b) s;
-            charge_fresh t level b (S.range_ids s)
+            Hashtbl.replace ly.structures b s;
+            charge_fresh t ~charge ly level b (S.range_ids s)
       done;
       let linking_cost = 2 * (t.top + 1) in
       grow_top t;
@@ -389,16 +459,18 @@ module Make (S : Range_structure.S) = struct
           let _, stats = query_from t (sample_id t rng) (S.probe k) in
           stats.messages
         in
+        let charge = direct_charge t in
         for level = 0 to t.top do
+          let ly = t.layers.(level) in
           let b = prefix t id level in
-          Hashtbl.remove (member_table t level b) id;
-          match Hashtbl.find_opt t.structures (set_key level b) with
+          Hashtbl.remove (member_table ly b) id;
+          match Hashtbl.find_opt ly.structures b with
           | Some s ->
-              if Hashtbl.length (member_table t level b) = 0 then begin
-                Hashtbl.remove t.structures (set_key level b);
-                uncharge_set t level b
+              if Hashtbl.length (member_table ly b) = 0 then begin
+                Hashtbl.remove ly.structures b;
+                uncharge_set t ~charge ly level b
               end
-              else apply_delta t level b (S.remove s k)
+              else apply_delta t ~charge ly level b (S.remove s k)
           | None -> failwith "Hierarchy.remove: missing structure"
         done;
         Hashtbl.remove t.key_ids k;
@@ -409,10 +481,11 @@ module Make (S : Range_structure.S) = struct
         cost
 
   (* Bulk deletion, the mirror of [insert_batch]: one sorted sweep per
-     level, dropping a level set's structure outright once the batch has
-     emptied its member set. Host-side only; returns the number of keys
-     actually removed. *)
-  let remove_batch t keys =
+     level (fanned over the pool when one is given), dropping a level set's
+     structure outright once the batch has emptied its member set, then one
+     hierarchy shrink at the end. Host-side only; returns the number of
+     keys actually removed. *)
+  let remove_batch ?pool t keys =
     let victims = ref [] in
     let seen = Hashtbl.create (max 16 (Array.length keys)) in
     Array.iter
@@ -428,21 +501,7 @@ module Make (S : Range_structure.S) = struct
     if count = 0 then 0
     else begin
       Array.sort (fun (a, _) (b, _) -> compare a b) victims;
-      for level = 0 to t.top do
-        Array.iter
-          (fun (k, id) ->
-            let b = prefix t id level in
-            Hashtbl.remove (member_table t level b) id;
-            match Hashtbl.find_opt t.structures (set_key level b) with
-            | Some s ->
-                if Hashtbl.length (member_table t level b) = 0 then begin
-                  Hashtbl.remove t.structures (set_key level b);
-                  uncharge_set t level b
-                end
-                else apply_delta t level b (S.remove s k)
-            | None -> failwith "Hierarchy.remove_batch: missing structure")
-          victims
-      done;
+      run_levels ?pool t (fun ~charge level -> remove_sweep t ~charge victims level);
       Array.iter
         (fun (k, id) ->
           Hashtbl.remove t.key_ids k;
@@ -465,24 +524,23 @@ module Make (S : Range_structure.S) = struct
 
   let check_invariants t =
     let n = size t in
+    if Array.length t.layers <> t.top + 1 then
+      failwith "Hierarchy: layer array out of sync with top";
     for level = 0 to t.top do
+      let ly = t.layers.(level) in
       let covered = ref 0 in
       Hashtbl.iter
-        (fun (l, b) members ->
-          if l = level then begin
-            covered := !covered + Hashtbl.length members;
-            (match Hashtbl.find_opt t.structures (set_key level b) with
-            | Some s ->
-                if S.size s <> Hashtbl.length members then
-                  failwith "Hierarchy: structure size disagrees with member set"
-            | None ->
-                if Hashtbl.length members > 0 then failwith "Hierarchy: missing structure");
-            Hashtbl.iter
-              (fun id () ->
-                if prefix t id level <> b then failwith "Hierarchy: member in wrong set")
-              members
-          end)
-        t.members;
+        (fun b members ->
+          covered := !covered + Hashtbl.length members;
+          (match Hashtbl.find_opt ly.structures b with
+          | Some s ->
+              if S.size s <> Hashtbl.length members then
+                failwith "Hierarchy: structure size disagrees with member set"
+          | None -> if Hashtbl.length members > 0 then failwith "Hierarchy: missing structure");
+          Hashtbl.iter
+            (fun id () -> if prefix t id level <> b then failwith "Hierarchy: member in wrong set")
+            members)
+        ly.members;
       if !covered <> n then failwith "Hierarchy: level does not partition the ground set"
     done;
     if t.top <> required_top n then failwith "Hierarchy: top out of sync with size";
@@ -494,40 +552,44 @@ module Make (S : Range_structure.S) = struct
       if not (Hashtbl.mem t.id_keys id) then failwith "Hierarchy: dead id in arena"
     done;
     (* Charged ranges track the live ranges of every structure exactly. *)
-    Hashtbl.iter
-      (fun (level, b) s ->
-        let ch =
-          match Hashtbl.find_opt t.charged (set_key level b) with
-          | Some ch -> ch
-          | None -> failwith "Hierarchy: structure with no charged table"
-        in
-        let rids = S.range_ids s in
-        if List.length rids <> Hashtbl.length ch then
-          failwith "Hierarchy: charged range count drifted from live ranges";
-        List.iter
-          (fun rid -> if not (Hashtbl.mem ch rid) then failwith "Hierarchy: live range uncharged")
-          rids)
-      t.structures;
-    Hashtbl.iter
-      (fun (level, b) ch ->
-        if Hashtbl.length ch > 0 then begin
-          if level > t.top then failwith "Hierarchy: charges above the top level";
-          if not (Hashtbl.mem t.structures (set_key level b)) then
-            failwith "Hierarchy: charges for a dropped structure"
-        end)
-      t.charged;
+    Array.iter
+      (fun ly ->
+        Hashtbl.iter
+          (fun b s ->
+            let ch =
+              match Hashtbl.find_opt ly.charged b with
+              | Some ch -> ch
+              | None -> failwith "Hierarchy: structure with no charged table"
+            in
+            let rids = S.range_ids s in
+            if List.length rids <> Hashtbl.length ch then
+              failwith "Hierarchy: charged range count drifted from live ranges";
+            List.iter
+              (fun rid ->
+                if not (Hashtbl.mem ch rid) then failwith "Hierarchy: live range uncharged")
+              rids)
+          ly.structures;
+        Hashtbl.iter
+          (fun b ch ->
+            if Hashtbl.length ch > 0 && not (Hashtbl.mem ly.structures b) then
+              failwith "Hierarchy: charges for a dropped structure")
+          ly.charged)
+      t.layers;
     (* Cross-check the charges against the simulator's per-host memory.
        (Assumes this hierarchy is the only structure charging this
        network, which holds in the test harnesses.) *)
     let expected = Hashtbl.create 64 in
-    Hashtbl.iter
-      (fun (level, b) ch ->
+    Array.iteri
+      (fun level ly ->
         Hashtbl.iter
-          (fun rid () ->
-            let h = host_of_range t level b rid in
-            Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0))
-          ch)
-      t.charged;
+          (fun b ch ->
+            Hashtbl.iter
+              (fun rid () ->
+                let h = host_of_range t level b rid in
+                Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0))
+              ch)
+          ly.charged)
+      t.layers;
     for h = 0 to Network.host_count t.net - 1 do
       let e = try Hashtbl.find expected h with Not_found -> 0 in
       if Network.memory t.net h <> e then

@@ -21,10 +21,15 @@ module Network = Skipweb_net.Network
 module Make (S : Range_structure.S) : sig
   type t
 
-  val build : net:Network.t -> seed:int -> ?p:float -> S.key array -> t
+  val build :
+    net:Network.t -> seed:int -> ?p:float -> ?pool:Skipweb_util.Pool.t -> S.key array -> t
   (** [build ~net ~seed keys] constructs the hierarchy over hosts of
       [net]. [p] is the halving probability (default 0.5) — the A3
-      ablation knob: each membership bit is 1 with probability [p]. *)
+      ablation knob: each membership bit is 1 with probability [p].
+      With [pool], the per-level construction fans out over its domains
+      (see {!insert_batch}, which this routes through); the resulting
+      structure, storage and per-host memory are bit-identical for any
+      jobs count. *)
 
   val size : t -> int
   val levels : t -> int
@@ -79,7 +84,7 @@ module Make (S : Range_structure.S) : sig
       deletions lower ⌈log₂ n⌉, so a heavily shrunk set does not keep
       paying linking messages and memory for dead levels. *)
 
-  val insert_batch : t -> S.key array -> int
+  val insert_batch : ?pool:Skipweb_util.Pool.t -> t -> S.key array -> int
   (** Bulk insertion: registers the whole batch (duplicates and
       already-present keys skipped, ids assigned in presentation order —
       so a bulk load is indistinguishable from the same keys arriving one
@@ -90,13 +95,26 @@ module Make (S : Range_structure.S) : sig
       the bucketed build path. [build] routes through this. Host-side
       bulk-load work only — no query routing, so unlike {!insert} the
       return value is the number of keys actually inserted, not a message
-      cost. Memory charges are maintained exactly as for {!insert}. *)
+      cost. Memory charges are maintained exactly as for {!insert}.
 
-  val remove_batch : t -> S.key array -> int
+      With [pool], the per-level sweeps run concurrently, one task per
+      level, dispatched heaviest-level-first. This is safe and
+      {e deterministic} because registration draws every membership coin
+      sequentially before any task starts, each level's mutable state is
+      owned by exactly one task, and memory charges commit as netted
+      per-host sums through the network's atomic counters — so the final
+      structure, the charged memory of every host and the return value
+      are bit-identical for any jobs count; only the wall clock changes.
+      Must not be called from inside another batch on the same pool (the
+      pool is not re-entrant). *)
+
+  val remove_batch : ?pool:Skipweb_util.Pool.t -> t -> S.key array -> int
   (** Bulk deletion, the mirror of {!insert_batch}: one sorted sweep per
-      level, dropping a level set's structure outright once the batch has
-      emptied it, then one hierarchy shrink at the end. Returns the number
-      of keys actually removed (absent keys and duplicates are skipped). *)
+      level (fanned over [pool] when given, with the same determinism
+      guarantee), dropping a level set's structure outright once the batch
+      has emptied it, then one hierarchy shrink at the end. Returns the
+      number of keys actually removed (absent keys and duplicates are
+      skipped). *)
 
   val mean_refinement_work : t -> queries:S.query array -> rng:Skipweb_util.Prng.t -> float
   (** Average ranges visited per level over a query batch — the empirical

@@ -7,7 +7,14 @@
     The 1-d instance here uses the {e arbitrary} placement of §2.4 (query
     cost O(log n)); the improved blocked 1-d structure with
     O(log n / log log n) queries is {!Blocked1d}. Comparing the two is
-    ablation A1. *)
+    ablation A1.
+
+    Every instance keeps all mutable state (range-id counters included)
+    inside its [t] — no module-level globals — as the domain-confinement
+    clause of {!Range_structure} requires: the parallel write path builds
+    structures of different levels on different domains concurrently, and
+    shared hidden state would both race and make range ids (hence host
+    placement and memory charges) depend on scheduling. *)
 
 module Point = Skipweb_geom.Point
 module Segment = Skipweb_geom.Segment

@@ -30,7 +30,18 @@
     the delta to adjust per-host memory charges incrementally instead of
     re-enumerating [range_ids] (which would make every update O(n)
     host-side), so deltas must be exact: after an update, the previously
-    charged set plus [added] minus [removed] must equal [range_ids]. *)
+    charged set plus [added] minus [removed] must equal [range_ids].
+
+    Domain confinement (the parallel write path): the hierarchy's batch
+    updates run one repair task per level on different OCaml domains, and
+    each task builds and mutates that level's structures. An
+    implementation must therefore keep {e all} of its mutable state —
+    including any range-id counter — inside its [t] values: a module-level
+    counter or cache shared between instances would race across domains
+    and, worse, make range ids depend on scheduling, breaking the
+    bit-identical-to-sequential guarantee. Determinism within one instance
+    is already required by canonicity; this extends it to "no hidden
+    coupling between instances". *)
 
 type range_delta = { added : int list; removed : int list }
 (** Range ids created / destroyed by one update. Ids are never reused, so

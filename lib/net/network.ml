@@ -1,12 +1,13 @@
 type host = int
 
-(* Shared workload counters are atomics so that sessions running on
-   different domains can commit concurrently; memory charges stay plain
-   (updates are serialized per the paper's §4 model, and only updates
-   charge memory). *)
+(* Every shared workload counter is an atomic so that sessions (the
+   parallel read path) and deferred charge buffers (the parallel write
+   path) can commit concurrently from different domains; every committed
+   quantity is a sum, and sums are order-independent, so the totals are
+   bit-identical to a sequential run. *)
 type t = {
   hosts : int;
-  memory : int array;
+  memory : int Atomic.t array;
   traffic : int Atomic.t array;
   total_messages : int Atomic.t;
   sessions : int Atomic.t;
@@ -16,7 +17,7 @@ let create ~hosts =
   if hosts < 1 then invalid_arg "Network.create: need at least one host";
   {
     hosts;
-    memory = Array.make hosts 0;
+    memory = Array.init hosts (fun _ -> Atomic.make 0);
     traffic = Array.init hosts (fun _ -> Atomic.make 0);
     total_messages = Atomic.make 0;
     sessions = Atomic.make 0;
@@ -29,18 +30,48 @@ let check_host t h =
 
 let charge_memory t h k =
   check_host t h;
-  t.memory.(h) <- t.memory.(h) + k;
-  assert (t.memory.(h) >= 0)
+  let old = Atomic.fetch_and_add t.memory.(h) k in
+  assert (old + k >= 0)
 
 let memory t h =
   check_host t h;
-  t.memory.(h)
+  Atomic.get t.memory.(h)
 
-let max_memory t = Array.fold_left max 0 t.memory
+let max_memory t = Array.fold_left (fun acc a -> max acc (Atomic.get a)) 0 t.memory
 
-let total_memory t = Array.fold_left ( + ) 0 t.memory
+let total_memory t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.memory
 
 let mean_memory t = float_of_int (total_memory t) /. float_of_int t.hosts
+
+(* A deferred memory-charge buffer: the write-path analogue of a session.
+   It nets its charges per host locally and commits them to the shared
+   atomic counters only at [commit_charges], so any number of buffers may
+   fill concurrently on different domains. Unlike a session it counts
+   nothing else — no messages, no traffic, no sessions_started — because
+   host-side structure maintenance is not an operation in the cost model. *)
+type charges = {
+  cnet : t;
+  deltas : (host, int ref) Hashtbl.t;
+  mutable committed : bool;
+}
+
+let deferred_charges t = { cnet = t; deltas = Hashtbl.create 16; committed = false }
+
+let charge c h k =
+  if c.committed then invalid_arg "Network.charge: buffer already committed";
+  check_host c.cnet h;
+  match Hashtbl.find_opt c.deltas h with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.replace c.deltas h (ref k)
+
+let commit_charges c =
+  if not c.committed then begin
+    c.committed <- true;
+    Hashtbl.iter
+      (fun h r -> if !r <> 0 then ignore (Atomic.fetch_and_add c.cnet.memory.(h) !r))
+      c.deltas;
+    Hashtbl.reset c.deltas
+  end
 
 (* A session buffers everything it will charge the network — its message
    count and the reversed list of host visits — and commits the lot in

@@ -30,19 +30,50 @@ val host_count : t -> int
 
 (** {1 Memory accounting}
 
-    Memory charges describe the structure, not a workload, and updates are
-    serialized (§4), so these are plain (non-atomic) counters: never call
-    them from concurrent sessions. *)
+    Memory charges describe the structure, not a workload. The per-host
+    counters are atomics: the parallel write path runs one repair task per
+    hierarchy level on different domains, each buffering its charges in a
+    {!charges} buffer and committing at the end, so commits may interleave.
+    Every committed quantity is a sum of deltas, and sums are
+    order-independent — per-host memory after a parallel batch is
+    bit-identical to the sequential run of the same batch. *)
 
 val charge_memory : t -> host -> int -> unit
 (** [charge_memory net h k] records that host [h] stores [k] more units
     (items, structure nodes, pointers or host IDs). [k] may be negative
-    (deletion). *)
+    (deletion). Safe to call directly from single-op (serialized) update
+    paths; concurrent writers should buffer through {!deferred_charges}
+    instead so each host's counter sees one netted delta per task. *)
 
 val memory : t -> host -> int
 val max_memory : t -> int
 val mean_memory : t -> float
 val total_memory : t -> int
+
+(** {2 Deferred charge buffers: the write-path analogue of a session}
+
+    Lifecycle: {!deferred_charges} … {!charge}* … {!commit_charges}.
+    Between creation and commit a buffer touches only its own state —
+    charges are netted per host locally — so any number of buffers may
+    fill concurrently on different domains against the same network.
+    Unlike a session, committing a buffer counts {e nothing} toward
+    {!sessions_started}, {!total_messages} or traffic: host-side structure
+    maintenance is not an operation in the cost model, it only moves
+    stored units between hosts. *)
+
+type charges
+
+val deferred_charges : t -> charges
+(** A fresh, empty charge buffer against this network. *)
+
+val charge : charges -> host -> int -> unit
+(** [charge c h k] buffers [k] more units at host [h] (negative for
+    releases). Raises [Invalid_argument] after {!commit_charges}. *)
+
+val commit_charges : charges -> unit
+(** Atomically add each host's netted delta to the network's memory
+    counters. Idempotent — a second commit adds nothing. A buffer that is
+    never committed contributes nothing. *)
 
 (** {1 Sessions: one query or update}
 

@@ -5,7 +5,7 @@ type t = {
   work_done : Condition.t;
   queue : (unit -> unit) Queue.t;
   mutable pending : int;  (* tasks queued or executing, current batch *)
-  mutable active : bool;  (* a parallel_for is in flight *)
+  mutable active : bool;  (* a parallel batch is in flight *)
   mutable stop : bool;
   mutable failure : exn option;
   mutable workers : unit Domain.t list;
@@ -80,6 +80,33 @@ let drain pool =
   in
   loop ()
 
+(* Launch a prepared batch of closures and block until every one has
+   completed, the submitting domain helping to drain. Shared by the static
+   (parallel_for) and dynamic (parallel_for_tasks) dispatchers. *)
+let run_batch pool ~name tasks =
+  Mutex.lock pool.mutex;
+  if pool.stop then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg (name ^ ": pool is shut down")
+  end;
+  if pool.active then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg (name ^ ": pool already running a batch (not re-entrant)")
+  end;
+  pool.active <- true;
+  pool.failure <- None;
+  pool.pending <- Array.length tasks;
+  Array.iter (fun task -> Queue.push task pool.queue) tasks;
+  Condition.broadcast pool.work_ready;
+  Mutex.unlock pool.mutex;
+  drain pool;
+  Mutex.lock pool.mutex;
+  pool.active <- false;
+  let failure = pool.failure in
+  pool.failure <- None;
+  Mutex.unlock pool.mutex;
+  match failure with Some e -> raise e | None -> ()
+
 let parallel_for pool ~lo ~hi f =
   let n = hi - lo in
   if n > 0 then
@@ -88,41 +115,59 @@ let parallel_for pool ~lo ~hi f =
         f i
       done
     else begin
-      Mutex.lock pool.mutex;
-      if pool.stop then begin
-        Mutex.unlock pool.mutex;
-        invalid_arg "Pool.parallel_for: pool is shut down"
-      end;
-      if pool.active then begin
-        Mutex.unlock pool.mutex;
-        invalid_arg "Pool.parallel_for: pool already running a batch (not re-entrant)"
-      end;
-      pool.active <- true;
-      pool.failure <- None;
       (* Deterministic static chunking: [chunks] contiguous index ranges
          whose boundaries depend only on (lo, hi, jobs), never on timing. *)
       let chunks = min pool.jobs n in
       let base = n / chunks and extra = n mod chunks in
-      pool.pending <- chunks;
-      for c = 0 to chunks - 1 do
-        let start = lo + (c * base) + min c extra in
-        let stop = start + base + if c < extra then 1 else 0 in
-        Queue.push
-          (fun () ->
-            for i = start to stop - 1 do
-              f i
-            done)
-          pool.queue
-      done;
-      Condition.broadcast pool.work_ready;
-      Mutex.unlock pool.mutex;
-      drain pool;
-      Mutex.lock pool.mutex;
-      pool.active <- false;
-      let failure = pool.failure in
-      pool.failure <- None;
-      Mutex.unlock pool.mutex;
-      match failure with Some e -> raise e | None -> ()
+      let tasks =
+        Array.init chunks (fun c ->
+            let start = lo + (c * base) + min c extra in
+            let stop = start + base + if c < extra then 1 else 0 in
+            fun () ->
+              for i = start to stop - 1 do
+                f i
+              done)
+      in
+      run_batch pool ~name:"Pool.parallel_for" tasks
+    end
+
+(* Dynamic dispatch: [min jobs n] runner tasks claim indices one at a time
+   from a shared counter, in the claim order fixed by [order]. Which domain
+   runs which index depends on timing — callers must only rely on every
+   index running exactly once. A runner that hits a task exception stops
+   claiming (exec records the failure); the surviving runners still drain
+   the counter, so the all-tasks-attempted-or-skipped accounting of
+   [run_batch] holds and the first failure is re-raised. *)
+let run_dynamic pool ~name ~order f =
+  let n = Array.length order in
+  let next = Atomic.make 0 in
+  let runner () =
+    let rec claim () =
+      let ix = Atomic.fetch_and_add next 1 in
+      if ix < n then begin
+        f order.(ix);
+        claim ()
+      end
+    in
+    claim ()
+  in
+  run_batch pool ~name (Array.init (min pool.jobs n) (fun _ -> runner))
+
+let parallel_for_tasks pool ~weights f =
+  let n = Array.length weights in
+  if n > 0 then
+    if pool.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let order = Array.init n Fun.id in
+      (* Heaviest first; ties broken by index so the claim order is
+         deterministic (the index-to-domain assignment still is not). *)
+      Array.sort
+        (fun a b -> match compare weights.(b) weights.(a) with 0 -> compare a b | c -> c)
+        order;
+      run_dynamic pool ~name:"Pool.parallel_for_tasks" ~order f
     end
 
 let parallel_map pool f xs =
@@ -130,7 +175,18 @@ let parallel_map pool f xs =
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for pool ~lo:0 ~hi:n (fun i -> out.(i) <- Some (f xs.(i)));
+    let fill i = out.(i) <- Some (f xs.(i)) in
+    if pool.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        fill i
+      done
+    else if n < 2 * pool.jobs then
+      (* Too few elements for static chunks to balance: with fewer than two
+         chunks per domain, one straggler chunk serializes the tail. Claim
+         elements one at a time instead; the result array is still filled
+         by index, so the output is unchanged. *)
+      run_dynamic pool ~name:"Pool.parallel_map" ~order:(Array.init n Fun.id) fill
+    else parallel_for pool ~lo:0 ~hi:n fill;
     Array.map (function Some v -> v | None -> assert false) out
   end
 

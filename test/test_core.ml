@@ -579,11 +579,11 @@ let pool_take (data, len, tbl) rng =
     Some k
   end
 
-let test_pinned_hierarchy_churn_messages () =
+let run_pinned_hierarchy_churn ?pool () =
   let bound = 30_000 in
   let ks = W.distinct_ints ~seed:42 ~n:300 ~bound in
   let net = Network.create ~hosts:128 in
-  let h = HInt.build ~net ~seed:42 ks in
+  let h = HInt.build ~net ~seed:42 ?pool ks in
   let pool = churn_pool ks in
   let rng = Prng.create 0xc0ffee in
   let ops = ref 0 in
@@ -610,11 +610,19 @@ let test_pinned_hierarchy_churn_messages () =
   checki "pinned network total" 3887 (Network.total_messages net);
   checki "pinned final size" 300 (HInt.size h)
 
-let test_pinned_blocked_churn_messages () =
+let test_pinned_hierarchy_churn_messages () = run_pinned_hierarchy_churn ()
+
+(* The same pinned totals with the bulk build fanned over a 2-domain
+   pool: the parallel write path must be invisible to the message
+   model. *)
+let test_pinned_hierarchy_churn_messages_pooled () =
+  Skipweb_util.Pool.with_pool ~jobs:2 (fun pool -> run_pinned_hierarchy_churn ?pool ())
+
+let run_pinned_blocked_churn ?pool () =
   let bound = 10_000 in
   let ks = W.distinct_ints ~seed:9 ~n:200 ~bound in
   let net = Network.create ~hosts:64 in
-  let b = B1.build ~net ~seed:9 ~m:16 ks in
+  let b = B1.build ~net ~seed:9 ~m:16 ?pool ks in
   let pool = churn_pool ks in
   let rng = Prng.create 0xbeef in
   let ops = ref 0 in
@@ -640,6 +648,13 @@ let test_pinned_blocked_churn_messages () =
   checki "pinned op messages" 598 !ops;
   checki "pinned network total" 238 (Network.total_messages net);
   checki "pinned final size" 200 (B1.size b)
+
+let test_pinned_blocked_churn_messages () = run_pinned_blocked_churn ()
+
+(* Pooled build AND pooled epoch rebuilds (the structure keeps the pool it
+   was built with), same pinned totals. *)
+let test_pinned_blocked_churn_messages_pooled () =
+  Skipweb_util.Pool.with_pool ~jobs:2 (fun pool -> run_pinned_blocked_churn ?pool ())
 
 let suite =
   [
@@ -676,6 +691,10 @@ let suite =
     Alcotest.test_case "pinned hierarchy churn messages" `Quick
       test_pinned_hierarchy_churn_messages;
     Alcotest.test_case "pinned blocked churn messages" `Quick test_pinned_blocked_churn_messages;
+    Alcotest.test_case "pinned hierarchy churn messages (pooled build)" `Quick
+      test_pinned_hierarchy_churn_messages_pooled;
+    Alcotest.test_case "pinned blocked churn messages (pooled build)" `Quick
+      test_pinned_blocked_churn_messages_pooled;
     QCheck_alcotest.to_alcotest qcheck_blocked_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_int_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_churn;

@@ -1,7 +1,9 @@
-(* Tests for the parallel read path: the domain pool itself, the
+(* Tests for the parallel read and write paths: the domain pool itself
+   (static chunking and the dynamic largest-first dispatcher), the
    per-index PRNG streams, metrics shard merging, and — the property the
-   whole design hangs on — parallel query batches being bit-identical to
-   the sequential loops for every jobs count. *)
+   whole design hangs on — parallel query batches AND parallel bulk
+   builds / batch churn being bit-identical to the sequential runs for
+   every jobs count. *)
 
 module Pool = Skipweb_util.Pool
 module Prng = Skipweb_util.Prng
@@ -81,6 +83,65 @@ let test_shutdown_idempotent_and_final () =
   Alcotest.check_raises "use after shutdown"
     (Invalid_argument "Pool.parallel_for: pool is shut down") (fun () ->
       Pool.parallel_for p ~lo:0 ~hi:4 (fun _ -> ()))
+
+(* ------- the dynamic cost-weighted dispatcher ------- *)
+
+let test_parallel_for_tasks_covers_tasks () =
+  with_pool2 (fun p ->
+      List.iter
+        (fun n ->
+          (* Skewed weights: the schedule order changes, the set of tasks
+             run must not. *)
+          let weights = Array.init n (fun i -> (i * 37) mod 11) in
+          let hits = Array.make (max 1 n) 0 in
+          Pool.parallel_for_tasks p ~weights (fun i -> hits.(i) <- hits.(i) + 1);
+          for i = 0 to n - 1 do
+            checki (Printf.sprintf "task %d of %d run once" i n) 1 hits.(i)
+          done)
+        [ 0; 1; 2; 3; 7; 64 ])
+
+let test_parallel_for_tasks_jobs1_inline_ordered () =
+  let p = Pool.create ~jobs:1 in
+  let order = ref [] in
+  (* jobs=1 runs inline in index order; the weights only ever reorder the
+     schedule across domains, never what runs. *)
+  Pool.parallel_for_tasks p ~weights:[| 1; 9; 3 |] (fun i -> order := i :: !order);
+  Pool.shutdown p;
+  checkb "jobs=1 runs tasks inline in index order" true (!order = [ 2; 1; 0 ])
+
+let test_parallel_for_tasks_exception_and_reuse () =
+  with_pool2 (fun p ->
+      (try
+         Pool.parallel_for_tasks p ~weights:(Array.make 8 1) (fun i ->
+             if i = 3 then failwith "task-boom");
+         Alcotest.fail "expected an exception"
+       with Failure m -> checks "exception text" "task-boom" m);
+      (* The failed batch must leave the pool usable, as for parallel_for. *)
+      let hits = Array.make 8 0 in
+      Pool.parallel_for_tasks p ~weights:(Array.make 8 1) (fun i -> hits.(i) <- 1);
+      checki "pool usable after failed task batch" 8 (Array.fold_left ( + ) 0 hits))
+
+let test_parallel_for_tasks_after_shutdown () =
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  Alcotest.check_raises "use after shutdown"
+    (Invalid_argument "Pool.parallel_for_tasks: pool is shut down") (fun () ->
+      Pool.parallel_for_tasks p ~weights:[| 1; 1 |] (fun _ -> ()))
+
+let test_parallel_map_small_batch_dynamic () =
+  (* n < 2*jobs takes parallel_map's dynamic-dispatch fallback (static
+     chunking would leave domains idle); the result must still be the
+     index-ordered map. *)
+  let p = Pool.create ~jobs:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      List.iter
+        (fun n ->
+          let xs = Array.init n (fun i -> i) in
+          let ys = Pool.parallel_map p (fun x -> x * x) xs in
+          checkb (Printf.sprintf "small map n=%d order" n) true (ys = Array.map (fun x -> x * x) xs))
+        [ 2; 3; 5; 7 ])
 
 let test_with_pool_convention () =
   checkb "jobs<=1 gives None" true (Pool.with_pool ~jobs:1 (fun pool -> pool = None));
@@ -223,6 +284,93 @@ let test_hint_batch_matches_sequential_loop () =
   checkb "answers equal" true (answers = seq_answers);
   checki "network totals equal" seq_total total
 
+(* ------- parallel write path == sequential ------- *)
+
+(* Distinct churn keys above the stored domain, so inserts always add and
+   the later removes always hit. *)
+let churn_keys ~seed ~count ~bound =
+  let rng = Prng.create (seed + 0x9e1) in
+  let taken = Hashtbl.create count in
+  let out = Array.make count 0 in
+  let filled = ref 0 in
+  while !filled < count do
+    let k = bound + Prng.int rng bound in
+    if not (Hashtbl.mem taken k) then begin
+      Hashtbl.replace taken k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out
+
+(* Bulk-build the generic hierarchy, churn it with a batch insert and a
+   batch remove, and return everything observable: batch result counts,
+   query answers afterwards, per-host memory and traffic, the network
+   totals, and the structural summary. jobs=1 gives [with_pool] None, so
+   the baseline is the genuinely sequential direct-charge path. *)
+let hint_write_observation ~jobs ~seed ~n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:(2 * n) in
+  Pool.with_pool ~jobs @@ fun pool ->
+  let h = HInt.build ~net ~seed ?pool keys in
+  let churn = churn_keys ~seed ~count:(max 10 (n / 4)) ~bound in
+  let inserted = HInt.insert_batch ?pool h churn in
+  let removed = HInt.remove_batch ?pool h churn in
+  HInt.check_invariants h;
+  let rng = Prng.create (seed + 1) in
+  let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:30 ~bound in
+  let answers = Array.map (fun q -> fst (HInt.query h ~rng q)) qs in
+  let hosts = Network.host_count net in
+  let mem = Array.init hosts (Network.memory net) in
+  let traffic = Array.init hosts (Network.traffic net) in
+  ( inserted,
+    removed,
+    answers,
+    mem,
+    traffic,
+    Network.total_messages net,
+    Network.sessions_started net,
+    (HInt.size h, HInt.levels h, HInt.total_storage h) )
+
+(* Same shape for the blocked structure: the churn is big enough to force
+   epoch rebuilds, which run on the pool the structure was built with. *)
+let b1_write_observation ~jobs ~seed ~n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:(2 * n) in
+  Pool.with_pool ~jobs @@ fun pool ->
+  let g = B1.build ~net ~seed ~m:(4 * log2i n) ?pool keys in
+  let churn = churn_keys ~seed ~count:(max 8 (n / 2)) ~bound in
+  let ins = Array.map (fun k -> B1.insert g k) churn in
+  let del = Array.map (fun k -> B1.delete g k) churn in
+  B1.check_invariants g;
+  let rng = Prng.create (seed + 1) in
+  let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:30 ~bound in
+  let answers = Array.map (fun q -> (B1.query g ~rng q).B1.nearest) qs in
+  let hosts = Network.host_count net in
+  let mem = Array.init hosts (Network.memory net) in
+  let traffic = Array.init hosts (Network.traffic net) in
+  (ins, del, answers, mem, traffic, Network.total_messages net, Network.sessions_started net)
+
+let qcheck_hint_write_parallel_equals_sequential =
+  QCheck.Test.make
+    ~name:"generic 1-d: build/insert_batch/remove_batch == sequential for jobs in {1,2,4}"
+    ~count:5
+    QCheck.(pair (int_range 0 1000) (int_range 60 240))
+    (fun (seed, n) ->
+      let base = hint_write_observation ~jobs:1 ~seed ~n in
+      List.for_all (fun jobs -> hint_write_observation ~jobs ~seed ~n = base) [ 2; 4 ])
+
+let qcheck_b1_write_parallel_equals_sequential =
+  QCheck.Test.make
+    ~name:"blocked 1-d: pooled build + rebuild churn == sequential for jobs in {1,2,4}"
+    ~count:4
+    QCheck.(pair (int_range 0 1000) (int_range 60 200))
+    (fun (seed, n) ->
+      let base = b1_write_observation ~jobs:1 ~seed ~n in
+      List.for_all (fun jobs -> b1_write_observation ~jobs ~seed ~n = base) [ 2; 4 ])
+
 let suite =
   [
     Alcotest.test_case "parallel_for covers ranges" `Quick test_parallel_for_covers_range;
@@ -232,6 +380,16 @@ let suite =
       test_exception_propagates_and_pool_survives;
     Alcotest.test_case "re-entrant batches rejected" `Quick test_reentrancy_rejected;
     Alcotest.test_case "shutdown idempotent and final" `Quick test_shutdown_idempotent_and_final;
+    Alcotest.test_case "parallel_for_tasks covers every task" `Quick
+      test_parallel_for_tasks_covers_tasks;
+    Alcotest.test_case "parallel_for_tasks jobs=1 inline in index order" `Quick
+      test_parallel_for_tasks_jobs1_inline_ordered;
+    Alcotest.test_case "parallel_for_tasks exceptions propagate; pool survives" `Quick
+      test_parallel_for_tasks_exception_and_reuse;
+    Alcotest.test_case "parallel_for_tasks rejected after shutdown" `Quick
+      test_parallel_for_tasks_after_shutdown;
+    Alcotest.test_case "parallel_map small batches use dynamic dispatch" `Quick
+      test_parallel_map_small_batch_dynamic;
     Alcotest.test_case "with_pool convention" `Quick test_with_pool_convention;
     Alcotest.test_case "Prng.stream deterministic, non-advancing" `Quick
       test_stream_deterministic_and_non_advancing;
@@ -241,4 +399,6 @@ let suite =
       test_hint_batch_matches_sequential_loop;
     QCheck_alcotest.to_alcotest qcheck_b1_parallel_equals_sequential;
     QCheck_alcotest.to_alcotest qcheck_hint_parallel_equals_sequential;
+    QCheck_alcotest.to_alcotest qcheck_hint_write_parallel_equals_sequential;
+    QCheck_alcotest.to_alcotest qcheck_b1_write_parallel_equals_sequential;
   ]
