@@ -1,4 +1,4 @@
-(* E7/E17: bucket skip-webs — the memory/message trade-off of Table 1
+(* E7/E7b: bucket skip-webs — the memory/message trade-off of Table 1
    row 7 and the §1.3 constant-cost regime.
 
    With H < n hosts of memory M, query cost is O(log_M H). Two sweeps:
@@ -29,7 +29,7 @@ let measure ~seed ~n ~hosts ~m ~queries =
   (msgs, B1.max_host_memory g)
 
 let run (cfg : C.config) =
-  C.section "Bucket skip-webs: the M sweep (E7) and the constant-cost regime (E17)";
+  C.section "Bucket skip-webs: the M sweep (E7) and the constant-cost regime (E7b)";
   (* Sweep M at fixed n. *)
   let n = List.fold_left max 1024 cfg.C.sizes in
   let tbl =
@@ -75,7 +75,7 @@ let run (cfg : C.config) =
           cfg.C.sizes
       in
       C.print_shape_table
-        ~title:(Printf.sprintf "E17: M = n^%.2f — Q(n) should be O(1)" eps)
+        ~title:(Printf.sprintf "E7b: M = n^%.2f — Q(n) should be O(1)" eps)
         ~sizes:cfg.C.sizes
         [ (Printf.sprintf "Q(n), M=n^%.2f" eps, series, "O(1)") ])
     [ 0.25; 0.5 ]

@@ -15,7 +15,7 @@
                                               # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, scale, trace, time. *)
+   bucket, ablations, scale, churn, trace, time. *)
 
 let experiments =
   [
@@ -29,6 +29,7 @@ let experiments =
     ("bucket", fun cfg -> Exp_bucket.run cfg);
     ("ablations", fun cfg -> Exp_ablations.run cfg);
     ("scale", fun cfg -> Exp_scale.run cfg);
+    ("churn", fun cfg -> Exp_churn.run cfg);
     ("trace", fun cfg -> Exp_trace.run cfg);
   ]
 

@@ -8,6 +8,7 @@
      dune exec bin/skipweb_cli.exe -- update --structure skipgraph -n 2048
      dune exec bin/skipweb_cli.exe -- load -s skipweb-generic -n 100000 --jobs 4
      dune exec bin/skipweb_cli.exe -- census -n 1024
+     dune exec bin/skipweb_cli.exe -- churn -s skipweb-generic -n 2048 --r 2 --epochs 8
 
    --jobs threads a domain pool through both the read phases (query/stats)
    and the write paths (load's bulk build, update's rebuilds on the
@@ -464,6 +465,107 @@ let run_stats structure n queries updates seed m buckets format jobs =
       Tables.print t);
   0
 
+(* ---------------- churn: kill/rejoin epochs + self-repair ---------------- *)
+
+(* Drive failure epochs against a replicated skip-web: each epoch kills
+   [fails] live hosts, runs a query batch (a walk whose every replica is
+   dead records a failed query instead of aborting the run), runs one
+   repair pass, then revives the victims. Only the two skip-web
+   structures support replication and repair; the overlay baselines have
+   no failure story. *)
+let run_churn structure n queries seed m r epochs fails jobs =
+  if r < 1 then begin
+    prerr_endline "churn: --r must be >= 1";
+    exit 2
+  end;
+  let fails = match fails with Some f -> f | None -> max 1 (r - 1) in
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let ops =
+    match structure with
+    | Skipweb ->
+        let net = Network.create ~hosts:n in
+        let m = match m with Some m -> m | None -> 4 * log2i n in
+        let g = B1.build ~net ~seed ~m ~r ?pool keys in
+        let query_one rng q = (B1.query g ~rng q).B1.messages in
+        let repair () =
+          let s : B1.repair_stats = B1.repair g in
+          (s.B1.repaired, s.B1.messages, s.B1.lost)
+        in
+        Some
+          (net, query_one, repair, Printf.sprintf "skip-web, blocked (§2.4.1), M = %d, r = %d" m r)
+    | Skipweb_generic ->
+        let net = Network.create ~hosts:n in
+        let g = HInt.build ~net ~seed ~r ?pool keys in
+        let query_one rng q =
+          let _, stats = HInt.query g ~rng q in
+          stats.HInt.messages
+        in
+        let repair () =
+          let s : HInt.repair_stats = HInt.repair g in
+          (s.HInt.repaired, s.HInt.messages, s.HInt.lost)
+        in
+        Some (net, query_one, repair, Printf.sprintf "skip-web, arbitrary placement (§2.4), r = %d" r)
+    | _ -> None
+  in
+  match ops with
+  | None ->
+      prerr_endline "churn: only skipweb and skipweb-generic support replication and repair";
+      1
+  | Some (net, query_one, repair, describe) ->
+      Printf.printf "structure: %s\n" describe;
+      Printf.printf "items: %d   hosts: %d   epochs: %d   failures/epoch: %d   queries/epoch: %d\n\n"
+        n (Network.host_count net) epochs fails queries;
+      let qs = W.query_mix ~seed:(seed + 2) ~keys ~n:(epochs * queries) ~bound:(100 * n) in
+      let coins = Prng.create (seed + 0xc41) in
+      let krng = Prng.create (seed + 0x4b1) in
+      let t = Tables.create ~title:"churn epochs"
+          ~columns:[ "epoch"; "killed"; "ok"; "failed"; "repair msgs"; "lost"; "stranded" ]
+      in
+      let total_ok = ref 0 and total_failed = ref 0 and total_lost = ref 0 in
+      for e = 0 to epochs - 1 do
+        let killed = ref [] in
+        while List.length !killed < fails do
+          let h = Prng.int krng (Network.host_count net) in
+          if Network.alive net h && Network.live_hosts net > 1 then begin
+            Network.kill net h;
+            killed := h :: !killed
+          end
+        done;
+        let stranded = Network.stranded_memory net in
+        let ok = ref 0 and failed = ref 0 in
+        for i = e * queries to ((e + 1) * queries) - 1 do
+          match query_one (Prng.stream coins i) qs.(i) with
+          | (_ : int) -> incr ok
+          | exception Network.Host_dead _ -> incr failed
+        done;
+        let _, rmsgs, lost = repair () in
+        List.iter (Network.revive net) !killed;
+        total_ok := !total_ok + !ok;
+        total_failed := !total_failed + !failed;
+        total_lost := !total_lost + lost;
+        Tables.add_row t
+          [
+            string_of_int e;
+            String.concat "," (List.map string_of_int (List.rev !killed));
+            string_of_int !ok;
+            string_of_int !failed;
+            string_of_int rmsgs;
+            string_of_int lost;
+            string_of_int stranded;
+          ]
+      done;
+      Tables.print t;
+      let rate = float_of_int !total_ok /. float_of_int (epochs * queries) in
+      Printf.printf "query success rate: %.4f (%d/%d)\n" rate !total_ok (epochs * queries);
+      if r >= 2 && fails <= r - 1 && (!total_failed > 0 || !total_lost > 0) then begin
+        Printf.printf
+          "FAIL: r = %d with %d failures/epoch must lose nothing (failed %d, lost %d)\n" r fails
+          !total_failed !total_lost;
+        1
+      end
+      else 0
+
 (* ---------------- command line ---------------- *)
 
 open Cmdliner
@@ -511,6 +613,20 @@ let format_arg =
   let fconv = Arg.enum [ ("table", Table); ("json", Json); ("csv", Csv) ] in
   Arg.(value & opt fconv Table & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Output format: table, json or csv.")
 
+let r_arg =
+  Arg.(value & opt int 2 & info [ "r"; "replicas" ] ~docv:"R" ~doc:"Replication factor: copies of every range, on distinct hosts (skip-web structures only).")
+
+let epochs_arg =
+  Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"E" ~doc:"Number of kill/repair/rejoin epochs.")
+
+let fails_arg =
+  Arg.(value & opt (some int) None & info [ "fails" ] ~docv:"F" ~doc:"Hosts killed per epoch (default max 1 (R-1): the most the replication factor is guaranteed to survive).")
+
+let churn_cmd =
+  let doc = "Drive kill/repair/rejoin epochs against a replicated skip-web and report per-epoch availability and repair cost. With --r 2 and the default single failure per epoch, the success rate must be 1.0 (exit 1 otherwise)." in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(const run_churn $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ r_arg $ epochs_arg $ fails_arg $ jobs_arg)
+
 let stats_cmd =
   let doc = "Run a query/update workload and dump the metrics registry (messages-per-op distributions, per-host traffic and memory histograms)." in
   Cmd.v (Cmd.info "stats" ~doc)
@@ -520,6 +636,6 @@ let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in
   Cmd.group
     (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
-    [ query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd ]
+    [ query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd; churn_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -11,14 +11,16 @@ type t = {
   net : Network.t;
   vecs : Membership.t;
   m : int;  (* per-host memory target M *)
+  r : int;  (* replication factor: owners per block / cone interval *)
   stride : int;  (* L = ceil(log2 M): basic levels are multiples *)
   mutable bsize : int;  (* ranges per block at basic levels *)
   keys : O.t;  (* the ground set, chunked sorted sequence *)
   mutable top : int;  (* K = ceil(log2 n) *)
   sets : (int * int, int array) Hashtbl.t;  (* (level, prefix) -> sorted keys *)
-  blocks : (int * int * int, Network.host) Hashtbl.t;  (* basic (level, prefix, block) -> owner *)
-  replicas : (int * int, (int * int * Network.host) list) Hashtbl.t;
-      (* non-basic (level, prefix) -> cone intervals (code_lo, code_hi, host) *)
+  blocks : (int * int * int, Network.host array) Hashtbl.t;
+      (* basic (level, prefix, block) -> owners, primary first *)
+  replicas : (int * int, (int * int * Network.host array) list) Hashtbl.t;
+      (* non-basic (level, prefix) -> cone intervals (code_lo, code_hi, owners) *)
   host_mem : (Network.host, int) Hashtbl.t;  (* what we charged, for rebuilds *)
   mutable pool : Skipweb_util.Pool.t option;  (* fans rebuild phases out when set *)
 }
@@ -129,18 +131,27 @@ let rebuild t =
   Array.iteri
     (fun level sets -> List.iter (fun (b, arr) -> Hashtbl.replace t.sets (level, b) arr) sets)
     level_sets;
-  (* Size blocks so there is about one block per host (each block drags an
-     O(M)-sized cone along, so several blocks per host would overshoot the
-     memory budget). *)
+  (* Size blocks so there is about one block per *live* host (each block
+     drags an O(M)-sized cone along, so several blocks per host would
+     overshoot the memory budget). Placement only ever targets live hosts:
+     with nobody dead the live array is the identity and every owner draw
+     below reproduces the historical [!counter mod hosts]. *)
   let hosts = Network.host_count t.net in
+  let live =
+    Array.of_list (List.filter (fun h -> Network.alive t.net h) (List.init hosts Fun.id))
+  in
+  let nlive = Array.length live in
+  let reps = min t.r nlive in
   let total_basic_codes =
     Hashtbl.fold
       (fun (l, _) arr acc -> if l mod t.stride = 0 then acc + L.num_ranges arr else acc)
       t.sets 0
   in
-  t.bsize <- max (max 2 (t.m / 4)) ((total_basic_codes + hosts - 1) / hosts);
+  t.bsize <- max (max 2 (t.m / 4)) ((total_basic_codes + nlive - 1) / nlive);
   (* Enumerate every block in the canonical (level, sorted prefix, block)
-     order, assigning owners from the round-robin counter. *)
+     order, assigning owners from the round-robin counter: replica slot s
+     of block [idx] is the live host [idx + s] positions along, so the r
+     copies of a block always sit on r distinct live hosts (r <= nlive). *)
   let blocks_rev = ref [] in
   let nblocks_total = ref 0 in
   let counter = ref 0 in
@@ -155,10 +166,11 @@ let rebuild t =
           let codes = L.num_ranges arr in
           let nblocks = (codes + t.bsize - 1) / t.bsize in
           for j = 0 to nblocks - 1 do
-            let host = !counter mod hosts in
+            let idx = !counter mod nlive in
             incr counter;
-            Hashtbl.replace t.blocks (level, b, j) host;
-            blocks_rev := (level, b, arr, j, host) :: !blocks_rev;
+            let owners = Array.init reps (fun s -> live.((idx + s) mod nlive)) in
+            Hashtbl.replace t.blocks (level, b, j) owners;
+            blocks_rev := (level, b, arr, j, owners) :: !blocks_rev;
             incr nblocks_total
           done)
         sets_here
@@ -173,11 +185,13 @@ let rebuild t =
      buffered chronologically per block. *)
   let results = Array.make !nblocks_total ([], []) in
   for_items t !nblocks_total (fun i ->
-      let level, b, arr, j, host = block_arr.(i) in
+      let level, b, arr, j, owners = block_arr.(i) in
       let codes = L.num_ranges arr in
       let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
-      let charges = ref [ (host, chi - clo + 1) ] in
-      let reps = ref [] in
+      let charges = ref [] in
+      let charge_owners units = Array.iter (fun h -> charges := (h, units) :: !charges) owners in
+      charge_owners (chi - clo + 1);
+      let cones = ref [] in
       let span_block = interval_span arr clo chi in
       let lvl = ref (level + 1) in
       while !lvl <= t.top && !lvl mod t.stride <> 0 do
@@ -189,13 +203,13 @@ let rebuild t =
           | Some child_arr ->
               let clo', chi' = codes_touching child_arr span_block in
               if clo' <= chi' then begin
-                reps := ((!lvl, cb), (clo', chi', host)) :: !reps;
-                charges := (host, chi' - clo' + 1) :: !charges
+                cones := ((!lvl, cb), (clo', chi', owners)) :: !cones;
+                charge_owners (chi' - clo' + 1)
               end
         done;
         incr lvl
       done;
-      results.(i) <- (List.rev !charges, List.rev !reps));
+      results.(i) <- (List.rev !charges, List.rev !cones));
   (* Sequential commit in block order reproduces the sequential rebuild's
      exact charge sequence and replica-list construction order. *)
   let cone_replicas = Hashtbl.create 64 in
@@ -210,8 +224,10 @@ let rebuild t =
     results;
   Hashtbl.iter (fun key lst -> Hashtbl.replace t.replicas key lst) cone_replicas
 
-let build ~net ~seed ~m ?pool keys =
+let build ~net ~seed ~m ?(r = 1) ?pool keys =
   if m < 4 then invalid_arg "Blocked1d.build: m >= 4";
+  if r < 1 || r > Network.host_count net then
+    invalid_arg "Blocked1d.build: need 1 <= r <= host count";
   let xs = Array.copy keys in
   Array.sort compare xs;
   Array.iteri (fun i k -> if i > 0 && xs.(i - 1) = k then invalid_arg "Blocked1d.build: duplicate keys") xs;
@@ -225,6 +241,7 @@ let build ~net ~seed ~m ?pool keys =
       net;
       vecs = Membership.create ~seed;
       m;
+      r;
       stride;
       bsize = max 2 (m / 4);  (* refined by rebuild *)
       keys = O.of_sorted_array xs;
@@ -239,19 +256,43 @@ let build ~net ~seed ~m ?pool keys =
   rebuild t;
   t
 
+let replication t = t.r
+
 let total_storage t = Hashtbl.fold (fun _ arr acc -> acc + L.num_ranges arr) t.sets 0
 
 let replicated_storage t = Hashtbl.fold (fun _ units acc -> acc + units) t.host_mem 0
 
 let max_host_memory t = Hashtbl.fold (fun _ units acc -> max acc units) t.host_mem 0
 
-(* All hosts storing the range with this code. *)
+(* The routing representative of one replica list: its first live owner —
+   the primary when nobody is dead — or the dead primary when every copy
+   is gone, so the session hop raises [Host_dead] instead of silently
+   reading a lost range. *)
+let entry_rep t owners =
+  match Array.find_opt (fun h -> Network.alive t.net h) owners with
+  | Some h -> h
+  | None -> owners.(0)
+
+(* One representative per covering entry (block, or cone interval) of the
+   range with this code. With nobody dead every representative is that
+   entry's primary, so the list — and hence every routing decision made
+   over it — is identical to the unreplicated one for any [r]. *)
 let hosts_of t level b code =
-  if level mod t.stride = 0 then [ Hashtbl.find t.blocks (level, b, code / t.bsize) ]
+  if level mod t.stride = 0 then [ entry_rep t (Hashtbl.find t.blocks (level, b, code / t.bsize)) ]
   else
     match Hashtbl.find_opt t.replicas (level, b) with
     | None -> []
-    | Some lst -> List.filter_map (fun (lo, hi, h) -> if lo <= code && code <= hi then Some h else None) lst
+    | Some lst ->
+        List.concat_map
+          (fun (lo, hi, hs) -> if lo <= code && code <= hi then [ entry_rep t hs ] else [])
+          lst
+
+(* Where a walk lands for this replica list: the first live owner, else the
+   head so the session hop raises [Host_dead] (every copy is gone). *)
+let route_of t hs =
+  match List.find_opt (fun h -> Network.alive t.net h) hs with
+  | Some h -> h
+  | None -> ( match hs with h :: _ -> h | [] -> 0)
 
 type search_result = {
   predecessor : int option;
@@ -268,9 +309,16 @@ let preferred_host t origin level q =
   let b = prefix t origin base in
   match Hashtbl.find_opt t.sets (base, b) with
   | None -> None
-  | Some arr ->
+  | Some arr -> (
       let code = L.encode (L.locate arr q) in
-      Hashtbl.find_opt t.blocks (base, b, code / t.bsize)
+      match Hashtbl.find_opt t.blocks (base, b, code / t.bsize) with
+      | None -> None
+      | Some owners -> (
+          (* First live replica of the preferred block; its primary when
+             nobody is dead, preserving the historical routing exactly. *)
+          match Array.find_opt (fun h -> Network.alive t.net h) owners with
+          | Some h -> Some h
+          | None -> Some owners.(0)))
 
 (* Traced descents open one leveled span per level, noting whether the
    level's range lives in a block or a cone and how many replicas cover
@@ -282,8 +330,13 @@ let query_from ?trace t origin q =
   let code_top = L.encode (L.locate arr_top q) in
   let initial_hosts = hosts_of t t.top b_top code_top in
   let pick level hosts current =
-    match hosts with
-    | [] -> current  (* defensive: unreplicated range, stay local *)
+    (* Route among the covering entries whose representative is live; with
+       nobody dead that is one primary per entry and the choice matches
+       the historical one exactly. When every entry lost all its copies,
+       fall through to the (dead) head so the hop raises [Host_dead]
+       instead of silently reading a lost range. *)
+    match List.filter (fun h -> Network.alive t.net h) hosts with
+    | [] -> ( match hosts with [] -> current | h :: _ -> h)
     | [ h ] -> h
     | h :: _ as hs ->
         if List.mem current hs then current
@@ -292,7 +345,7 @@ let query_from ?trace t origin q =
           | Some p when List.mem p hs -> p
           | Some _ | None -> h)
   in
-  let start = match initial_hosts with h :: _ -> h | [] -> 0 in
+  let start = match initial_hosts with [] -> 0 | hs -> route_of t hs in
   let session = Network.start ?trace t.net start in
   let rec descend level =
     if level >= 0 then begin
@@ -419,6 +472,41 @@ let check_invariants t =
       probes
   end
 
+type repair_stats = { scanned : int; repaired : int; messages : int; lost : int }
+
+(* Blocked1d's update model rebuilds the block/cone maps wholesale, so
+   self-repair is: bill the copies currently stranded on dead hosts (one
+   steal message per unit with a surviving replica, a loss otherwise),
+   then rebuild — which re-draws every placement over live hosts only and
+   migrates the stranded charges as a side effect of re-charging. *)
+let repair t =
+  let scanned = ref 0 and repaired = ref 0 and messages = ref 0 and lost = ref 0 in
+  let account owners units =
+    incr scanned;
+    let any_live = Array.exists (fun h -> Network.alive t.net h) owners in
+    Array.iter
+      (fun h ->
+        if not (Network.alive t.net h) then begin
+          repaired := !repaired + units;
+          if any_live then messages := !messages + units else lost := !lost + units
+        end)
+      owners
+  in
+  Hashtbl.iter
+    (fun (level, b, j) owners ->
+      match Hashtbl.find_opt t.sets (level, b) with
+      | None -> ()
+      | Some arr ->
+          let codes = L.num_ranges arr in
+          let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
+          if clo <= chi then account owners (chi - clo + 1))
+    t.blocks;
+  Hashtbl.iter
+    (fun _ lst -> List.iter (fun (clo, chi, owners) -> account owners (chi - clo + 1)) lst)
+    t.replicas;
+  rebuild t;
+  { scanned = !scanned; repaired = !repaired; messages = !messages; lost = !lost }
+
 type range_result = { keys : int list; messages : int }
 
 let range t ~rng ~lo ~hi =
@@ -431,14 +519,17 @@ let range t ~rng ~lo ~hi =
     let arr = Hashtbl.find t.sets (0, 0) in
     let clo, chi = L.range_codes arr ~lo ~hi in
     let crossings = ref 0 in
-    let cur = ref (match hosts_of t 0 0 clo with h :: _ -> h | [] -> 0) in
+    let cur = ref (match hosts_of t 0 0 clo with [] -> 0 | hs -> route_of t hs) in
     let c = ref clo in
     while !c <= chi do
       (match hosts_of t 0 0 !c with
-      | h :: _ when h <> !cur ->
-          incr crossings;
-          cur := h
-      | _ :: _ | [] -> ());
+      | [] -> ()
+      | hs ->
+          let h = route_of t hs in
+          if h <> !cur then begin
+            incr crossings;
+            cur := h
+          end);
       incr c
     done;
     { keys = O.range_keys t.keys ~lo ~hi; messages = locate.messages + !crossings }

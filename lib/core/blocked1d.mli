@@ -27,10 +27,19 @@ module Prng = Skipweb_util.Prng
 
 type t
 
-val build : net:Network.t -> seed:int -> m:int -> ?pool:Skipweb_util.Pool.t -> int array -> t
+val build :
+  net:Network.t -> seed:int -> m:int -> ?r:int -> ?pool:Skipweb_util.Pool.t -> int array -> t
 (** [build ~net ~seed ~m keys]: distribute over all hosts of [net] with
     per-host memory target [m] (the M parameter). Keys must be distinct.
     Raises [Invalid_argument] if [m < 4].
+
+    [r] is the replication factor (default 1): every block — and the cone
+    it drags along — is mirrored on [r] distinct live hosts (the [r]
+    consecutive positions of the round-robin owner draw), scaling per-host
+    memory by [r]. Queries keep routing to primaries, so with no failures
+    any [r] produces message counts bit-identical to [r = 1], which is
+    itself bit-identical to the pre-replication code. Requires
+    [1 <= r <= Network.host_count net].
 
     With [pool], the rebuild's two bulk phases — per-level set bucketing
     and per-block cone computation — fan out over the pool's domains,
@@ -49,6 +58,10 @@ val set_pool : t -> Skipweb_util.Pool.t option -> unit
 
 val size : t -> int
 val levels : t -> int
+
+val replication : t -> int
+(** The replication factor [r] this structure was built with. *)
+
 val basic_levels : t -> int list
 (** The basic level indices, ascending. *)
 
@@ -96,6 +109,34 @@ val delete : t -> int -> int
 val check_invariants : t -> unit
 (** Level partitions, block coverage, replica coverage of non-basic
     ranges, and conflict-chain soundness on samples. *)
+
+(** {1 Failure handling}
+
+    Queries route to the first live replica of every block / cone interval
+    they need; only when {e all} [r] copies are dead does the walk raise
+    [Skipweb_net.Network.Host_dead] (the session is abandoned and counts
+    nothing — the caller decides whether to retry or record a failed
+    query). Rebuilds — including the ones {!insert}/{!delete} trigger —
+    place blocks on live hosts only, so an update under failure is itself
+    a partial repair. *)
+
+type repair_stats = {
+  scanned : int;  (** block and cone-interval entries examined *)
+  repaired : int;  (** stored units re-homed off dead hosts *)
+  messages : int;  (** steal messages: one per re-homed unit with a live copy *)
+  lost : int;  (** re-homed units with no surviving replica (0 when at most
+                   r - 1 hosts fail between repairs) *)
+}
+
+val repair : t -> repair_stats
+(** One self-repair pass: bill every unit currently stored on a dead host
+    (a steal from any surviving replica, or a loss), then rebuild the
+    block / cone maps over the live hosts — stranded memory charges
+    migrate to live hosts as part of the re-charge. Idempotent once all
+    placements are live; must not run concurrently with queries or updates
+    (failure epochs are serialized, like updates). The message bill lives
+    in the stats and is {e not} added to the network's workload counters,
+    so query-traffic metrics stay clean. *)
 
 type range_result = { keys : int list; messages : int }
 

@@ -29,6 +29,15 @@ module Make (S : Range_structure.S) = struct
   type t = {
     net : Network.t;
     place_seed : int;
+    r : int;  (* replication factor: copies per range *)
+    (* Re-drawn placements: (level, prefix, range id, replica slot) ->
+       redraw generation. Slot j of a range lives at the hash of
+       (place_seed, level set, rid, j, generation); absent means
+       generation 0. A repair pass bumps a dead slot's generation until
+       the hash lands on a live host, so placement stays a pure function
+       of the structure's state — queries, charging and repair all agree
+       on where every copy is without any per-copy pointer state. *)
+    redraw : (int * int * int * int, int) Hashtbl.t;
     vecs : Membership.t;
     mutable layers : level_state array;  (* index = level; length = top + 1 *)
     key_ids : (S.key, int) Hashtbl.t;
@@ -51,8 +60,83 @@ module Make (S : Range_structure.S) = struct
   let fresh_layer () =
     { structures = Hashtbl.create 16; members = Hashtbl.create 16; charged = Hashtbl.create 16 }
 
-  let host_of_range t level b rid =
-    Prng.hash3 t.place_seed ((level * 0x100000) + b) rid mod Network.host_count t.net
+  (* Host of replica slot [j] of a range at redraw generation [g]. At
+     slot 0, generation 0, the mixing constants vanish and this is exactly
+     the historical single-copy hash — the bit-identical zero-failure
+     contract. *)
+  let slot_host t level b rid j g =
+    Prng.hash3
+      (t.place_seed + (j * 0x9e3779) + (g * 0x85ebca))
+      ((level * 0x100000) + b)
+      rid
+    mod Network.host_count t.net
+
+  let slot_generation t level b rid j =
+    if Hashtbl.length t.redraw = 0 then 0
+    else match Hashtbl.find_opt t.redraw (level, b, rid, j) with Some g -> g | None -> 0
+
+  (* Host of replica slot [j]: the slot's generation-[g] draw, where raw
+     draws landing on a host already holding an earlier slot of the same
+     range are skipped — so the r copies of a range always occupy r
+     distinct hosts, and killing at most r - 1 hosts can never destroy
+     every copy of anything. Slot 0 at generation 0 takes raw draw 0:
+     exactly the historical single-copy hash (the bit-identical
+     zero-failure contract), which the first branch serves without the
+     slot scan. *)
+  let replica_host t level b rid j =
+    if j = 0 && Hashtbl.length t.redraw = 0 then slot_host t level b rid 0 0
+    else begin
+      let prev = Array.make (max j 1) 0 in
+      let chosen = ref 0 in
+      for s = 0 to j do
+        let admissible h =
+          let ok = ref true in
+          for x = 0 to s - 1 do
+            if prev.(x) = h then ok := false
+          done;
+          !ok
+        in
+        let rec pick g gg attempts =
+          if attempts > 10_000 then failwith "Hierarchy: replica placement exhausted";
+          let h = slot_host t level b rid s gg in
+          if admissible h then (if g = 0 then h else pick (g - 1) (gg + 1) (attempts + 1))
+          else pick g (gg + 1) (attempts + 1)
+        in
+        let h = pick (slot_generation t level b rid s) 0 0 in
+        if s < j then prev.(s) <- h else chosen := h
+      done;
+      !chosen
+    end
+
+  (* Where a query walk should go for a range: the primary, or — mid-walk
+     failover — the first live replica when the primary is dead. When every
+     replica is dead the primary is returned anyway, so [Network.goto]
+     raises [Host_dead] and the operation fails like a timed-out RPC. *)
+  let route_host t level b rid =
+    let h0 = replica_host t level b rid 0 in
+    if Network.alive t.net h0 then h0
+    else
+      let rec go j =
+        if j >= t.r then h0
+        else
+          let h = replica_host t level b rid j in
+          if Network.alive t.net h then h else go (j + 1)
+      in
+      go 1
+
+  (* Charge (or release) one unit on every replica of a range. *)
+  let charge_replicas t ~charge level b rid k =
+    for j = 0 to t.r - 1 do
+      charge (replica_host t level b rid j) k
+    done
+
+  (* Drop any redraw state a dying range holds, so a later range reusing
+     the same (level, b, rid) code starts from generation 0 again. *)
+  let forget_redraws t level b rid =
+    if Hashtbl.length t.redraw > 0 then
+      for j = 0 to t.r - 1 do
+        Hashtbl.remove t.redraw (level, b, rid, j)
+      done
 
   (* ------- live-id arena: O(1) insert / remove / uniform sample ------- *)
 
@@ -105,7 +189,7 @@ module Make (S : Range_structure.S) = struct
     List.iter
       (fun rid ->
         Hashtbl.replace ch rid ();
-        charge (host_of_range t level b rid) 1)
+        charge_replicas t ~charge level b rid 1)
       rids
 
   (* Release every charge of one level set (structure dropped or level
@@ -114,7 +198,11 @@ module Make (S : Range_structure.S) = struct
     match Hashtbl.find_opt ly.charged b with
     | None -> ()
     | Some ch ->
-        Hashtbl.iter (fun rid () -> charge (host_of_range t level b rid) (-1)) ch;
+        Hashtbl.iter
+          (fun rid () ->
+            charge_replicas t ~charge level b rid (-1);
+            forget_redraws t level b rid)
+          ch;
         Hashtbl.remove ly.charged b
 
   (* Apply an O(1) range delta reported by [S.insert]/[S.remove]: the only
@@ -126,14 +214,15 @@ module Make (S : Range_structure.S) = struct
       (fun rid ->
         if not (Hashtbl.mem ch rid) then begin
           Hashtbl.replace ch rid ();
-          charge (host_of_range t level b rid) 1
+          charge_replicas t ~charge level b rid 1
         end)
       d.Range_structure.added;
     List.iter
       (fun rid ->
         if Hashtbl.mem ch rid then begin
           Hashtbl.remove ch rid;
-          charge (host_of_range t level b rid) (-1)
+          charge_replicas t ~charge level b rid (-1);
+          forget_redraws t level b rid
         end)
       d.Range_structure.removed
 
@@ -277,12 +366,16 @@ module Make (S : Range_structure.S) = struct
       count
     end
 
-  let build ~net ~seed ?(p = 0.5) ?pool keys =
+  let build ~net ~seed ?(p = 0.5) ?(r = 1) ?pool keys =
+    if r < 1 then invalid_arg "Hierarchy.build: r >= 1";
+    if r > Network.host_count net then invalid_arg "Hierarchy.build: r exceeds host count";
     let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
     let t =
       {
         net;
         place_seed = seed + 0x5157;
+        r;
+        redraw = Hashtbl.create 16;
         vecs;
         layers = [| fresh_layer () |];
         key_ids = Hashtbl.create 64;
@@ -296,6 +389,73 @@ module Make (S : Range_structure.S) = struct
     in
     ignore (insert_batch ?pool t keys);
     t
+
+  let replication t = t.r
+
+  (* ------- self-repair ------- *)
+
+  type repair_stats = { scanned : int; repaired : int; messages : int; lost : int }
+
+  (* One repair pass: walk every charged range, and for every replica slot
+     whose current host is dead, bump the slot's redraw generation until
+     its placement hash lands on a live host, migrate the memory charge
+     off the dead host, and bill one copy message for stealing the range
+     from a surviving replica (rainbow-style repair: any live copy can
+     seed the new one). A slot with {e no} surviving replica is counted in
+     [lost] instead of [messages] — the simulator re-materializes it so
+     the structure stays whole, but a real deployment would have lost that
+     range; with r >= 2 and at most r - 1 concurrent failures per epoch,
+     [lost] is always 0.
+
+     The repair bill is reported in the returned stats, not pushed through
+     sessions: repair is host-side maintenance (like deferred charges),
+     metered separately from the query workload so availability metrics
+     stay clean. Must not run concurrently with queries or updates. *)
+  let repair t =
+    let scanned = ref 0 and repaired = ref 0 and messages = ref 0 and lost = ref 0 in
+    Array.iteri
+      (fun level ly ->
+        Hashtbl.iter
+          (fun b ch ->
+            Hashtbl.iter
+              (fun rid () ->
+                incr scanned;
+                let old = Array.init t.r (replica_host t level b rid) in
+                let any_live = Array.exists (fun h -> Network.alive t.net h) old in
+                if Array.exists (fun h -> not (Network.alive t.net h)) old then begin
+                  (* Bump each dead slot's generation until its placement
+                     lands live. Ascending slot order: a bumped slot can
+                     shift the admissible enumeration of *later* slots
+                     only, so one ascending pass settles every slot. *)
+                  for j = 0 to t.r - 1 do
+                    let rec settle attempts =
+                      if attempts > 10_000 then
+                        failwith "Hierarchy.repair: could not find a live host";
+                      if not (Network.alive t.net (replica_host t level b rid j)) then begin
+                        Hashtbl.replace t.redraw (level, b, rid, j)
+                          (slot_generation t level b rid j + 1);
+                        settle (attempts + 1)
+                      end
+                    in
+                    settle 0
+                  done;
+                  (* Migrate charges by placement diff — which also catches
+                     a live slot whose admissible draw shifted because an
+                     earlier slot of the same range moved. *)
+                  for j = 0 to t.r - 1 do
+                    let h' = replica_host t level b rid j in
+                    if h' <> old.(j) then begin
+                      Network.charge_memory t.net old.(j) (-1);
+                      Network.charge_memory t.net h' 1;
+                      incr repaired;
+                      if any_live then incr messages else incr lost
+                    end
+                  done
+                end)
+              ch)
+          ly.charged)
+      t.layers;
+    { scanned = !scanned; repaired = !repaired; messages = !messages; lost = !lost }
 
   let level_set_sizes t level =
     Hashtbl.fold (fun _ s acc -> S.size s :: acc) t.layers.(level).structures []
@@ -325,8 +485,8 @@ module Make (S : Range_structure.S) = struct
     let loc0, visited0 = S.locate s_top q in
     let start_host =
       match visited0 with
-      | rid :: _ -> host_of_range t t.top b_top rid
-      | [] -> host_of_range t t.top b_top 0
+      | rid :: _ -> route_host t t.top b_top rid
+      | [] -> route_host t t.top b_top 0
     in
     let session = Network.start ?trace t.net start_host in
     let goto_label = match trace with None -> None | Some _ -> Some S.visit_label in
@@ -334,7 +494,7 @@ module Make (S : Range_structure.S) = struct
     | None -> ()
     | Some tr -> Trace.span_open tr ~level:t.top ("locate " ^ S.name));
     List.iter
-      (fun rid -> Network.goto ?label:goto_label session (host_of_range t t.top b_top rid))
+      (fun rid -> Network.goto ?label:goto_label session (route_host t t.top b_top rid))
       visited0;
     (match trace with
     | None -> ()
@@ -353,7 +513,7 @@ module Make (S : Range_structure.S) = struct
         | Some tr -> Trace.span_open tr ~level ("refine " ^ S.name));
         let loc', visited = S.refine s ~from:desc q in
         List.iter
-          (fun rid -> Network.goto ?label:goto_label session (host_of_range t level b rid))
+          (fun rid -> Network.goto ?label:goto_label session (route_host t level b rid))
           visited;
         (match trace with
         | None -> ()
@@ -412,7 +572,9 @@ module Make (S : Range_structure.S) = struct
         Hashtbl.iter
           (fun b ch ->
             Hashtbl.iter
-              (fun rid () -> Network.charge_memory t.net (host_of_range t level b rid) (-1))
+              (fun rid () ->
+                charge_replicas t ~charge:(direct_charge t) level b rid (-1);
+                forget_redraws t level b rid)
               ch)
           ly.charged
       done;
@@ -585,8 +747,10 @@ module Make (S : Range_structure.S) = struct
           (fun b ch ->
             Hashtbl.iter
               (fun rid () ->
-                let h = host_of_range t level b rid in
-                Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0))
+                for j = 0 to t.r - 1 do
+                  let h = replica_host t level b rid j in
+                  Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0)
+                done)
               ch)
           ly.charged)
       t.layers;

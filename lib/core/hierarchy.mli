@@ -22,10 +22,27 @@ module Make (S : Range_structure.S) : sig
   type t
 
   val build :
-    net:Network.t -> seed:int -> ?p:float -> ?pool:Skipweb_util.Pool.t -> S.key array -> t
+    net:Network.t ->
+    seed:int ->
+    ?p:float ->
+    ?r:int ->
+    ?pool:Skipweb_util.Pool.t ->
+    S.key array ->
+    t
   (** [build ~net ~seed keys] constructs the hierarchy over hosts of
       [net]. [p] is the halving probability (default 0.5) — the A3
       ablation knob: each membership bit is 1 with probability [p].
+      [r] is the replication factor (default 1): every range of every
+      level structure is mirrored on [r] {e distinct} hosts, drawn by the
+      same pure placement hash with a per-replica salt (draws colliding
+      with an earlier copy of the same range are skipped), so per-host
+      memory scales by [r] while queries keep visiting primaries — with
+      [r = 1] (and no failures) every message count, charge and answer is
+      bit-identical to the pre-replication code, and killing at most
+      [r - 1] hosts can never destroy every copy of a range. Replicas exist to survive host
+      failures: queries fail over to the first live replica mid-walk, and
+      {!repair} re-homes dead hosts' copies. Requires
+      [1 <= r <= Network.host_count net].
       With [pool], the per-level construction fans out over its domains
       (see {!insert_batch}, which this routes through); the resulting
       structure, storage and per-host memory are bit-identical for any
@@ -34,6 +51,42 @@ module Make (S : Range_structure.S) : sig
   val size : t -> int
   val levels : t -> int
   (** K + 1: the number of levels including level 0. *)
+
+  val replication : t -> int
+  (** The replication factor [r] this hierarchy was built with. *)
+
+  (** {1 Failure handling}
+
+      Placement is a pure hash of (seed, level set, range id, replica
+      slot, redraw generation), so a query, the charging discipline and
+      the repair pass always agree on where every copy lives without
+      per-copy pointers. When a routed host is dead, the query walk fails
+      over to the first live replica; only when {e every} replica of a
+      needed range is dead does the walk raise
+      [Skipweb_net.Network.Host_dead] (the session is abandoned and
+      contributes nothing to the network's counters — the caller decides
+      whether to retry or count a failed query). *)
+
+  type repair_stats = {
+    scanned : int;  (** charged ranges examined *)
+    repaired : int;  (** replica copies re-homed (off dead hosts, plus the
+                         rare live copy whose skip-collision draw shifted
+                         when an earlier copy of its range moved) *)
+    messages : int;  (** copy messages: one per re-homed copy with a live source *)
+    lost : int;  (** re-homed copies that had no surviving replica (0 when
+                     at most r - 1 hosts fail between repairs) *)
+  }
+
+  val repair : t -> repair_stats
+  (** One self-repair pass: for every replica copy stored on a dead host,
+      re-draw its placement (bump the slot's redraw generation until the
+      hash lands on a live host), migrate the memory charge, and bill one
+      copy message for stealing the range from any surviving replica.
+      Idempotent once all placements are live; must not run concurrently
+      with queries or updates (failure epochs are serialized, like
+      updates). The message bill is returned in the stats and {e not}
+      added to the network's workload counters, so query-traffic metrics
+      stay clean. *)
 
   val level_set_sizes : t -> int -> int list
   (** Sizes of the non-empty sets at a level (Figure 2 census). *)

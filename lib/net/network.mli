@@ -1,11 +1,21 @@
 (** A message-counting simulator of the paper's peer-to-peer cost model
     (§1.1).
 
-    The model: [H] hosts, each able to send a message to any other host;
-    hosts do not fail. A distributed structure maps its nodes and links onto
-    hosts; traversing a pointer whose target lives on a different host costs
-    exactly one message, while intra-host pointer chasing is free. Per-host
-    memory is measured in stored items / nodes / pointers / host IDs.
+    The model: [H] hosts, each able to send a message to any other host.
+    A distributed structure maps its nodes and links onto hosts; traversing
+    a pointer whose target lives on a different host costs exactly one
+    message, while intra-host pointer chasing is free. Per-host memory is
+    measured in stored items / nodes / pointers / host IDs.
+
+    Hosts can {e fail}: {!kill} marks a host dead and {!revive} brings it
+    back. A session that tries to move onto a dead host raises
+    {!Host_dead} — the failed hop is the simulator's model of a timed-out
+    RPC, and it is the structures' job to fail over to a live replica
+    instead (see [Hierarchy] / [Blocked1d] replication). Killing a host
+    does not touch any counter: its memory charges remain recorded as
+    {e stranded} until a structure's repair pass migrates them to live
+    hosts, which mirrors the real-world separation between a host dying
+    and the overlay noticing and repairing.
 
     Every query or update runs inside a {!session}, which tracks the host
     currently processing the operation and counts boundary crossings. A
@@ -23,10 +33,42 @@ type host = int
 (** Hosts are identified by integers in [\[0, host_count)]. *)
 
 val create : hosts:int -> t
-(** [create ~hosts] makes a network of [hosts] failure-free hosts.
+(** [create ~hosts] makes a network of [hosts] hosts, all initially live.
     Requires [hosts >= 1]. *)
 
 val host_count : t -> int
+
+(** {1 Failure model}
+
+    [kill] and [revive] are {e epoch} operations: they must not run
+    concurrently with in-flight sessions or uncommitted charge buffers on
+    other domains (failure epochs are serialized against query batches,
+    exactly as updates are). They are safe to interleave {e sequentially}
+    with anything: killing a host never zeroes or rejects counters, so a
+    deferred charge buffer opened before a [kill] commits the same totals
+    after it, and {!reset_traffic} keeps its usual meaning — the failure
+    axis and the workload counters are orthogonal. *)
+
+exception Host_dead of host
+(** Raised by {!start} and {!goto} when the target host is dead: the
+    operation's current hop timed out. The session that raised remains
+    unfinished and contributes nothing to the network's counters. *)
+
+val kill : t -> host -> unit
+(** Mark a host dead. Idempotent. Its memory charges stay recorded
+    (stranded — see {!stranded_memory}) until a repair pass migrates them;
+    its traffic history is kept. Raises [Invalid_argument] when asked to
+    kill the last live host. *)
+
+val revive : t -> host -> unit
+(** Mark a host live again (a rejoin). Idempotent. Counters are untouched:
+    if no repair pass migrated the host's charges while it was dead, they
+    are simply reachable again. *)
+
+val alive : t -> host -> bool
+
+val live_hosts : t -> int
+(** Number of currently live hosts; always >= 1. *)
 
 (** {1 Memory accounting}
 
@@ -47,8 +89,18 @@ val charge_memory : t -> host -> int -> unit
 
 val memory : t -> host -> int
 val max_memory : t -> int
+(** Largest per-host memory charge over {e all} hosts, dead or live (it
+    describes stored state; use {!congestion} for the serving view). *)
+
 val mean_memory : t -> float
+(** Total memory divided by the number of {e live} hosts — the mean load a
+    serving host carries. With no failures this is total/H as before. *)
+
 val total_memory : t -> int
+
+val stranded_memory : t -> int
+(** Sum of the memory charges currently recorded on dead hosts: state that
+    a repair pass still has to migrate (or that dies with the host). *)
 
 (** {2 Deferred charge buffers: the write-path analogue of a session}
 
@@ -92,7 +144,7 @@ type session
 val start : ?trace:Trace.t -> t -> host -> session
 (** Begin an operation at host [h] (the host owning the operation's root
     pointer). The starting visit is recorded for congestion (committed at
-    {!finish}) but costs no message. When [trace] is supplied, every
+    {!finish}) but costs no message. Raises {!Host_dead} if [h] is dead. When [trace] is supplied, every
     subsequent boundary crossing of this session is recorded into it as a
     {!Trace.Hop}; when absent the session does no trace work at all, so
     the cost model is unchanged by the existence of the tracing
@@ -107,7 +159,9 @@ val goto : ?label:string -> session -> host -> unit
     (and one unit of traffic at [h], committed at {!finish}) iff [h]
     differs from the current host. [label] tags the hop in the session's
     trace (ignored for untraced sessions); it never affects costs.
-    Raises [Invalid_argument] if the session is already finished. *)
+    Raises [Invalid_argument] if the session is already finished, and
+    {!Host_dead} if [h] is dead — the hop is not charged, the session
+    stays where it was and may retry against a live replica. *)
 
 val messages : session -> int
 (** Messages sent so far in this session (session-local; readable at any
@@ -137,7 +191,13 @@ val traffic : t -> host -> int
 (** Number of session visits host [h] has served (finished sessions). *)
 
 val max_traffic : t -> int
+
 val mean_traffic : t -> float
+(** Total visits divided by the number of {e live} hosts: the mean load on
+    the hosts actually serving. Dividing by all hosts would silently
+    understate per-host load as soon as hosts die (a killed host serves
+    nothing but would still dilute the mean). With no failures this is the
+    historical total/H. *)
 
 val reset_traffic : t -> unit
 (** Zero every workload counter: per-host traffic, the global message
@@ -150,4 +210,7 @@ val reset_traffic : t -> unit
 val congestion : t -> items:int -> float
 (** The paper's static congestion measure for the most loaded host:
     references stored at the host (we use its memory charge) plus the
-    [items/H] expected query-start share. *)
+    expected query-start share. Both terms range over {e live} hosts only —
+    a dead host's stranded memory is unreachable, not congested, and query
+    starts spread over the [live_hosts t] survivors. With no failures this
+    is the historical [max_memory + items/H]. *)

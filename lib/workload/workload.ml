@@ -196,12 +196,9 @@ let pow2_sizes ~lo ~hi =
   if lo > hi then invalid_arg "Workload.pow2_sizes";
   List.init (hi - lo + 1) (fun i -> 1 lsl (lo + i))
 
-let zipf_queries ~seed ~keys ~n ~s =
-  let m = Array.length keys in
-  if m = 0 then invalid_arg "Workload.zipf_queries: empty keys";
-  if s <= 0.0 then invalid_arg "Workload.zipf_queries: s > 0";
-  let rng = Prng.create seed in
-  (* Inverse-CDF sampling over ranks 1..m. *)
+let zipf_cdf ~m ~s =
+  if m < 1 then invalid_arg "Workload.zipf_cdf: m >= 1";
+  if s <= 0.0 then invalid_arg "Workload.zipf_cdf: s > 0";
   let weights = Array.init m (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
   let total = Array.fold_left ( +. ) 0.0 weights in
   let cdf = Array.make m 0.0 in
@@ -211,6 +208,21 @@ let zipf_queries ~seed ~keys ~n ~s =
       acc := !acc +. (w /. total);
       cdf.(i) <- !acc)
     weights;
+  (* Accumulating m rounded ratios can leave the last entry a few ulps
+     below 1.0 (large m, or an s steep enough that tail weights underflow
+     against the head), and a uniform draw landing in that gap walks the
+     inverse-CDF search past the last rank. The final entry is 1.0 by
+     definition; pin it. *)
+  cdf.(m - 1) <- 1.0;
+  cdf
+
+let zipf_queries ~seed ~keys ~n ~s =
+  let m = Array.length keys in
+  if m = 0 then invalid_arg "Workload.zipf_queries: empty keys";
+  if s <= 0.0 then invalid_arg "Workload.zipf_queries: s > 0";
+  let rng = Prng.create seed in
+  (* Inverse-CDF sampling over ranks 1..m. *)
+  let cdf = zipf_cdf ~m ~s in
   (* Popularity rank -> a fixed random permutation of the keys. *)
   let perm = Array.init m (fun i -> i) in
   Prng.shuffle rng perm;
@@ -220,4 +232,4 @@ let zipf_queries ~seed ~keys ~n ~s =
         let mid = (lo + hi) / 2 in
         if cdf.(mid) < u then find (mid + 1) hi else find lo mid
       in
-      keys.(perm.(find 0 m)))
+      keys.(perm.(min (m - 1) (find 0 m))))

@@ -1,0 +1,401 @@
+(* Tests for the failure model end to end: replication factors, query
+   failover, self-repair, and the post-repair equivalence property under
+   random churn (PR 6's tentpole).
+
+   The load-bearing guarantees pinned here:
+     - r replica copies of a range live on r *distinct* hosts, so killing
+       at most r - 1 hosts never destroys every copy (pinned by killing
+       every (r-1)-subset of a 3-host network at r = 3);
+     - with no failures, any r is bit-identical in messages to r = 1
+       (queries keep visiting primaries);
+     - repair migrates every stranded charge, keeps the structures'
+       memory invariants, and is idempotent once placements are live;
+     - after arbitrary interleaved kill / revive / insert / delete /
+       repair churn with at most r - 1 concurrent failures, queries
+       answer exactly like a fresh build over the surviving key set, at
+       jobs 1, 2 and 4. *)
+
+module Network = Skipweb_net.Network
+module H = Skipweb_core.Hierarchy
+module B1 = Skipweb_core.Blocked1d
+module I = Skipweb_core.Instances
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module Pool = Skipweb_util.Pool
+
+module HInt = H.Make (I.Ints)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------- build-time validation ------- *)
+
+let test_replication_validation () =
+  let keys = [| 1; 5; 9 |] in
+  let net = Network.create ~hosts:4 in
+  Alcotest.check_raises "hierarchy r = 0" (Invalid_argument "Hierarchy.build: r >= 1") (fun () ->
+      ignore (HInt.build ~net ~seed:1 ~r:0 keys));
+  Alcotest.check_raises "hierarchy r > hosts"
+    (Invalid_argument "Hierarchy.build: r exceeds host count") (fun () ->
+      ignore (HInt.build ~net ~seed:1 ~r:5 keys));
+  Alcotest.check_raises "blocked r = 0"
+    (Invalid_argument "Blocked1d.build: need 1 <= r <= host count") (fun () ->
+      ignore (B1.build ~net ~seed:1 ~m:4 ~r:0 keys));
+  Alcotest.check_raises "blocked r > hosts"
+    (Invalid_argument "Blocked1d.build: need 1 <= r <= host count") (fun () ->
+      ignore (B1.build ~net ~seed:1 ~m:4 ~r:5 keys));
+  let h = HInt.build ~net:(Network.create ~hosts:4) ~seed:1 ~r:3 keys in
+  checki "hierarchy replication accessor" 3 (HInt.replication h);
+  let b = B1.build ~net:(Network.create ~hosts:4) ~seed:1 ~m:4 ~r:2 keys in
+  checki "blocked replication accessor" 2 (B1.replication b)
+
+(* ------- zero-failure contracts ------- *)
+
+(* With nobody dead, replication must be invisible to the message model:
+   the same workload costs exactly the same at r = 1 and r = 3. *)
+let run_query_workload_messages ~build ~query =
+  let bound = 8_000 in
+  let keys = W.distinct_ints ~seed:11 ~n:150 ~bound in
+  let net = Network.create ~hosts:32 in
+  let s = build net keys in
+  let rng = Prng.create 0xfee1 in
+  for _ = 1 to 120 do
+    query s ~rng (Prng.int rng bound)
+  done;
+  Network.total_messages net
+
+let test_hierarchy_replication_message_invisible () =
+  let msgs r =
+    run_query_workload_messages
+      ~build:(fun net keys -> HInt.build ~net ~seed:11 ~r keys)
+      ~query:(fun h ~rng q -> ignore (HInt.query h ~rng q))
+  in
+  let m1 = msgs 1 in
+  checkb "some messages" true (m1 > 0);
+  checki "r=2 bit-identical to r=1" m1 (msgs 2);
+  checki "r=3 bit-identical to r=1" m1 (msgs 3)
+
+let test_blocked_replication_message_invisible () =
+  let msgs r =
+    run_query_workload_messages
+      ~build:(fun net keys -> B1.build ~net ~seed:11 ~m:16 ~r keys)
+      ~query:(fun b ~rng q -> ignore (B1.query b ~rng q))
+  in
+  let m1 = msgs 1 in
+  checkb "some messages" true (m1 > 0);
+  checki "r=2 bit-identical to r=1" m1 (msgs 2);
+  checki "r=3 bit-identical to r=1" m1 (msgs 3)
+
+(* Replication scales stored memory by exactly r: every copy is charged. *)
+let test_replication_memory_scales () =
+  let keys = W.distinct_ints ~seed:5 ~n:100 ~bound:5_000 in
+  let total ~r =
+    let net = Network.create ~hosts:16 in
+    ignore (HInt.build ~net ~seed:5 ~r keys);
+    Network.total_memory net
+  in
+  let t1 = total ~r:1 in
+  checkb "nonzero storage" true (t1 > 0);
+  checki "hierarchy memory scales by r" (2 * t1) (total ~r:2);
+  let btotal ~r =
+    let net = Network.create ~hosts:16 in
+    ignore (B1.build ~net ~seed:5 ~m:8 ~r keys);
+    Network.total_memory net
+  in
+  let b1 = btotal ~r:1 in
+  checkb "nonzero blocked storage" true (b1 > 0);
+  checki "blocked memory scales by r" (2 * b1) (btotal ~r:2)
+
+(* ------- distinct-replica guarantee ------- *)
+
+(* On a 3-host network at r = 3, the three copies of every range must
+   occupy all three hosts — so killing ANY two hosts leaves every range
+   with a live copy and every query must still succeed. A placement that
+   allowed two copies of one range to collide on a host would fail this
+   for some pair. *)
+let test_hierarchy_replicas_on_distinct_hosts () =
+  let bound = 4_000 in
+  let keys = W.distinct_ints ~seed:3 ~n:40 ~bound in
+  let net = Network.create ~hosts:3 in
+  let h = HInt.build ~net ~seed:3 ~r:3 keys in
+  let probes = Array.append keys (Array.init 20 (fun i -> (i * 97) mod bound)) in
+  List.iter
+    (fun (a, b) ->
+      Network.kill net a;
+      Network.kill net b;
+      Array.iter
+        (fun q ->
+          match HInt.query h ~rng:(Prng.create (q + 1)) q with
+          | _ -> ()
+          | exception Network.Host_dead _ ->
+              Alcotest.failf "query %d lost all copies with hosts %d,%d down" q a b)
+        probes;
+      Network.revive net a;
+      Network.revive net b)
+    [ (0, 1); (0, 2); (1, 2) ]
+
+let test_blocked_replicas_on_distinct_hosts () =
+  let bound = 4_000 in
+  let keys = W.distinct_ints ~seed:3 ~n:40 ~bound in
+  let net = Network.create ~hosts:3 in
+  let b = B1.build ~net ~seed:3 ~m:8 ~r:3 keys in
+  let probes = Array.append keys (Array.init 20 (fun i -> (i * 97) mod bound)) in
+  List.iter
+    (fun (x, y) ->
+      Network.kill net x;
+      Network.kill net y;
+      Array.iter
+        (fun q ->
+          match B1.query b ~rng:(Prng.create (q + 1)) q with
+          | _ -> ()
+          | exception Network.Host_dead _ ->
+              Alcotest.failf "query %d lost all copies with hosts %d,%d down" q x y)
+        probes;
+      Network.revive net x;
+      Network.revive net y)
+    [ (0, 1); (0, 2); (1, 2) ]
+
+(* ------- failover correctness and repair lifecycle ------- *)
+
+let test_hierarchy_failover_and_repair () =
+  let bound = 6_000 in
+  let keys = W.distinct_ints ~seed:21 ~n:120 ~bound in
+  let net = Network.create ~hosts:24 in
+  let h = HInt.build ~net ~seed:21 ~r:2 keys in
+  let probes = Array.init 60 (fun i -> (i * 131) mod bound) in
+  let answers () = Array.map (fun q -> fst (HInt.query h ~rng:(Prng.create q) q)) probes in
+  let baseline = answers () in
+  (* One failure — the most r = 2 is guaranteed to mask. *)
+  Network.kill net 5;
+  (* Mid-failure: answers unchanged (failover finds the live copies), and
+     the memory invariants still hold — charges on dead hosts are
+     stranded, not wrong. *)
+  checkb "failover answers match" true (answers () = baseline);
+  HInt.check_invariants h;
+  checkb "something stranded" true (Network.stranded_memory net > 0);
+  let msgs_before = Network.total_messages net in
+  let st = HInt.repair h in
+  checki "repair bills its stats, not the workload counters" msgs_before
+    (Network.total_messages net);
+  checkb "repair scanned ranges" true (st.HInt.scanned > 0);
+  checkb "repair moved copies" true (st.HInt.repaired > 0);
+  checkb "repair billed messages" true (st.HInt.messages > 0);
+  checki "nothing lost with one failure under r=2" 0 st.HInt.lost;
+  checki "repair migrates every stranded charge" 0 (Network.stranded_memory net);
+  HInt.check_invariants h;
+  checkb "post-repair answers match" true (answers () = baseline);
+  (* Idempotent once live. *)
+  let st2 = HInt.repair h in
+  checki "second repair moves nothing" 0 st2.HInt.repaired;
+  checki "second repair bills nothing" 0 st2.HInt.messages;
+  (* Rejoin: the hosts come back empty; everything still consistent. *)
+  Network.revive net 5;
+  HInt.check_invariants h;
+  checkb "answers after rejoin" true (answers () = baseline)
+
+let test_blocked_failover_and_repair () =
+  let bound = 6_000 in
+  let keys = W.distinct_ints ~seed:22 ~n:120 ~bound in
+  let net = Network.create ~hosts:24 in
+  let b = B1.build ~net ~seed:22 ~m:16 ~r:2 keys in
+  let probes = Array.init 60 (fun i -> (i * 131) mod bound) in
+  let answers () =
+    Array.map
+      (fun q ->
+        let r = B1.query b ~rng:(Prng.create q) q in
+        (r.B1.predecessor, r.B1.successor, r.B1.nearest))
+      probes
+  in
+  let baseline = answers () in
+  Network.kill net 3;
+  checkb "failover answers match" true (answers () = baseline);
+  B1.check_invariants b;
+  checkb "something stranded" true (Network.stranded_memory net > 0);
+  let st = B1.repair b in
+  checkb "repair accounted stranded units" true (st.B1.repaired > 0);
+  checkb "repair billed steal messages" true (st.B1.messages > 0);
+  checki "nothing lost with one failure under r=2" 0 st.B1.lost;
+  checki "repair leaves nothing stranded" 0 (Network.stranded_memory net);
+  B1.check_invariants b;
+  checkb "post-repair answers match" true (answers () = baseline);
+  let st2 = B1.repair b in
+  checki "second repair moves nothing" 0 st2.B1.repaired;
+  Network.revive net 3;
+  B1.check_invariants b;
+  checkb "answers after rejoin" true (answers () = baseline)
+
+(* Graceful degradation at r = 1: a query whose only copy is on the dead
+   host raises Host_dead (counted by callers, not a crash), everything
+   else keeps answering, and a repair pass restores full availability. *)
+let test_r1_degrades_and_recovers () =
+  let bound = 6_000 in
+  let keys = W.distinct_ints ~seed:31 ~n:150 ~bound in
+  let net = Network.create ~hosts:12 in
+  let h = HInt.build ~net ~seed:31 keys in
+  Network.kill net 7;
+  let probes = Array.init 80 (fun i -> (i * 211) mod bound) in
+  let failed = ref 0 in
+  Array.iter
+    (fun q ->
+      match HInt.query h ~rng:(Prng.create q) q with
+      | _ -> ()
+      | exception Network.Host_dead _ -> incr failed)
+    probes;
+  (* The structure survives the failures it cannot mask. *)
+  HInt.check_invariants h;
+  let st = HInt.repair h in
+  checkb "repair re-homed the dead host's copies" true (st.HInt.repaired > 0);
+  checkb "single-copy repairs count as lost, not stolen" true (st.HInt.lost > 0);
+  Array.iter (fun q -> ignore (HInt.query h ~rng:(Prng.create q) q)) probes;
+  checki "full availability after repair" 0 (Network.stranded_memory net);
+  Network.revive net 7
+
+(* ------- the churn equivalence property (satellite 4) ------- *)
+
+(* Random interleavings of kill / revive / insert / delete with at most
+   r - 1 concurrently dead hosts, a repair each epoch: afterwards the
+   structure must answer every query exactly like a fresh build over the
+   surviving key set — at jobs 1, 2 and 4, bit-identically. *)
+let qcheck_hierarchy_churn_equiv =
+  QCheck.Test.make ~name:"hierarchy churn: post-repair = fresh build (jobs 1/2/4)" ~count:10
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 3))
+    (fun (seed, r) ->
+      let hosts = 16 and n = 60 and bound = 5_000 in
+      let keys = W.distinct_ints ~seed:(seed + 1) ~n ~bound in
+      let net = Network.create ~hosts in
+      let h = HInt.build ~net ~seed ~r keys in
+      let current = Hashtbl.create n in
+      Array.iter (fun k -> Hashtbl.replace current k ()) keys;
+      let rng = Prng.create (seed + 7) in
+      for _epoch = 1 to 3 do
+        (* Kill at most r - 1 distinct live hosts. *)
+        let kc = 1 + Prng.int rng (r - 1) in
+        let killed = ref [] in
+        while List.length !killed < kc do
+          let x = Prng.int rng hosts in
+          if Network.alive net x && Network.live_hosts net > 1 then begin
+            Network.kill net x;
+            killed := x :: !killed
+          end
+        done;
+        (* Churn while degraded: inserts and deletes must themselves fail
+           over (their locates route like queries). *)
+        for _ = 1 to 6 do
+          if Prng.bool rng && Hashtbl.length current > 10 then begin
+            let ks = Hashtbl.fold (fun k () acc -> k :: acc) current [] in
+            let victim = List.nth ks (Prng.int rng (List.length ks)) in
+            ignore (HInt.remove h victim);
+            Hashtbl.remove current victim
+          end
+          else begin
+            let rec fresh () =
+              let k = Prng.int rng bound in
+              if Hashtbl.mem current k then fresh () else k
+            in
+            let k = fresh () in
+            ignore (HInt.insert h k);
+            Hashtbl.replace current k ()
+          end
+        done;
+        let st = HInt.repair h in
+        if st.HInt.lost <> 0 then QCheck.Test.fail_reportf "lost %d copies" st.HInt.lost;
+        HInt.check_invariants h;
+        List.iter (Network.revive net) !killed
+      done;
+      (* Reference: a fresh, unreplicated, never-failed build over the
+         surviving key set, on its own network and a different seed —
+         answers are a pure function of the key set. *)
+      let survivors = Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) current []) in
+      let fresh_net = Network.create ~hosts in
+      let fresh = HInt.build ~net:fresh_net ~seed:(seed + 4242) survivors in
+      let qs = Array.init 40 (fun i -> (i * 127 + seed) mod bound) in
+      let expect = Array.map (fun q -> fst (HInt.query fresh ~rng:(Prng.create q) q)) qs in
+      List.for_all
+        (fun jobs ->
+          let got =
+            Pool.with_pool ~jobs (fun pool ->
+                HInt.query_batch ?pool h ~rng:(Prng.create (seed + 99)) qs)
+          in
+          Array.map fst got = expect)
+        [ 1; 2; 4 ])
+
+let qcheck_blocked_churn_equiv =
+  QCheck.Test.make ~name:"blocked churn: post-repair = fresh build (jobs 1/2/4)" ~count:8
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 3))
+    (fun (seed, r) ->
+      let hosts = 12 and n = 50 and bound = 4_000 in
+      let keys = W.distinct_ints ~seed:(seed + 1) ~n ~bound in
+      let net = Network.create ~hosts in
+      let b = B1.build ~net ~seed ~m:8 ~r keys in
+      let current = Hashtbl.create n in
+      Array.iter (fun k -> Hashtbl.replace current k ()) keys;
+      let rng = Prng.create (seed + 7) in
+      for _epoch = 1 to 3 do
+        let kc = 1 + Prng.int rng (r - 1) in
+        let killed = ref [] in
+        while List.length !killed < kc do
+          let x = Prng.int rng hosts in
+          if Network.alive net x && Network.live_hosts net > 1 then begin
+            Network.kill net x;
+            killed := x :: !killed
+          end
+        done;
+        for _ = 1 to 4 do
+          if Prng.bool rng && Hashtbl.length current > 10 then begin
+            let ks = Hashtbl.fold (fun k () acc -> k :: acc) current [] in
+            let victim = List.nth ks (Prng.int rng (List.length ks)) in
+            ignore (B1.delete b victim);
+            Hashtbl.remove current victim
+          end
+          else begin
+            let rec fresh () =
+              let k = Prng.int rng bound in
+              if Hashtbl.mem current k then fresh () else k
+            in
+            let k = fresh () in
+            ignore (B1.insert b k);
+            Hashtbl.replace current k ()
+          end
+        done;
+        let st = B1.repair b in
+        if st.B1.lost <> 0 then QCheck.Test.fail_reportf "lost %d units" st.B1.lost;
+        B1.check_invariants b;
+        List.iter (Network.revive net) !killed
+      done;
+      let survivors = Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) current []) in
+      let fresh_net = Network.create ~hosts in
+      let fresh = B1.build ~net:fresh_net ~seed:(seed + 4242) ~m:8 survivors in
+      let qs = Array.init 30 (fun i -> (i * 127 + seed) mod bound) in
+      let key_answer (res : B1.search_result) =
+        (res.B1.predecessor, res.B1.successor, res.B1.nearest)
+      in
+      let expect = Array.map (fun q -> key_answer (B1.query fresh ~rng:(Prng.create q) q)) qs in
+      List.for_all
+        (fun jobs ->
+          let got =
+            Pool.with_pool ~jobs (fun pool ->
+                B1.query_batch ?pool b ~rng:(Prng.create (seed + 99)) qs)
+          in
+          Array.map key_answer got = expect)
+        [ 1; 2; 4 ])
+
+let suite =
+  [
+    Alcotest.test_case "replication validation" `Quick test_replication_validation;
+    Alcotest.test_case "hierarchy replication message-invisible" `Quick
+      test_hierarchy_replication_message_invisible;
+    Alcotest.test_case "blocked replication message-invisible" `Quick
+      test_blocked_replication_message_invisible;
+    Alcotest.test_case "replication memory scales by r" `Quick test_replication_memory_scales;
+    Alcotest.test_case "hierarchy replicas on distinct hosts" `Quick
+      test_hierarchy_replicas_on_distinct_hosts;
+    Alcotest.test_case "blocked replicas on distinct hosts" `Quick
+      test_blocked_replicas_on_distinct_hosts;
+    Alcotest.test_case "hierarchy failover + repair lifecycle" `Quick
+      test_hierarchy_failover_and_repair;
+    Alcotest.test_case "blocked failover + repair lifecycle" `Quick
+      test_blocked_failover_and_repair;
+    Alcotest.test_case "r=1 degrades gracefully and recovers" `Quick test_r1_degrades_and_recovers;
+    QCheck_alcotest.to_alcotest qcheck_hierarchy_churn_equiv;
+    QCheck_alcotest.to_alcotest qcheck_blocked_churn_equiv;
+  ]

@@ -16,5 +16,6 @@ let () =
       ("workload", Test_workload.suite);
       ("skipgraph", Test_skipgraph.suite);
       ("core", Test_core.suite);
+      ("churn", Test_churn.suite);
       ("soak", Test_core.soak_suite);
     ]

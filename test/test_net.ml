@@ -117,6 +117,124 @@ let test_reset_traffic_resets_sessions () =
   checki "fresh window counts sessions" 1 (Network.sessions_started net);
   checki "fresh window counts messages" 1 (Network.total_messages net)
 
+(* ------- failure model ------- *)
+
+let test_kill_revive_liveness () =
+  let net = Network.create ~hosts:4 in
+  checki "all live at creation" 4 (Network.live_hosts net);
+  checkb "host 2 alive" true (Network.alive net 2);
+  Network.kill net 2;
+  checkb "host 2 dead" false (Network.alive net 2);
+  checki "live count drops" 3 (Network.live_hosts net);
+  Network.kill net 2;
+  checki "kill is idempotent" 3 (Network.live_hosts net);
+  Network.revive net 2;
+  checkb "host 2 back" true (Network.alive net 2);
+  checki "live count restored" 4 (Network.live_hosts net);
+  Network.revive net 2;
+  checki "revive is idempotent" 4 (Network.live_hosts net)
+
+let test_cannot_kill_last_live_host () =
+  let net = Network.create ~hosts:2 in
+  Network.kill net 0;
+  Alcotest.check_raises "last live host protected"
+    (Invalid_argument "Network.kill: cannot kill the last live host") (fun () ->
+      Network.kill net 1)
+
+let test_dead_host_rejects_sessions () =
+  let net = Network.create ~hosts:3 in
+  Network.kill net 1;
+  (match Network.start net 1 with
+  | exception Network.Host_dead 1 -> ()
+  | _ -> Alcotest.fail "start on a dead host must raise Host_dead");
+  let s = Network.start net 0 in
+  Network.goto s 2;
+  (match Network.goto s 1 with
+  | exception Network.Host_dead 1 -> ()
+  | _ -> Alcotest.fail "goto a dead host must raise Host_dead");
+  (* The failed hop charged nothing and the session is still usable: it
+     stayed where it was and may retry against a live replica. *)
+  checki "failed hop not charged" 1 (Network.messages s);
+  checki "session stayed put" 2 (Network.current s);
+  Network.goto s 0;
+  Network.finish s;
+  checki "session commits normally after a failed hop" 2 (Network.total_messages net)
+
+(* Pins the live-host denominator semantics of mean_traffic, mean_memory
+   and congestion: dead hosts serve nothing, so they must not dilute the
+   mean load, and a dead host's stranded memory is unreachable, not
+   congested. *)
+let test_live_host_stats () =
+  let net = Network.create ~hosts:4 in
+  let s = Network.start net 0 in
+  Network.goto s 1;
+  Network.goto s 2;
+  Network.goto s 3;
+  Network.finish s;
+  Alcotest.(check (float 1e-9)) "mean traffic over all hosts" 1.0 (Network.mean_traffic net);
+  Network.charge_memory net 0 8;
+  Network.charge_memory net 1 20;
+  Alcotest.(check (float 1e-9)) "mean memory over all hosts" 7.0 (Network.mean_memory net);
+  Alcotest.(check (float 1e-9)) "congestion over all hosts" 45.0 (Network.congestion net ~items:100);
+  checki "nothing stranded yet" 0 (Network.stranded_memory net);
+  Network.kill net 1;
+  Network.kill net 3;
+  (* Counters are untouched by kill; only the denominators and the
+     max-over-live change. *)
+  checki "total memory kept" 28 (Network.total_memory net);
+  checki "dead host's memory still recorded" 20 (Network.memory net 1);
+  checki "stranded = dead hosts' charges" 20 (Network.stranded_memory net);
+  Alcotest.(check (float 1e-9)) "mean traffic over live hosts" 2.0 (Network.mean_traffic net);
+  Alcotest.(check (float 1e-9)) "mean memory over live hosts" 14.0 (Network.mean_memory net);
+  (* Busiest *live* host is 0 (8 units); host 1's 20 stranded units are
+     unreachable. Query starts spread over the 2 live hosts. *)
+  Alcotest.(check (float 1e-9)) "congestion over live hosts" 58.0 (Network.congestion net ~items:100);
+  checki "max_memory still reports stored state" 20 (Network.max_memory net);
+  Network.revive net 1;
+  Alcotest.(check (float 1e-9))
+    "revive restores the denominator" (28.0 /. 3.0) (Network.mean_memory net);
+  checki "revived host's memory reachable again" 20 (Network.memory net 1);
+  Network.revive net 3;
+  checki "nothing stranded after revives" 0 (Network.stranded_memory net)
+
+(* Satellite 3: kill/revive interleaved (sequentially) with open deferred
+   charge buffers and reset_traffic — the failure axis and the workload /
+   charge machinery are orthogonal. *)
+let test_kill_interleaves_with_charges_and_reset () =
+  let net = Network.create ~hosts:3 in
+  (* A buffer opened before a kill commits the same totals after it. *)
+  let c = Network.deferred_charges net in
+  Network.charge c 1 5;
+  Network.charge c 2 3;
+  Network.kill net 1;
+  Network.charge c 1 2;
+  Network.commit_charges c;
+  checki "buffered charges land on the dead host" 7 (Network.memory net 1);
+  checki "stranded includes post-kill commits" 7 (Network.stranded_memory net);
+  (* reset_traffic keeps its meaning across failures: workload counters
+     zero, memory (stranded or not) kept, liveness kept. *)
+  let s = Network.start net 0 in
+  Network.goto s 2;
+  Network.finish s;
+  Network.reset_traffic net;
+  checki "traffic reset" 0 (Network.traffic net 2);
+  checki "messages reset" 0 (Network.total_messages net);
+  checki "dead host's memory survives reset" 7 (Network.memory net 1);
+  checkb "liveness survives reset" false (Network.alive net 1);
+  checki "live count survives reset" 2 (Network.live_hosts net);
+  (* Sessions in flight across a kill of an *unvisited* host commit
+     normally: kill only gates future hops onto the victim. *)
+  let s2 = Network.start net 0 in
+  Network.goto s2 2;
+  Network.kill net 2;
+  (* The session already sits on host 2; it can keep working locally and
+     commit — the kill is an epoch boundary, not a mid-session abort. *)
+  Network.finish s2;
+  checki "in-flight session committed" 1 (Network.total_messages net);
+  Network.revive net 1;
+  Network.revive net 2;
+  checki "all hosts back" 3 (Network.live_hosts net)
+
 (* ------- session tracing ------- *)
 
 (* The exact hop sequence of a traced session: one Hop per boundary
@@ -280,6 +398,12 @@ let suite =
     Alcotest.test_case "deferred commit at finish" `Quick test_deferred_commit;
     Alcotest.test_case "memory accounting" `Quick test_memory_accounting;
     Alcotest.test_case "reset_traffic resets sessions too" `Quick test_reset_traffic_resets_sessions;
+    Alcotest.test_case "kill/revive liveness" `Quick test_kill_revive_liveness;
+    Alcotest.test_case "cannot kill last live host" `Quick test_cannot_kill_last_live_host;
+    Alcotest.test_case "dead host rejects sessions" `Quick test_dead_host_rejects_sessions;
+    Alcotest.test_case "live-host stats semantics" `Quick test_live_host_stats;
+    Alcotest.test_case "kill interleaves with charges and reset" `Quick
+      test_kill_interleaves_with_charges_and_reset;
     Alcotest.test_case "trace exact hop sequence" `Quick test_trace_exact_hop_sequence;
     Alcotest.test_case "trace untraced session free" `Quick test_trace_untraced_session_free;
     Alcotest.test_case "trace spans and attribution" `Quick test_trace_spans_and_attribution;

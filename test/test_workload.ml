@@ -137,6 +137,48 @@ let test_zipf_queries () =
   let top = Hashtbl.fold (fun _ c acc -> max acc c) counts 0 in
   checkb "skewed head" true (top > 3 * (5000 / 200))
 
+(* Regression for the inverse-CDF out-of-bounds bug: accumulating the m
+   normalized Zipf weights in floating point can leave cdf.(m-1) a few
+   ulps below 1.0 (the gap is ~1e-16..1e-10, far too small to hit
+   reliably by sampling — which is why the bug survived: a uniform draw
+   landing in the gap made the binary search return m and index one past
+   the rank permutation). The fixed CDF pins its last entry to exactly
+   1.0; these (m, s) pairs are ones where the unpinned accumulation
+   provably falls short, so this test fails on the old code. *)
+let test_zipf_cdf_terminal_entry () =
+  List.iter
+    (fun (m, s) ->
+      let cdf = W.zipf_cdf ~m ~s in
+      checki "length" m (Array.length cdf);
+      checkb
+        (Printf.sprintf "cdf.(m-1) exactly 1.0 at m=%d s=%g" m s)
+        true
+        (cdf.(m - 1) = 1.0);
+      (* Monotone non-decreasing, so the pinned tail cannot re-order the
+         search. *)
+      for i = 1 to m - 1 do
+        checkb "monotone" true (cdf.(i) >= cdf.(i - 1))
+      done)
+    [ (100_000, 1.1); (50_000, 0.8); (4096, 1.0); (1, 2.0) ];
+  Alcotest.check_raises "m >= 1" (Invalid_argument "Workload.zipf_cdf: m >= 1") (fun () ->
+      ignore (W.zipf_cdf ~m:0 ~s:1.0));
+  Alcotest.check_raises "s > 0" (Invalid_argument "Workload.zipf_cdf: s > 0") (fun () ->
+      ignore (W.zipf_cdf ~m:10 ~s:0.0))
+
+(* The sampling-level symptom, at adversarial scale: every drawn query
+   must be a stored key even for a large key set where the unpinned CDF
+   falls short of 1.0. (An out-of-range rank would raise Invalid_argument
+   on the permutation index — on the old code this is a latent crash
+   whose trigger probability per draw is the width of the CDF gap.) *)
+let test_zipf_queries_large_m_in_bounds () =
+  let m = 50_000 in
+  let keys = Array.init m (fun i -> 2 * i) in
+  let stored = Hashtbl.create m in
+  Array.iter (fun k -> Hashtbl.replace stored k ()) keys;
+  let qs = W.zipf_queries ~seed:77 ~keys ~n:20_000 ~s:0.8 in
+  checki "count" 20_000 (Array.length qs);
+  Array.iter (fun q -> checkb "every query is a stored key" true (Hashtbl.mem stored q)) qs
+
 let suite =
   [
     Alcotest.test_case "distinct ints" `Quick test_distinct_ints;
@@ -153,4 +195,7 @@ let suite =
     Alcotest.test_case "disjoint segments" `Quick test_disjoint_segments;
     Alcotest.test_case "pow2 sizes" `Quick test_pow2_sizes;
     Alcotest.test_case "zipf queries" `Quick test_zipf_queries;
+    Alcotest.test_case "zipf cdf terminal entry (OOB regression)" `Quick
+      test_zipf_cdf_terminal_entry;
+    Alcotest.test_case "zipf queries large m in bounds" `Quick test_zipf_queries_large_m_in_bounds;
   ]
