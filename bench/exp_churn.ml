@@ -42,6 +42,7 @@ module I = Skipweb_core.Instances
 module W = Skipweb_workload.Workload
 module Prng = Skipweb_util.Prng
 module Stats = Skipweb_util.Stats
+module Series = Skipweb_util.Series
 module DPool = Skipweb_util.Pool
 module C = Bench_common
 
@@ -66,6 +67,7 @@ type row = {
   repair_lost : int;
   mean_query_msgs : float;  (* over successful queries *)
   stranded_peak : int;
+  timeline : string;  (* per-epoch Series, as JSON *)
   wall_s : float;
   jobs : int;
 }
@@ -104,10 +106,19 @@ let drive ~pool ~jobs ~net ~query_one ~repair_fn ~qs ~coins ~epochs ~qper ~fails
   let sc = ref 0 and rp = ref 0 and ms = ref 0 and lo_ = ref 0 in
   let stranded_peak = ref 0 in
   let rates = ref [] in
+  (* Per-epoch monitoring timeline: one Series per signal, window sized
+     to the run so the full history is retained here (a long-lived
+     deployment would pick a fixed window and let old epochs roll off —
+     that is the point of the ring). *)
+  let avail_s = Series.create ~window:epochs in
+  let repair_s = Series.create ~window:epochs in
+  let stranded_s = Series.create ~window:epochs in
   let t0 = C.now () in
   for e = 0 to epochs - 1 do
     let killed = kill_some net krng fails in
-    stranded_peak := max !stranded_peak (Network.stranded_memory net);
+    let stranded_now = Network.stranded_memory net in
+    stranded_peak := max !stranded_peak stranded_now;
+    Series.push stranded_s (float_of_int stranded_now);
     let lo = e * qper in
     let chunk c =
       let clo = lo + (c * qper / jobs) and chi = lo + ((c + 1) * qper / jobs) in
@@ -121,8 +132,11 @@ let drive ~pool ~jobs ~net ~query_one ~repair_fn ~qs ~coins ~epochs ~qper ~fails
     for i = lo to lo + qper - 1 do
       if msgs_of.(i) >= 0 then incr ok
     done;
-    rates := (float_of_int !ok /. float_of_int qper) :: !rates;
+    let rate = float_of_int !ok /. float_of_int qper in
+    rates := rate :: !rates;
+    Series.push avail_s rate;
     let s, r, m, l = repair_fn () in
+    Series.push repair_s (float_of_int m);
     sc := !sc + s;
     rp := !rp + r;
     ms := !ms + m;
@@ -130,15 +144,30 @@ let drive ~pool ~jobs ~net ~query_one ~repair_fn ~qs ~coins ~epochs ~qper ~fails
     List.iter (Network.revive net) killed
   done;
   let wall_s = C.now () -. t0 in
+  let timeline =
+    Printf.sprintf "{\"availability\": %s, \"repair_messages\": %s, \"stranded\": %s}"
+      (Series.to_json avail_s) (Series.to_json repair_s) (Series.to_json stranded_s)
+  in
   let failed = Array.fold_left (fun acc m -> if m < 0 then acc + 1 else acc) 0 msgs_of in
   let succ_msgs =
     Array.fold_left (fun acc m -> if m >= 0 then acc +. float_of_int m else acc) 0.0 msgs_of
   in
   let succ = (epochs * qper) - failed in
-  (msgs_of, List.rev !rates, !sc, !rp, !ms, !lo_, !stranded_peak, failed, succ, succ_msgs, wall_s)
+  ( msgs_of,
+    List.rev !rates,
+    !sc,
+    !rp,
+    !ms,
+    !lo_,
+    !stranded_peak,
+    failed,
+    succ,
+    succ_msgs,
+    timeline,
+    wall_s )
 
 let finish_row ~structure ~n ~hosts ~r ~epochs ~qper ~fails ~jobs
-    (_, rates, sc, rp, ms, lo_, stranded_peak, failed, succ, succ_msgs, wall_s) =
+    (_, rates, sc, rp, ms, lo_, stranded_peak, failed, succ, succ_msgs, timeline, wall_s) =
   let rstats = Stats.summarize rates in
   {
     structure;
@@ -159,6 +188,7 @@ let finish_row ~structure ~n ~hosts ~r ~epochs ~qper ~fails ~jobs
     repair_lost = lo_;
     mean_query_msgs = (if succ = 0 then 0.0 else succ_msgs /. float_of_int succ);
     stranded_peak;
+    timeline;
     wall_s;
     jobs;
   }
@@ -217,13 +247,14 @@ let json_of_rows rows =
       \     \"repair\": {\"scanned\": %d, \"repaired\": %d, \"messages\": %d, \"lost\": %d, \
        \"messages_per_epoch\": %.1f},\n\
       \     \"query_messages_mean\": %.2f, \"stranded_peak\": %d,\n\
+      \     \"timeline\": %s,\n\
       \     \"timing\": {\"jobs\": %d, \"wall_s\": %.6f}}"
       r.structure r.n r.hosts r.r r.epochs r.fails_per_epoch
       (r.epochs * r.queries_per_epoch)
       r.failed_queries r.success_rate r.avail_min r.avail_p50 r.avail_p90 r.repair_scanned
       r.repair_repaired r.repair_messages r.repair_lost
       (float_of_int r.repair_messages /. float_of_int r.epochs)
-      r.mean_query_msgs r.stranded_peak r.jobs r.wall_s
+      r.mean_query_msgs r.stranded_peak r.timeline r.jobs r.wall_s
   in
   Printf.sprintf
     "{\n  \"experiment\": \"churn\",\n  \"workload\": \"kill/rejoin epochs (f = max 1 (r-1) \

@@ -1,0 +1,295 @@
+(* E19: the congestion observatory — where does a skewed workload's
+   load actually land?
+
+   The Skip Graphs line of work warns that the top levels of any skip
+   structure concentrate traffic on a few hosts; the ROADMAP's
+   serving-at-scale item needs that measured before it can be attacked
+   (level caching / hotspot flattening). This experiment drives mixed
+   uniform + Zipf(1.1) query traffic against both skip-web structures
+   at n up to 10^6 (10^5 and 10^6 in the full sweep) and reports, per
+   row, entirely through constant-memory telemetry:
+
+     - the per-operation message distribution via a mergeable quantile
+       Sketch — per-chunk shards recorded inside the parallel query
+       phase and merged afterwards, never a per-sample array;
+     - the per-host hotspot top-k via the observatory's space-saving
+       heavy hitters, fed from the network's exact per-host traffic
+       counters after the phase (order-independent sums, so the summary
+       is identical for any --jobs count);
+     - congestion percentiles (p50/p90/p99/max) and the Gini
+       coefficient of per-host traffic — the inequality the upper
+       levels create, and the y-axis any future flattening work must
+       push down;
+     - a per-level attribution of load from a small traced sample
+       (Trace spans, reused), showing which refinement levels the
+       messages come from. The sample runs first and its traffic is
+       reset away, so the congestion numbers describe the main phase
+       only.
+
+   Telemetry must be charge-invisible, like tracing: the experiment
+   asserts that running the same seeded phase with the observatory tap
+   attached and detached yields identical total message counts.
+
+   Query i draws its coins from [Prng.stream] i and sketch merging is
+   partition-independent, so every deterministic JSON field is
+   bit-identical for any jobs count; wall clocks live in the "timing"
+   member, stripped by CI like every other bench. Results go to
+   BENCH_hotspot.json; CI's smoke leg asserts the top_k and congestion
+   members are present. *)
+
+module Network = Skipweb_net.Network
+module Trace = Skipweb_net.Trace
+module Obs = Skipweb_net.Observatory
+module H = Skipweb_core.Hierarchy
+module B1 = Skipweb_core.Blocked1d
+module I = Skipweb_core.Instances
+module W = Skipweb_workload.Workload
+module Prng = Skipweb_util.Prng
+module Sketch = Skipweb_util.Sketch
+module Stats = Skipweb_util.Stats
+module DPool = Skipweb_util.Pool
+module C = Bench_common
+
+module HInt = H.Make (I.Ints)
+
+let top_k = 10
+let traced_sample = 48
+let sketch_alpha = 0.01
+let sketch_cap = 256
+
+type row = {
+  structure : string;
+  n : int;
+  hosts : int;
+  queries : int;
+  traced : int;
+  sketch_json : string;  (* per-op query message distribution *)
+  mean_msgs : float;
+  top_json : string;
+  congestion : Obs.congestion;
+  levels_json : string;
+  unattributed : int;
+  wall_s : float;
+  jobs : int;
+}
+
+(* Mixed query points: even slots uniform over the key domain, odd
+   slots Zipf(1.1)-popular stored keys — popularity skew on top of the
+   structural skew the upper levels already create. [total] must be
+   even. *)
+let make_queries ~seed ~keys ~total ~bound =
+  let half = total / 2 in
+  let z = W.zipf_queries ~seed:(seed + 0x21f) ~keys ~n:half ~s:1.1 in
+  let rng = Prng.create (seed + 0x0b5) in
+  let u = Array.init half (fun _ -> Prng.int rng bound) in
+  Array.init total (fun i -> if i mod 2 = 0 then u.(i / 2) else z.(i / 2))
+
+(* One measured row. [query_one rng q] runs one query and returns its
+   message count; [traced_query rng tr q] the same with a trace. *)
+let drive_row ~structure ~pool ~jobs ~net ~n ~queries ~seed ~query_one ~traced_query ~qs =
+  let obs = Obs.create ~k:top_k ~alpha:sketch_alpha ~exact_cap:sketch_cap () in
+  (* Attribution sample: a few traced queries, sequential, then reset
+     the workload counters so the main phase's congestion is clean. *)
+  let traced = min traced_sample queries in
+  let tcoins = Prng.create (seed + 0x7a) in
+  for i = 0 to traced - 1 do
+    let tr = Trace.create () in
+    ignore (traced_query (Prng.stream tcoins i) tr qs.(i) : int);
+    Obs.observe_trace obs tr
+  done;
+  Network.reset_traffic net;
+  (* Main phase: fan the queries over the pool in deterministic static
+     chunks, each chunk recording into its own sketch shard — no
+     per-sample array anywhere. Query i's coins are a pure function of
+     (seed, i), and sketch merging is partition-independent, so the
+     merged distribution is identical for any jobs count. *)
+  let coins = Prng.create (seed + 0xe19) in
+  let shards = Array.init jobs (fun _ -> Sketch.create ~alpha:sketch_alpha ~exact_cap:sketch_cap ()) in
+  let chunk_bounds c = (c * queries / jobs, (c + 1) * queries / jobs) in
+  let t0 = C.now () in
+  let chunk c =
+    let lo, hi = chunk_bounds c in
+    for i = lo to hi - 1 do
+      Sketch.observe_int shards.(c) (query_one (Prng.stream coins i) qs.(i))
+    done
+  in
+  (match pool with None -> chunk 0 | Some p -> DPool.parallel_for p ~lo:0 ~hi:jobs chunk);
+  let wall_s = C.now () -. t0 in
+  Array.iteri
+    (fun c shard ->
+      let lo, hi = chunk_bounds c in
+      Obs.merge_message_shard obs ~ops:(hi - lo) shard)
+    shards;
+  Obs.observe_traffic obs net;
+  let s = Sketch.summary (Obs.message_sketch obs) in
+  {
+    structure;
+    n;
+    hosts = Network.host_count net;
+    queries;
+    traced;
+    sketch_json = Sketch.to_json (Obs.message_sketch obs);
+    mean_msgs = s.Stats.mean;
+    top_json = Obs.hot_hosts_to_json obs;
+    congestion = Obs.congestion_of net;
+    levels_json = Obs.per_level_to_json obs;
+    unattributed = Obs.unattributed_hops obs;
+    wall_s;
+    jobs;
+  }
+
+let hierarchy_row ~pool ~jobs ~seed ~queries n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:n in
+  let h = HInt.build ~net ~seed ?pool keys in
+  let qs = make_queries ~seed ~keys ~total:queries ~bound in
+  let query_one rng q =
+    let _, st = HInt.query h ~rng q in
+    st.HInt.messages
+  in
+  let traced_query rng tr q =
+    let _, st = HInt.query ~trace:tr h ~rng q in
+    st.HInt.messages
+  in
+  drive_row ~structure:"hierarchy" ~pool ~jobs ~net ~n ~queries ~seed ~query_one ~traced_query ~qs
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  max 1 (go 0)
+
+let blocked_row ~pool ~jobs ~seed ~queries n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:n in
+  let b = B1.build ~net ~seed ~m:(4 * log2i n) ?pool keys in
+  let qs = make_queries ~seed ~keys ~total:queries ~bound in
+  let query_one rng q = (B1.query b ~rng q).B1.messages in
+  let traced_query rng tr q = (B1.query ~trace:tr b ~rng q).B1.messages in
+  drive_row ~structure:"blocked1d" ~pool ~jobs ~net ~n ~queries ~seed ~query_one ~traced_query ~qs
+
+(* Telemetry transparency: the observatory tap must not change a single
+   measured message — same seeded phase, tap attached vs detached, must
+   agree on total_messages exactly. *)
+let assert_tap_transparent ~seed =
+  let run ~tapped =
+    let n = 2000 in
+    let bound = 100 * n in
+    let keys = W.distinct_ints ~seed ~n ~bound in
+    let net = Network.create ~hosts:n in
+    let h = HInt.build ~net ~seed keys in
+    let qs = make_queries ~seed ~keys ~total:400 ~bound in
+    let obs = Obs.create () in
+    if tapped then Obs.attach obs net;
+    let coins = Prng.create (seed + 0xe19) in
+    Array.iteri (fun i q -> ignore (HInt.query h ~rng:(Prng.stream coins i) q)) qs;
+    Obs.detach net;
+    Network.total_messages net
+  in
+  let plain = run ~tapped:false in
+  let tapped = run ~tapped:true in
+  if plain <> tapped then
+    failwith
+      (Printf.sprintf "E19: observatory tap changed total_messages (%d untapped vs %d tapped)"
+         plain tapped);
+  Printf.printf "observatory transparency: OK (%d messages either way)\n" plain
+
+let json_of_rows rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"structure\": \"%s\", \"n\": %d, \"hosts\": %d, \"queries\": %d, \"traced\": %d,\n\
+      \     \"query_messages\": %s,\n\
+      \     \"top_k\": %s,\n\
+      \     \"congestion\": %s,\n\
+      \     \"levels\": %s, \"unattributed\": %d,\n\
+      \     \"timing\": {\"jobs\": %d, \"wall_s\": %.6f}}"
+      r.structure r.n r.hosts r.queries r.traced r.sketch_json r.top_json
+      (Obs.congestion_to_json r.congestion)
+      r.levels_json r.unattributed r.jobs r.wall_s
+  in
+  Printf.sprintf
+    "{\n  \"experiment\": \"hotspot\",\n  \"workload\": \"mixed uniform + Zipf(1.1) query \
+     traffic; constant-memory telemetry (quantile sketch shards, space-saving top-%d, \
+     congestion percentiles + Gini, traced per-level attribution)\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    top_k
+    (String.concat ",\n" (List.map row_json rows))
+
+let run (cfg : C.config) =
+  C.section "Hotspots and congestion observatory (E19)";
+  let seed = List.hd cfg.C.seeds in
+  assert_tap_transparent ~seed;
+  let sizes = if cfg.C.quick then [ 20_000 ] else [ 100_000; 1_000_000 ] in
+  let queries = if cfg.C.quick then 2_000 else 20_000 in
+  let rows =
+    C.with_pool cfg (fun pool ->
+        let jobs = match pool with None -> 1 | Some p -> DPool.jobs p in
+        List.concat_map
+          (fun n ->
+            [
+              hierarchy_row ~pool ~jobs ~seed ~queries n;
+              blocked_row ~pool ~jobs ~seed ~queries n;
+            ])
+          sizes)
+  in
+  let tbl =
+    Skipweb_util.Tables.create
+      ~title:
+        (Printf.sprintf "hotspots under mixed uniform + Zipf(1.1) traffic (%d job(s))" cfg.C.jobs)
+      ~columns:
+        [
+          "structure"; "n"; "queries"; "msgs p50"; "msgs p99"; "traffic p50"; "traffic p99";
+          "traffic max"; "gini"; "hottest host";
+        ]
+  in
+  List.iter
+    (fun r ->
+      let hottest =
+        match Obs.congestion_to_json r.congestion with
+        | _ -> (
+            (* first entry of the top-k json is the hottest host *)
+            match String.index_opt r.top_json ':' with
+            | Some i ->
+                let rest = String.sub r.top_json (i + 1) (String.length r.top_json - i - 1) in
+                String.trim (String.sub rest 0 (String.index rest ','))
+            | None -> "-")
+      in
+      let sk = r.sketch_json in
+      let field name =
+        (* pull "name": v out of the row's sketch json for the table *)
+        match String.index_opt sk ':' with
+        | _ -> (
+            let tag = Printf.sprintf "\"%s\": " name in
+            match
+              let rec find i =
+                if i + String.length tag > String.length sk then None
+                else if String.sub sk i (String.length tag) = tag then Some (i + String.length tag)
+                else find (i + 1)
+              in
+              find 0
+            with
+            | Some i ->
+                let j = ref i in
+                while
+                  !j < String.length sk && (match sk.[!j] with ',' | '}' -> false | _ -> true)
+                do
+                  incr j
+                done;
+                String.sub sk i (!j - i)
+            | None -> "-")
+      in
+      Skipweb_util.Tables.add_row tbl
+        [
+          r.structure;
+          string_of_int r.n;
+          string_of_int r.queries;
+          field "p50";
+          field "p99";
+          Printf.sprintf "%.0f" r.congestion.Obs.p50;
+          Printf.sprintf "%.0f" r.congestion.Obs.p99;
+          Printf.sprintf "%.0f" r.congestion.Obs.max;
+          Printf.sprintf "%.4f" r.congestion.Obs.gini;
+          hottest;
+        ])
+    rows;
+  Skipweb_util.Tables.print tbl;
+  C.write_json ~file:"BENCH_hotspot.json" (json_of_rows rows)

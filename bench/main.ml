@@ -15,7 +15,7 @@
                                               # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, scale, churn, trace, time. *)
+   bucket, ablations, scale, churn, hotspot, trace, time. *)
 
 let experiments =
   [
@@ -30,6 +30,7 @@ let experiments =
     ("ablations", fun cfg -> Exp_ablations.run cfg);
     ("scale", fun cfg -> Exp_scale.run cfg);
     ("churn", fun cfg -> Exp_churn.run cfg);
+    ("hotspot", fun cfg -> Exp_hotspot.run cfg);
     ("trace", fun cfg -> Exp_trace.run cfg);
   ]
 

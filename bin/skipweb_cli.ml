@@ -9,6 +9,8 @@
      dune exec bin/skipweb_cli.exe -- load -s skipweb-generic -n 100000 --jobs 4
      dune exec bin/skipweb_cli.exe -- census -n 1024
      dune exec bin/skipweb_cli.exe -- churn -s skipweb-generic -n 2048 --r 2 --epochs 8
+     dune exec bin/skipweb_cli.exe -- hotspots -s skipweb-generic -n 4096 --queries 2000
+     dune exec bin/skipweb_cli.exe -- monitor -s skipweb -n 2048 --epochs 12 --window 6
 
    --jobs threads a domain pool through both the read phases (query/stats)
    and the write paths (load's bulk build, update's rebuilds on the
@@ -17,7 +19,10 @@
 
 module Network = Skipweb_net.Network
 module Trace = Skipweb_net.Trace
+module Obs = Skipweb_net.Observatory
 module Metrics = Skipweb_util.Metrics
+module Sketch = Skipweb_util.Sketch
+module Series = Skipweb_util.Series
 module SG = Skipweb_skipgraph.Skip_graph
 module NoN = Skipweb_skipgraph.Non_skip_graph
 module FT = Skipweb_skipgraph.Family_tree
@@ -68,6 +73,9 @@ type driver = {
          count. *)
   insert : int -> int;
   delete : int -> int;
+  query_traced : (Trace.t -> int -> int) option;
+      (* traced single query, for per-level load attribution; only the
+         skip-web structures carry level-attributable traces *)
   host_count : int;
   net : Network.t;  (* for traffic / memory distributions *)
 }
@@ -99,6 +107,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
         query_all = seq_batch query;
         insert = SG.insert g;
         delete = SG.delete g;
+        query_traced = None;
         host_count = Network.host_count net;
         net;
       }
@@ -113,6 +122,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
         query_all = seq_batch query;
         insert = NoN.insert g;
         delete = NoN.delete g;
+        query_traced = None;
         host_count = Network.host_count net;
         net;
       }
@@ -127,6 +137,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
         query_all = seq_batch query;
         insert = FT.insert g;
         delete = FT.delete g;
+        query_traced = None;
         host_count = Network.host_count net;
         net;
       }
@@ -140,6 +151,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
         query_all = seq_batch query;
         insert = DS.insert g;
         delete = DS.delete g;
+        query_traced = None;
         host_count = Network.host_count net;
         net;
       }
@@ -155,6 +167,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
         query_all = seq_batch query;
         insert = (fun k -> BSG.insert g ~rng k);
         delete = (fun k -> BSG.delete g ~rng k);
+        query_traced = None;
         host_count = Network.host_count net;
         net;
       }
@@ -173,6 +186,7 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
               (B1.query_batch ?pool g ~rng qs));
         insert = B1.insert g;
         delete = B1.delete g;
+        query_traced = Some (fun tr q -> (B1.query ~trace:tr g ~rng q).B1.messages);
         host_count = Network.host_count net;
         net;
       }
@@ -191,6 +205,11 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
             Array.map (fun (_, stats) -> stats.HInt.messages) (HInt.query_batch ?pool g ~rng qs));
         insert = HInt.insert g;
         delete = HInt.remove g;
+        query_traced =
+          Some
+            (fun tr q ->
+              let _, stats = HInt.query ~trace:tr g ~rng q in
+              stats.HInt.messages);
         host_count = Network.host_count net;
         net;
       }
@@ -432,6 +451,8 @@ let run_stats structure n queries updates seed m buckets format jobs =
   done;
   Metrics.incr reg ~by:(Network.total_messages d.net) "network.messages";
   Metrics.incr reg ~by:(Network.sessions_started d.net) "network.sessions";
+  Metrics.incr reg ~by:(Network.live_hosts d.net) "network.live_hosts";
+  Metrics.incr reg ~by:(Network.stranded_memory d.net) "network.stranded_memory";
   (match format with
   | Json -> print_string (Metrics.to_json reg)
   | Csv -> print_string (Metrics.to_csv reg)
@@ -463,6 +484,187 @@ let run_stats structure n queries updates seed m buckets format jobs =
                 [ name; "counter"; string_of_int (Metrics.counter_value reg name); ""; ""; ""; ""; "" ])
         (Metrics.names reg);
       Tables.print t);
+  0
+
+(* ---------------- hotspots / monitor: the congestion observatory ---------------- *)
+
+(* The hotspot workload: even slots uniform over the key domain, odd
+   slots Zipf(1.1)-popular stored keys — popularity skew on top of the
+   structural skew the upper levels already create. *)
+let mixed_queries ~seed ~keys ~total ~bound =
+  let total = if total mod 2 = 1 then total + 1 else total in
+  let half = total / 2 in
+  let z = W.zipf_queries ~seed:(seed + 0x21f) ~keys ~n:half ~s:1.1 in
+  let rng = Prng.create (seed + 0x0b5) in
+  let u = Array.init half (fun _ -> Prng.int rng bound) in
+  Array.init total (fun i -> if i mod 2 = 0 then u.(i / 2) else z.(i / 2))
+
+(* Where does a skewed workload's load land? Drive mixed uniform +
+   Zipf(1.1) queries with the observatory attached as the network's
+   streaming tap — every finished session reports into the space-saving
+   top-k and the message-count sketch, in memory independent of the
+   query count — then print the hottest hosts, the per-host congestion
+   percentiles and Gini, and (for the skip-web structures) the
+   per-level attribution from a small traced sample. *)
+let run_hotspots structure n queries seed m buckets k jobs =
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
+  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:queries ~bound:(100 * n) in
+  Printf.printf "structure: %s\n" d.describe;
+  Printf.printf "items: %d   hosts: %d   queries: %d (half uniform, half Zipf 1.1)\n\n" n
+    d.host_count (Array.length qs);
+  let obs = Obs.create ~k () in
+  (* Attribution sample first (traced, sequential), then reset the
+     workload counters so the congestion snapshot describes the tapped
+     main phase only. *)
+  (match d.query_traced with
+  | None -> ()
+  | Some qt ->
+      let sample = min 32 (Array.length qs) in
+      for i = 0 to sample - 1 do
+        let tr = Trace.create () in
+        ignore (qt tr qs.(i) : int);
+        Obs.observe_trace obs tr
+      done);
+  Network.reset_traffic d.net;
+  Obs.attach obs d.net;
+  Array.iter (fun q -> ignore (d.query q : int)) qs;
+  Obs.detach d.net;
+  let total_visits = max 1 (Obs.visits_seen obs) in
+  let t =
+    Tables.create
+      ~title:(Printf.sprintf "hottest hosts (space-saving top-%d)" k)
+      ~columns:[ "host"; "visits<="; "err"; "share" ]
+  in
+  List.iter
+    (fun (h, c, e) ->
+      Tables.add_row t
+        [
+          string_of_int h;
+          string_of_int c;
+          string_of_int e;
+          Printf.sprintf "%.2f%%" (100.0 *. float_of_int c /. float_of_int total_visits);
+        ])
+    (Obs.hot_hosts obs);
+  Tables.print t;
+  Printf.printf
+    "(space-saving guarantee: every host with more than total/k = %d visits is listed;\n\
+    \ err bounds the overcount — err close to visits<= means no host dominates)\n\n"
+    (total_visits / k);
+  (match Obs.message_summary obs with
+  | None -> ()
+  | Some s ->
+      let t =
+        Tables.create ~title:"query message cost (constant-memory sketch)"
+          ~columns:[ "ops"; "mean"; "p50"; "p90"; "p99"; "max" ]
+      in
+      Tables.add_row t
+        [
+          string_of_int s.Stats.count;
+          Tables.cell_float s.Stats.mean;
+          Tables.cell_float s.Stats.p50;
+          Tables.cell_float s.Stats.p90;
+          Tables.cell_float s.Stats.p99;
+          Tables.cell_float s.Stats.max;
+        ];
+      Tables.print t);
+  let c = Obs.congestion_of d.net in
+  let t =
+    Tables.create ~title:"per-host congestion (live hosts)"
+      ~columns:[ "live"; "visits"; "mean"; "p50"; "p90"; "p99"; "max"; "gini" ]
+  in
+  Tables.add_row t
+    [
+      string_of_int c.Obs.live;
+      string_of_int c.Obs.total_traffic;
+      Tables.cell_float c.Obs.mean;
+      Tables.cell_float c.Obs.p50;
+      Tables.cell_float c.Obs.p90;
+      Tables.cell_float c.Obs.p99;
+      Tables.cell_float c.Obs.max;
+      Printf.sprintf "%.4f" c.Obs.gini;
+    ];
+  Tables.print t;
+  (match Obs.per_level_hops obs with
+  | [] -> ()
+  | levels ->
+      let t =
+        Tables.create
+          ~title:(Printf.sprintf "per-level load attribution (%d traced samples)" (Obs.traced_ops obs))
+          ~columns:[ "level"; "hops" ]
+      in
+      List.iter
+        (fun (level, hops) -> Tables.add_row t [ string_of_int level; string_of_int hops ])
+        levels;
+      (match Obs.unattributed_hops obs with
+      | 0 -> ()
+      | u -> Tables.add_row t [ "(none)"; string_of_int u ]);
+      Tables.print t);
+  0
+
+(* Watch a workload evolve: run [epochs] query batches and push one
+   value per epoch into fixed-size Series rings (mean and p99 message
+   cost from a per-epoch sketch, total messages). Only the last
+   [window] epochs are retained — the memory story of a long-lived
+   monitoring loop — and the table prints exactly that window. *)
+let run_monitor structure n queries epochs window seed m buckets jobs =
+  if epochs < 1 || window < 1 then begin
+    prerr_endline "monitor: --epochs and --window must be >= 1";
+    exit 2
+  end;
+  let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
+  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:(epochs * queries) ~bound:(100 * n) in
+  let qper = Array.length qs / epochs in
+  Printf.printf "structure: %s\n" d.describe;
+  Printf.printf "items: %d   hosts: %d   epochs: %d x %d queries   window: %d   jobs: %d\n\n" n
+    d.host_count epochs qper window (max 1 jobs);
+  Network.reset_traffic d.net;
+  let mean_s = Series.create ~window in
+  let p99_s = Series.create ~window in
+  let msgs_s = Series.create ~window in
+  for e = 0 to epochs - 1 do
+    let before = Network.total_messages d.net in
+    let batch = Array.sub qs (e * qper) qper in
+    let msgs = d.query_all pool batch in
+    (* One bounded sketch per epoch: the per-epoch distribution without
+       retaining the per-query array beyond the batch. *)
+    let sk = Sketch.create () in
+    Array.iter (Sketch.observe_int sk) msgs;
+    let s = Sketch.summary sk in
+    Series.push mean_s s.Stats.mean;
+    Series.push p99_s s.Stats.p99;
+    Series.push msgs_s (float_of_int (Network.total_messages d.net - before))
+  done;
+  let t =
+    Tables.create
+      ~title:(Printf.sprintf "monitored window (last %d of %d epochs)" (Series.length mean_s) epochs)
+      ~columns:[ "epoch"; "msgs/op mean"; "msgs/op p99"; "messages" ]
+  in
+  List.iteri
+    (fun i (epoch, mean) ->
+      Tables.add_row t
+        [
+          string_of_int epoch;
+          Tables.cell_float mean;
+          Tables.cell_float (Series.nth p99_s i);
+          Printf.sprintf "%.0f" (Series.nth msgs_s i);
+        ])
+    (Series.to_list mean_s);
+  Tables.print t;
+  (match Series.summary mean_s with
+  | None -> ()
+  | Some s ->
+      Printf.printf "window msgs/op mean: %.2f (min %.2f, max %.2f over retained epochs)\n"
+        s.Stats.mean s.Stats.min s.Stats.max);
+  let c = Obs.congestion_of d.net in
+  Printf.printf "congestion: p50 %.0f  p90 %.0f  p99 %.0f  max %.0f  gini %.4f\n" c.Obs.p50
+    c.Obs.p90 c.Obs.p99 c.Obs.max c.Obs.gini;
+  Printf.printf "live hosts: %d/%d   stranded memory: %d units\n" (Network.live_hosts d.net)
+    (Network.host_count d.net)
+    (Network.stranded_memory d.net);
   0
 
 (* ---------------- churn: kill/rejoin epochs + self-repair ---------------- *)
@@ -558,6 +760,8 @@ let run_churn structure n queries seed m r epochs fails jobs =
       Tables.print t;
       let rate = float_of_int !total_ok /. float_of_int (epochs * queries) in
       Printf.printf "query success rate: %.4f (%d/%d)\n" rate !total_ok (epochs * queries);
+      Printf.printf "live hosts: %d/%d   stranded memory: %d units\n" (Network.live_hosts net)
+        (Network.host_count net) (Network.stranded_memory net);
       if r >= 2 && fails <= r - 1 && (!total_failed > 0 || !total_lost > 0) then begin
         Printf.printf
           "FAIL: r = %d with %d failures/epoch must lose nothing (failed %d, lost %d)\n" r fails
@@ -632,10 +836,29 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg $ jobs_arg)
 
+let topk_arg =
+  Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc:"Heavy-hitter table size: at most $(docv) hosts are monitored, whatever the host count.")
+
+let hotspots_cmd =
+  let doc = "Drive mixed uniform + Zipf(1.1) query traffic with the congestion observatory tapped in and report the hottest hosts (space-saving top-k), per-host congestion percentiles and Gini, the message-cost sketch, and (skip-web structures) the per-level load attribution — all in memory independent of the query count." in
+  Cmd.v (Cmd.info "hotspots" ~doc)
+    Term.(const run_hotspots $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ topk_arg $ jobs_arg)
+
+let window_arg =
+  Arg.(value & opt int 8 & info [ "window"; "w" ] ~docv:"W" ~doc:"Time-series window: only the last $(docv) epochs are retained (older ones roll off the ring).")
+
+let monitor_cmd =
+  let doc = "Run epoch after epoch of queries and watch the workload through fixed-size time-series rings: per-epoch mean and p99 message cost (from a bounded per-epoch sketch) and message totals, with only the last W epochs retained." in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    Term.(const run_monitor $ structure_arg $ n_arg $ queries_arg $ epochs_arg $ window_arg $ seed_arg $ m_arg $ buckets_arg $ jobs_arg)
+
 let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in
   Cmd.group
     (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
-    [ query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd; churn_cmd ]
+    [
+      query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd; churn_cmd; hotspots_cmd;
+      monitor_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

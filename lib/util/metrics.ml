@@ -1,10 +1,24 @@
-type series = { mutable values : float list; mutable count : int }
+(* Histograms are quantile sketches: exact (sample-retaining) up to the
+   registry's [sample_cap], transparently degrading to constant-memory
+   logarithmic buckets above it. Below the cap the exported figures are
+   bitwise the old retain-everything summaries (Sketch's exact mode
+   answers through Stats.percentile on the sorted sample); above it the
+   registry stops hoarding samples — the bounded-memory regression test
+   observes 10^6 values and checks the footprint stays flat. Sketch
+   merging is partition-independent, so the shard-merge determinism
+   contract below holds in both modes. *)
 
-type entry = Counter of int ref | Histogram of series
+type entry = Counter of int ref | Histogram of Sketch.t
 
-type t = { entries : (string, entry) Hashtbl.t }
+type t = { entries : (string, entry) Hashtbl.t; sample_cap : int }
 
-let create () = { entries = Hashtbl.create 32 }
+let default_sample_cap = 4096
+
+let create ?(sample_cap = default_sample_cap) () =
+  if sample_cap < 0 then invalid_arg "Metrics.create: sample_cap must be >= 0";
+  { entries = Hashtbl.create 32; sample_cap }
+
+let sample_cap t = t.sample_cap
 
 let clear t = Hashtbl.reset t.entries
 
@@ -22,7 +36,7 @@ let histogram t name =
   | Some (Histogram s) -> s
   | Some (Counter _) -> invalid_arg (Printf.sprintf "Metrics: %s is a counter" name)
   | None ->
-      let s = { values = []; count = 0 } in
+      let s = Sketch.create ~exact_cap:t.sample_cap () in
       Hashtbl.replace t.entries name (Histogram s);
       s
 
@@ -30,10 +44,7 @@ let incr t ?(by = 1) name =
   let c = counter t name in
   c := !c + by
 
-let observe t name v =
-  let s = histogram t name in
-  s.values <- v :: s.values;
-  s.count <- s.count + 1
+let observe t name v = Sketch.observe (histogram t name) v
 
 let observe_int t name v = observe t name (float_of_int v)
 
@@ -42,27 +53,28 @@ let counter_value t name =
 
 let histogram_summary t name =
   match Hashtbl.find_opt t.entries name with
-  | Some (Histogram s) when s.count > 0 -> Some (Stats.summarize s.values)
+  | Some (Histogram s) when Sketch.count s > 0 -> Some (Sketch.summary s)
   | _ -> None
+
+let histogram_sketch t name =
+  match Hashtbl.find_opt t.entries name with Some (Histogram s) -> Some s | _ -> None
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.entries [] |> List.sort compare
 
 (* Shard merging for parallel recording: each worker records into its own
-   registry, then the shards are folded into one. Counters add and
-   histogram sample multisets union, both commutative — and every exported
-   histogram figure is computed from the sorted sample multiset — so the
-   merged registry's exports do not depend on the merge order or on which
-   worker recorded which sample. *)
+   registry, then the shards are folded into one. Counters add, and
+   histogram sketches merge partition-independently — the merged sketch
+   (and every figure exported from it) is a pure function of the union
+   sample multiset, never of the shard boundaries or the merge order —
+   so the merged registry's exports do not depend on which worker
+   recorded which sample. Registries must share one [sample_cap]. *)
 let merge dst src =
   List.iter
     (fun name ->
       match Hashtbl.find src.entries name with
       | Counter c -> incr dst ~by:!c name
-      | Histogram s ->
-          let d = histogram dst name in
-          d.values <- List.rev_append s.values d.values;
-          d.count <- d.count + s.count)
+      | Histogram s -> Sketch.merge (histogram dst name) s)
     (names src)
 
 let json_of_summary (s : Stats.summary) =
@@ -91,7 +103,7 @@ let to_json t =
     | Counter c -> Printf.sprintf "  \"%s\": %d" (escape name) !c
     | Histogram s ->
         let body =
-          if s.count = 0 then "{\"count\": 0}" else json_of_summary (Stats.summarize s.values)
+          if Sketch.count s = 0 then "{\"count\": 0}" else json_of_summary (Sketch.summary s)
         in
         Printf.sprintf "  \"%s\": %s" (escape name) body
   in
@@ -105,9 +117,10 @@ let to_csv t =
       match Hashtbl.find t.entries name with
       | Counter c -> Buffer.add_string buf (Printf.sprintf "%s,counter,%d,,,,,,,,\n" name !c)
       | Histogram s ->
-          if s.count = 0 then Buffer.add_string buf (Printf.sprintf "%s,histogram,,0,,,,,,,\n" name)
+          if Sketch.count s = 0 then
+            Buffer.add_string buf (Printf.sprintf "%s,histogram,,0,,,,,,,\n" name)
           else
-            let m = Stats.summarize s.values in
+            let m = Sketch.summary s in
             Buffer.add_string buf
               (Printf.sprintf "%s,histogram,,%d,%g,%g,%g,%g,%g,%g,%g\n" name m.Stats.count
                  m.Stats.mean m.Stats.stddev m.Stats.min m.Stats.max m.Stats.p50 m.Stats.p90

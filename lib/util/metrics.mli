@@ -10,11 +10,24 @@
     Names are free-form; a registry keys entries by exact name and a name
     is permanently a counter or a histogram — mixing the two kinds under
     one name raises [Invalid_argument]. Export orders entries by name, so
-    output is deterministic. *)
+    output is deterministic.
+
+    Histograms do {b not} retain samples without bound: each one is a
+    {!Sketch}, exact (sample-retaining) up to the registry's
+    [sample_cap] and transparently degrading to constant-memory
+    logarithmic buckets above it. Under the cap the exported figures
+    are the familiar exact summaries; above it percentiles carry the
+    sketch's documented relative-error bound and memory stays flat in
+    the sample count — a registry can absorb the 10^6-op workloads the
+    serving-at-scale benches drive. *)
 
 type t
 
-val create : unit -> t
+val create : ?sample_cap:int -> unit -> t
+(** [sample_cap] (default 4096) is the per-histogram exact-mode
+    retention limit, passed to each histogram's {!Sketch.create}. *)
+
+val sample_cap : t -> int
 val clear : t -> unit
 
 (** {1 Recording} *)
@@ -28,17 +41,20 @@ val observe : t -> string -> float -> unit
 val observe_int : t -> string -> int -> unit
 
 val merge : t -> t -> unit
-(** [merge dst src] folds [src] into [dst]: counters add, histograms union
-    their sample multisets. [src] is unchanged.
+(** [merge dst src] folds [src] into [dst]: counters add, histogram
+    sketches merge ({!Sketch.merge}). [src] is unchanged. Both
+    registries must have been created with the same [sample_cap]
+    (mismatches raise [Invalid_argument] from the sketch merge).
 
     This is the concurrent-recording discipline: a registry is {b not}
     safe to record into from several domains at once, so each worker
     records into a private shard and the shards are merged afterwards.
-    Because counter addition and multiset union are commutative, and
-    histogram exports summarize the {e sorted} samples, the merged
-    registry's {!to_json}/{!to_csv} output is identical for any merge
-    order and any assignment of samples to workers — parallel runs
-    export byte-for-byte what the sequential run exports. *)
+    Because counter addition is commutative and sketch merging is
+    partition-independent (the merged sketch is a pure function of the
+    union sample multiset — see {!Sketch}), the merged registry's
+    {!to_json}/{!to_csv} output is identical for any merge order and
+    any assignment of samples to workers — parallel runs export
+    byte-for-byte what the sequential run exports. *)
 
 (** {1 Reading} *)
 
@@ -46,7 +62,13 @@ val counter_value : t -> string -> int
 (** Current value; 0 for a name never incremented. *)
 
 val histogram_summary : t -> string -> Stats.summary option
-(** Summary of a histogram's samples; [None] if absent or empty. *)
+(** Summary of a histogram's samples; [None] if absent or empty. Exact
+    below [sample_cap] samples, sketch-accurate above (see {!Sketch}). *)
+
+val histogram_sketch : t -> string -> Sketch.t option
+(** The histogram's underlying sketch (e.g. to check {!Sketch.is_exact}
+    or its {!Sketch.bucket_count} in memory regression tests); [None]
+    if the name is absent or names a counter. *)
 
 val names : t -> string list
 (** All registered names, sorted. *)

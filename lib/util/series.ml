@@ -1,0 +1,44 @@
+(* A fixed-size windowed time-series: a ring of the last [window] epoch
+   values, plus the total number of epochs ever pushed. The monitoring
+   surfaces (exp_churn's availability/repair timeline, the CLI monitor
+   subcommand) push one value per epoch and read back the retained
+   window — memory is the window size, independent of how long the
+   workload has been running. *)
+
+type t = {
+  window : int;
+  buf : float array;
+  mutable total : int;  (* epochs ever pushed *)
+}
+
+let create ~window =
+  if window < 1 then invalid_arg "Series.create: window must be >= 1";
+  { window; buf = Array.make window 0.0; total = 0 }
+
+let window t = t.window
+let total t = t.total
+let length t = min t.total t.window
+
+let push t v =
+  t.buf.(t.total mod t.window) <- v;
+  t.total <- t.total + 1
+
+(* Epoch index of the oldest retained value. *)
+let first_epoch t = t.total - length t
+
+let nth t i =
+  if i < 0 || i >= length t then invalid_arg "Series.nth: index out of window";
+  t.buf.((first_epoch t + i) mod t.window)
+
+let last t = if t.total = 0 then None else Some (nth t (length t - 1))
+
+let to_list t = List.init (length t) (fun i -> (first_epoch t + i, nth t i))
+
+let values t = List.init (length t) (nth t)
+
+let summary t = if t.total = 0 then None else Some (Stats.summarize (values t))
+
+let to_json t =
+  Printf.sprintf "{\"window\": %d, \"total\": %d, \"first_epoch\": %d, \"values\": [%s]}"
+    t.window t.total (first_epoch t)
+    (String.concat ", " (List.map (Printf.sprintf "%g") (values t)))

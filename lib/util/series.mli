@@ -1,0 +1,43 @@
+(** A fixed-size windowed time-series: the last [window] epoch values.
+
+    Monitoring surfaces push one value per epoch (ops/s, message rate,
+    availability, repair bill) and read back the retained window plus
+    its summary — memory is the window size, independent of run length.
+    Epochs are numbered from 0 in push order; once more than [window]
+    values have been pushed, the oldest are overwritten and the
+    retained range starts at {!total}[ - window]. *)
+
+type t
+
+val create : window:int -> t
+(** Requires [window >= 1]. *)
+
+val push : t -> float -> unit
+(** Append the next epoch's value, evicting the oldest when full. *)
+
+val window : t -> int
+
+val total : t -> int
+(** Epochs ever pushed (retained or not). *)
+
+val length : t -> int
+(** Retained values: [min total window]. *)
+
+val nth : t -> int -> float
+(** [nth t i] is the [i]-th retained value, oldest first ([i] in
+    [\[0, length)]); its absolute epoch is [total - length + i].
+    Raises [Invalid_argument] outside the window. *)
+
+val last : t -> float option
+
+val to_list : t -> (int * float) list
+(** Retained values, oldest first, each with its absolute epoch. *)
+
+val values : t -> float list
+
+val summary : t -> Stats.summary option
+(** Summary over the retained window; [None] when nothing was pushed. *)
+
+val to_json : t -> string
+(** [{"window": w, "total": n, "first_epoch": e, "values": [...]}] —
+    the retained window, oldest first. *)

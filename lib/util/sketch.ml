@@ -1,0 +1,227 @@
+(* A mergeable constant-memory quantile sketch.
+
+   Design: logarithmic value buckets with guaranteed relative accuracy
+   (the DDSketch family), *not* P2 or Greenwald-Khanna. The reason is a
+   determinism requirement unique to this repository: the parallel
+   phases record into per-domain shards and merge them afterwards, and
+   the jobs-equivalence CI leg byte-diffs exports across jobs counts —
+   so the merged sketch must be a pure function of the observed sample
+   multiset, independent of how samples were partitioned into shards
+   and of the merge order. P2 and GK are order-sensitive streaming
+   summaries; a value-keyed bucket map is not: the bucket of a value
+   depends only on the value, and merging adds integer counts, which is
+   commutative and associative. The price is that memory scales with
+   the value *dynamic range* (one bucket per gamma-factor) instead of a
+   fixed cell count — constant in the sample count, which is the bound
+   the 10^6-op workloads need.
+
+   Exact mode: below [exact_cap] samples the sketch simply retains the
+   values and answers through [Stats.percentile] on the sorted sample —
+   bitwise the same figures the old retain-everything histograms
+   produced. Crossing the cap spills every retained value into its
+   bucket; since the value-to-bucket map is pure, the final bucket
+   table is the same whether the cap was crossed in one stream or by
+   merging shards that were each still exact. *)
+
+type t = {
+  alpha : float;  (* guaranteed relative accuracy of bucket-mode quantiles *)
+  gamma : float;  (* (1 + alpha) / (1 - alpha): bucket width factor *)
+  ln_gamma : float;
+  exact_cap : int;
+  mutable exact : float list;  (* retained samples while [exact_mode] *)
+  mutable exact_mode : bool;
+  mutable count : int;
+  mutable min_v : float;  (* valid iff count > 0 *)
+  mutable max_v : float;
+  mutable zeros : int;  (* samples with |v| <= zero_eps *)
+  pos : (int, int) Hashtbl.t;  (* bucket index -> count, v > 0 *)
+  neg : (int, int) Hashtbl.t;  (* bucket index of |v| -> count, v < 0 *)
+}
+
+(* Magnitudes at or below this are binned as exact zero: the logarithmic
+   bucket index of a denormal would explode the bucket count for values
+   that are measurement noise anyway. Bucket-mode quantile answers are
+   therefore within [alpha] relative error plus [zero_eps] absolute. *)
+let zero_eps = 1e-12
+
+let create ?(alpha = 0.01) ?(exact_cap = 256) () =
+  if not (alpha > 0.0 && alpha < 1.0) then invalid_arg "Sketch.create: alpha must be in (0, 1)";
+  if exact_cap < 0 then invalid_arg "Sketch.create: exact_cap must be >= 0";
+  let gamma = (1.0 +. alpha) /. (1.0 -. alpha) in
+  {
+    alpha;
+    gamma;
+    ln_gamma = Float.log gamma;
+    exact_cap;
+    exact = [];
+    exact_mode = true;
+    count = 0;
+    min_v = 0.0;
+    max_v = 0.0;
+    zeros = 0;
+    pos = Hashtbl.create 16;
+    neg = Hashtbl.create 4;
+  }
+
+let count t = t.count
+let is_exact t = t.exact_mode
+let alpha t = t.alpha
+let exact_cap t = t.exact_cap
+
+(* Bucket index of a magnitude m > zero_eps: the i with
+   gamma^(i-1) < m <= gamma^i. Pure in (alpha, m). *)
+let bucket_key t m = int_of_float (Float.ceil (Float.log m /. t.ln_gamma))
+
+(* Representative value of bucket i: gamma^i * 2 / (gamma + 1). For any
+   member m of (gamma^(i-1), gamma^i] the relative error is <= alpha:
+   at the top edge est/m = 2/(gamma+1) = 1 - alpha, at the bottom edge
+   est/m -> gamma (1 - alpha) = 1 + alpha. *)
+let bucket_estimate t i = 2.0 *. Float.exp (float_of_int i *. t.ln_gamma) /. (t.gamma +. 1.0)
+
+let table_add tbl key k =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + k)
+  | None -> Hashtbl.replace tbl key k
+
+let bucket_add t v k =
+  if Float.abs v <= zero_eps then t.zeros <- t.zeros + k
+  else if v > 0.0 then table_add t.pos (bucket_key t v) k
+  else table_add t.neg (bucket_key t (-.v)) k
+
+(* Leave exact mode: bin every retained sample. The value-to-bucket map
+   is pure, so the resulting table depends only on the sample multiset —
+   never on retention order or on which shard retained what. *)
+let spill t =
+  if t.exact_mode then begin
+    List.iter (fun v -> bucket_add t v 1) t.exact;
+    t.exact <- [];
+    t.exact_mode <- false
+  end
+
+let observe t v =
+  if Float.is_nan v then invalid_arg "Sketch.observe: NaN sample";
+  if t.count = 0 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  t.count <- t.count + 1;
+  if t.exact_mode then begin
+    t.exact <- v :: t.exact;
+    if t.count > t.exact_cap then spill t
+  end
+  else bucket_add t v 1
+
+let observe_int t v = observe t (float_of_int v)
+
+let bucket_count t =
+  Hashtbl.length t.pos + Hashtbl.length t.neg + (if t.zeros > 0 then 1 else 0)
+
+let merge dst src =
+  if dst.alpha <> src.alpha || dst.exact_cap <> src.exact_cap then
+    invalid_arg "Sketch.merge: sketches have different alpha or exact_cap";
+  if src.count > 0 then begin
+    if dst.count = 0 then begin
+      dst.min_v <- src.min_v;
+      dst.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+      if src.max_v > dst.max_v then dst.max_v <- src.max_v
+    end;
+    dst.count <- dst.count + src.count;
+    if dst.exact_mode && src.exact_mode && dst.count <= dst.exact_cap then
+      dst.exact <- List.rev_append src.exact dst.exact
+    else begin
+      spill dst;
+      if src.exact_mode then List.iter (fun v -> bucket_add dst v 1) src.exact
+      else begin
+        Hashtbl.iter (fun key c -> table_add dst.pos key c) src.pos;
+        Hashtbl.iter (fun key c -> table_add dst.neg key c) src.neg;
+        dst.zeros <- dst.zeros + src.zeros
+      end
+    end
+  end
+
+let sorted_exact t =
+  let a = Array.of_list t.exact in
+  Array.sort compare a;
+  a
+
+(* Buckets in ascending value order, as (estimate, count) — negatives by
+   descending magnitude, then the zero bin, then positives by ascending
+   magnitude. Keys are sorted so every fold over this list is a fixed
+   summation order: exports are deterministic for one sample multiset. *)
+let ordered_buckets t =
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  let clamp v = Float.min t.max_v (Float.max t.min_v v) in
+  let negs =
+    List.rev_map (fun k -> (clamp (-.bucket_estimate t k), Hashtbl.find t.neg k)) (keys t.neg)
+  in
+  let zero = if t.zeros > 0 then [ (clamp 0.0, t.zeros) ] else [] in
+  let poss = List.map (fun k -> (clamp (bucket_estimate t k), Hashtbl.find t.pos k)) (keys t.pos) in
+  negs @ zero @ poss
+
+let quantile t q =
+  if t.count = 0 then invalid_arg "Sketch.quantile: empty sketch";
+  if t.exact_mode then Stats.percentile (sorted_exact t) q
+  else if q <= 0.0 then t.min_v
+  else if q >= 1.0 then t.max_v
+  else begin
+    (* Nearest-rank: the returned estimate's bucket contains the sample
+       of rank [round (q (n-1))], so it is within [alpha] relative error
+       (plus [zero_eps] absolute) of that sample. *)
+    let rank = int_of_float (Float.round (q *. float_of_int (t.count - 1))) in
+    let rec walk cum = function
+      | [] -> t.max_v  (* unreachable: counts sum to t.count *)
+      | (est, c) :: rest -> if cum + c > rank then est else walk (cum + c) rest
+    in
+    walk 0 (ordered_buckets t)
+  end
+
+let summary t : Stats.summary =
+  if t.count = 0 then invalid_arg "Sketch.summary: empty sketch";
+  if t.exact_mode then
+    (* Summarize the *sorted* retained samples: the float accumulations
+       inside [Stats.summarize] then run in a fixed order, so exact-mode
+       exports are identical for any sharding of the same samples. *)
+    Stats.summarize (Array.to_list (sorted_exact t))
+  else begin
+    let n = float_of_int t.count in
+    let sum, sumsq =
+      List.fold_left
+        (fun (s, s2) (est, c) ->
+          let fc = float_of_int c in
+          (s +. (fc *. est), s2 +. (fc *. est *. est)))
+        (0.0, 0.0) (ordered_buckets t)
+    in
+    let mean = sum /. n in
+    let stddev =
+      if t.count <= 1 then 0.0
+      else sqrt (Float.max 0.0 ((sumsq -. (n *. mean *. mean)) /. (n -. 1.0)))
+    in
+    {
+      Stats.count = t.count;
+      mean;
+      stddev;
+      min = t.min_v;
+      max = t.max_v;
+      p50 = quantile t 0.5;
+      p90 = quantile t 0.9;
+      p99 = quantile t 0.99;
+    }
+  end
+
+let to_json t =
+  if t.count = 0 then
+    Printf.sprintf "{\"count\": 0, \"exact\": true, \"buckets\": 0, \"alpha\": %g}" t.alpha
+  else
+    let s = summary t in
+    Printf.sprintf
+      "{\"count\": %d, \"exact\": %b, \"buckets\": %d, \"alpha\": %g, \"mean\": %g, \"min\": %g, \
+       \"max\": %g, \"p50\": %g, \"p90\": %g, \"p99\": %g}"
+      t.count t.exact_mode (bucket_count t) t.alpha s.Stats.mean s.Stats.min s.Stats.max
+      s.Stats.p50 s.Stats.p90 s.Stats.p99

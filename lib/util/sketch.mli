@@ -1,0 +1,83 @@
+(** A mergeable quantile sketch with memory constant in the sample count.
+
+    The retain-everything histograms of {!Metrics} cannot survive the
+    10^6–10^7-operation workloads the serving-at-scale experiments
+    drive; this sketch replaces them wherever a phase only needs
+    count/mean/min/max and p50/p90/p99. It is a logarithmic-bucket
+    sketch (the DDSketch family) rather than P2 or Greenwald–Khanna,
+    chosen for one property those order-sensitive summaries lack:
+    {b partition independence}. The bucket of a value is a pure function
+    of the value, and {!merge} adds integer bucket counts, so the merged
+    sketch — and every figure exported from it — depends only on the
+    multiset of observed samples, never on how the samples were split
+    across per-domain shards nor on the order the shards were merged.
+    That is exactly the {!Metrics.merge} determinism contract, and it is
+    what lets parallel query/write phases report percentiles while
+    staying byte-identical across [--jobs] counts.
+
+    {b Accuracy.} Below [exact_cap] samples the sketch retains the
+    values and answers through {!Stats.percentile} on the sorted sample
+    — bitwise identical to the exact summaries, pinned by tests. Above
+    the cap, {!quantile} returns a value within relative error [alpha]
+    (plus an absolute [1e-12] for samples binned as zero) of the sample
+    at the nearest rank [round (q (n-1))]. Memory is one bucket per
+    [gamma = (1+alpha)/(1-alpha)] factor of value magnitude: constant in
+    the sample count, logarithmic in the value dynamic range. *)
+
+type t
+
+val create : ?alpha:float -> ?exact_cap:int -> unit -> t
+(** [create ()] makes an empty sketch. [alpha] (default [0.01]) is the
+    guaranteed relative accuracy of bucket-mode quantiles and must lie
+    in (0, 1); [exact_cap] (default [256]) is the sample count up to
+    which the sketch stays exact. Raises [Invalid_argument] on a bad
+    [alpha] or a negative [exact_cap]. *)
+
+val observe : t -> float -> unit
+(** Add one sample. Crossing [exact_cap] spills every retained sample
+    into its bucket; the resulting bucket table is the same whether the
+    cap was crossed by one stream or by merging shards. Rejects NaN. *)
+
+val observe_int : t -> int -> unit
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]; [src] is unchanged. If both
+    are exact and the union still fits under the cap, the result is
+    exact; otherwise both sides are spilled into buckets. The merged
+    sketch is a pure function of the union multiset (see above).
+    Raises [Invalid_argument] if the sketches were created with
+    different [alpha] or [exact_cap]. *)
+
+val count : t -> int
+
+val is_exact : t -> bool
+(** Whether the sketch still retains its samples exactly. *)
+
+val alpha : t -> float
+val exact_cap : t -> int
+
+val bucket_count : t -> int
+(** Occupied buckets (including the zero bin) — the sketch's memory
+    footprint in cells. 0 while exact. Bounded by the value dynamic
+    range, not by the sample count: the bounded-memory regression test
+    observes 10^6 samples and checks this stays in the hundreds. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] clamped to [\[0, 1\]]. Exact mode answers
+    {!Stats.percentile} on the sorted sample bitwise (interpolated
+    ranks included); bucket mode returns a nearest-rank estimate within
+    the documented error bound, clamped into [\[min, max\]] of the
+    observed samples. Raises [Invalid_argument] on an empty sketch. *)
+
+val summary : t -> Stats.summary
+(** The usual export shape. Exact mode: {!Stats.summarize} of the
+    sorted sample. Bucket mode: [min]/[max]/[count] are exact;
+    [mean]/[stddev] are computed from bucket representatives (relative
+    error [alpha] on each sample's contribution); percentiles are
+    {!quantile}. Every accumulation runs in sorted bucket order, so the
+    summary is deterministic for one sample multiset. Raises
+    [Invalid_argument] on an empty sketch. *)
+
+val to_json : t -> string
+(** One JSON object: [count], [exact], [buckets], [alpha], and the
+    summary figures. Deterministic for one sample multiset. *)

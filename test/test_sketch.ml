@@ -1,0 +1,328 @@
+(* Tests for the streaming telemetry primitives: the mergeable quantile
+   sketch (exact-mode pinning, bucket-mode error bounds, shard-merge
+   partition independence, bounded memory) and the windowed time series.
+   The Metrics sample-cap degradation regression lives here too. *)
+
+module Sketch = Skipweb_util.Sketch
+module Series = Skipweb_util.Series
+module Stats = Skipweb_util.Stats
+module Metrics = Skipweb_util.Metrics
+module Prng = Skipweb_util.Prng
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* The documented bucket-mode contract: the estimate for quantile q is
+   within relative error alpha (plus the 1e-12 zero-bin slack) of the
+   exact sample at the nearest rank round (q (n-1)). *)
+let nearest_rank sorted q =
+  let n = Array.length sorted in
+  sorted.(int_of_float (Float.round (q *. float_of_int (n - 1))))
+
+let within_alpha ~alpha est truth =
+  Float.abs (est -. truth) <= (alpha *. Float.abs truth) +. 1e-12
+
+let observe_all s xs = Array.iter (Sketch.observe s) xs
+
+(* ------- exact mode: bitwise against Stats ------- *)
+
+let test_exact_mode_pins_stats () =
+  let s = Sketch.create ~exact_cap:64 () in
+  let g = Prng.create 11 in
+  let xs = Array.init 64 (fun _ -> Prng.float g 100.0 -. 50.0) in
+  observe_all s xs;
+  checkb "still exact" true (Sketch.is_exact s);
+  checki "no buckets while exact" 0 (Sketch.bucket_count s);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      checkb
+        (Printf.sprintf "q=%.2f bitwise" q)
+        true
+        (Sketch.quantile s q = Stats.percentile sorted q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  (* The sketch summarizes the *sorted* sample (deterministic float
+     folds); compare against the same order. *)
+  let s' = Stats.summarize (Array.to_list sorted) in
+  let sk = Sketch.summary s in
+  checkb "summary mean bitwise" true (sk.Stats.mean = s'.Stats.mean);
+  checkb "summary stddev bitwise" true (sk.Stats.stddev = s'.Stats.stddev);
+  checkb "summary p90 bitwise" true (sk.Stats.p90 = s'.Stats.p90)
+
+let test_cap_crossing_spills () =
+  let s = Sketch.create ~exact_cap:8 () in
+  for i = 1 to 9 do
+    Sketch.observe_int s i
+  done;
+  checkb "crossed the cap" false (Sketch.is_exact s);
+  checkb "buckets materialized" true (Sketch.bucket_count s > 0);
+  checki "count survives the spill" 9 (Sketch.count s);
+  let sorted = Array.init 9 (fun i -> float_of_int (i + 1)) in
+  List.iter
+    (fun q ->
+      checkb "bound holds after spill" true
+        (within_alpha ~alpha:(Sketch.alpha s) (Sketch.quantile s q) (nearest_rank sorted q)))
+    [ 0.0; 0.5; 0.9; 1.0 ]
+
+let test_rejects_bad_inputs () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Sketch.create: alpha must be in (0, 1)")
+    (fun () -> ignore (Sketch.create ~alpha:0.0 ()));
+  Alcotest.check_raises "alpha 1" (Invalid_argument "Sketch.create: alpha must be in (0, 1)")
+    (fun () -> ignore (Sketch.create ~alpha:1.0 ()));
+  Alcotest.check_raises "negative cap" (Invalid_argument "Sketch.create: exact_cap must be >= 0")
+    (fun () -> ignore (Sketch.create ~exact_cap:(-1) ()));
+  let s = Sketch.create () in
+  Alcotest.check_raises "NaN rejected" (Invalid_argument "Sketch.observe: NaN sample") (fun () ->
+      Sketch.observe s Float.nan);
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Sketch.quantile: empty sketch")
+    (fun () -> ignore (Sketch.quantile s 0.5))
+
+let test_merge_mismatch_raises () =
+  let a = Sketch.create ~alpha:0.01 () and b = Sketch.create ~alpha:0.02 () in
+  Alcotest.check_raises "alpha mismatch"
+    (Invalid_argument "Sketch.merge: sketches have different alpha or exact_cap") (fun () -> Sketch.merge a b);
+  let c = Sketch.create ~exact_cap:16 () and d = Sketch.create ~exact_cap:32 () in
+  Alcotest.check_raises "cap mismatch" (Invalid_argument "Sketch.merge: sketches have different alpha or exact_cap")
+    (fun () -> Sketch.merge c d)
+
+let test_merge_exact_stays_exact () =
+  let a = Sketch.create ~exact_cap:16 () and b = Sketch.create ~exact_cap:16 () in
+  List.iter (Sketch.observe a) [ 1.0; 3.0; 5.0 ];
+  List.iter (Sketch.observe b) [ 2.0; 4.0 ];
+  Sketch.merge a b;
+  checkb "union under cap stays exact" true (Sketch.is_exact a);
+  checki "counts add" 5 (Sketch.count a);
+  checkb "quantile is exact over the union" true (Sketch.quantile a 0.5 = 3.0);
+  checkb "src unchanged" true (Sketch.is_exact b && Sketch.count b = 2)
+
+(* ------- partition independence: the jobs-determinism contract ------- *)
+
+(* Split one sample stream into [jobs] contiguous chunks (the Pool's
+   static chunking), sketch each shard independently, merge in chunk
+   order, and require the export to be byte-identical to the
+   single-stream sketch — for jobs in {1, 2, 4}, the contract CI's
+   jobs-equivalence leg byte-diffs. *)
+let sharded_json xs jobs =
+  let n = Array.length xs in
+  let merged = Sketch.create ~exact_cap:64 () in
+  for c = 0 to jobs - 1 do
+    let lo = c * n / jobs and hi = (c + 1) * n / jobs in
+    let shard = Sketch.create ~exact_cap:64 () in
+    for i = lo to hi - 1 do
+      Sketch.observe shard xs.(i)
+    done;
+    Sketch.merge merged shard
+  done;
+  Sketch.to_json merged
+
+let test_shard_merge_deterministic () =
+  let g = Prng.create 77 in
+  (* Heavy-tailed positives, some negatives, zeros and duplicates: the
+     value mix most likely to expose bucket-boundary disagreements. *)
+  let xs =
+    Array.init 1000 (fun i ->
+        match i mod 7 with
+        | 0 -> 0.0
+        | 1 -> -.Float.exp (Prng.float g 10.0)
+        | 2 -> 42.0
+        | _ -> Float.exp (Prng.float g 14.0))
+  in
+  let reference = sharded_json xs 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "jobs=%d export identical" jobs)
+        reference (sharded_json xs jobs))
+    [ 1; 2; 4 ]
+
+let qcheck_shard_merge =
+  QCheck.Test.make ~name:"sketch shard-merge is partition independent" ~count:80
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 400) (float_range (-1e6) 1e6))
+        (int_range 2 4))
+    (fun (xs, jobs) ->
+      let xs = Array.of_list xs in
+      sharded_json xs 1 = sharded_json xs jobs)
+
+(* ------- bucket-mode error bound, adversarial distributions ------- *)
+
+let check_bounds ?(alpha = 0.01) xs =
+  let s = Sketch.create ~alpha ~exact_cap:32 () in
+  observe_all s xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  List.for_all
+    (fun q -> within_alpha ~alpha (Sketch.quantile s q) (nearest_rank sorted q))
+    [ 0.0; 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_error_bound_adversarial () =
+  let g = Prng.create 123 in
+  (* Heavy tail: (1/(1-u))^3 over u in [0,1) spans ~9 decades. *)
+  checkb "heavy tail" true
+    (check_bounds (Array.init 5000 (fun _ -> (1.0 /. (1.0 -. Prng.float g 0.999)) ** 3.0)));
+  (* All-equal: every quantile must come back within alpha of the value. *)
+  checkb "constant" true (check_bounds (Array.make 1000 3.141592653589793));
+  (* Signed mix centered on zero, with exact zeros. *)
+  checkb "signed with zeros" true
+    (check_bounds
+       (Array.init 4000 (fun i ->
+            if i mod 11 = 0 then 0.0 else Float.exp (Prng.float g 12.0) -. Float.exp (Prng.float g 12.0))));
+  (* Two far-apart clusters: percentiles sit on a cliff. *)
+  checkb "bimodal cliff" true
+    (check_bounds (Array.init 2000 (fun i -> if i mod 2 = 0 then 1e-3 else 1e9)));
+  (* Tiny magnitudes near the zero bin's absolute slack. *)
+  checkb "subnormal-ish" true
+    (check_bounds (Array.init 1000 (fun i -> float_of_int (i - 500) *. 1e-11)))
+
+let qcheck_error_bound =
+  QCheck.Test.make ~name:"sketch quantiles within documented error bound" ~count:80
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 40 600) (float_range (-1e9) 1e9))
+        (int_range 0 2))
+    (fun (xs, skew) ->
+      QCheck.assume (xs <> []);
+      (* Three adversarial reshapings of the raw list: raw, cubed (tail
+         stretch), and rounded to 3 values (mass concentration). *)
+      let reshape x =
+        match skew with
+        | 0 -> x
+        | 1 -> x *. x *. x /. 1e12
+        | _ -> float_of_int (int_of_float (Float.copy_sign (Float.min 1.0 (Float.abs x)) x))
+      in
+      check_bounds (Array.of_list (List.map reshape xs)))
+
+(* ------- bounded memory ------- *)
+
+let test_bounded_memory_million () =
+  let s = Sketch.create () in
+  let g = Prng.create 99 in
+  for _ = 1 to 1_000_000 do
+    Sketch.observe s (1.0 +. Prng.float g 1e6)
+  done;
+  checki "all observed" 1_000_000 (Sketch.count s);
+  checkb "degraded out of exact mode" false (Sketch.is_exact s);
+  (* One bucket per gamma factor over [1, 1e6]: ln 1e6 / ln 1.0202 is
+     about 700 cells, however many samples went in. *)
+  checkb "buckets stay in the hundreds" true (Sketch.bucket_count s < 1000);
+  let words = Obj.reachable_words (Obj.repr s) in
+  checkb
+    (Printf.sprintf "reachable words bounded (%d)" words)
+    true (words < 100_000)
+
+(* The Metrics satellite: a histogram fed past its sample cap must have
+   transparently degraded to the sketch instead of retaining 10^6
+   samples (which would be tens of megabytes of floats). *)
+let test_metrics_degrades_to_sketch () =
+  let m = Metrics.create ~sample_cap:4096 () in
+  let g = Prng.create 7 in
+  for _ = 1 to 1_000_000 do
+    Metrics.observe m "op.cost" (1.0 +. Prng.float g 1e4)
+  done;
+  (match Metrics.histogram_sketch m "op.cost" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+      checki "count" 1_000_000 (Sketch.count s);
+      checkb "degraded past the cap" false (Sketch.is_exact s));
+  (match Metrics.histogram_summary m "op.cost" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      checki "summary count" 1_000_000 s.Stats.count;
+      checkb "mean in range" true (s.Stats.mean > 1.0 && s.Stats.mean < 1e4 +. 1.0));
+  let words = Obj.reachable_words (Obj.repr m) in
+  checkb
+    (Printf.sprintf "registry words bounded (%d)" words)
+    true (words < 200_000)
+
+let test_metrics_under_cap_stays_exact () =
+  let m = Metrics.create ~sample_cap:64 () in
+  for i = 1 to 64 do
+    Metrics.observe_int m "h" i
+  done;
+  (match Metrics.histogram_sketch m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s -> checkb "at the cap still exact" true (Sketch.is_exact s));
+  Metrics.observe_int m "h" 65;
+  match Metrics.histogram_sketch m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s -> checkb "one past the cap degrades" false (Sketch.is_exact s)
+
+(* ------- windowed time series ------- *)
+
+let test_series_ring () =
+  let s = Series.create ~window:3 in
+  checki "empty length" 0 (Series.length s);
+  checkb "no last" true (Series.last s = None);
+  checkb "no summary" true (Series.summary s = None);
+  List.iter (Series.push s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  checki "window" 3 (Series.window s);
+  checki "total counts everything" 5 (Series.total s);
+  checki "length is the window" 3 (Series.length s);
+  checkb "oldest two rolled off" true
+    (Series.to_list s = [ (2, 3.0); (3, 4.0); (4, 5.0) ]);
+  checkb "values" true (Series.values s = [ 3.0; 4.0; 5.0 ]);
+  checkb "nth oldest" true (Series.nth s 0 = 3.0);
+  checkb "last" true (Series.last s = Some 5.0);
+  (match Series.summary s with
+  | None -> Alcotest.fail "expected summary"
+  | Some sum ->
+      check Alcotest.(float 1e-12) "windowed mean" 4.0 sum.Stats.mean;
+      checki "windowed count" 3 sum.Stats.count);
+  Alcotest.check_raises "nth past window" (Invalid_argument "Series.nth: index out of window")
+    (fun () -> ignore (Series.nth s 3))
+
+let test_series_partial_fill () =
+  let s = Series.create ~window:8 in
+  Series.push s 10.0;
+  Series.push s 20.0;
+  checki "length below window" 2 (Series.length s);
+  checkb "epochs from zero" true (Series.to_list s = [ (0, 10.0); (1, 20.0) ]);
+  let j = Series.to_json s in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "json window" true (contains j "\"window\": 8");
+  checkb "json first epoch" true (contains j "\"first_epoch\": 0")
+
+let test_series_rejects_bad_window () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Series.create: window must be >= 1")
+    (fun () -> ignore (Series.create ~window:0))
+
+let qcheck_series_model =
+  QCheck.Test.make ~name:"series agrees with take-last model" ~count:120
+    QCheck.(
+      pair (int_range 1 10) (list_of_size Gen.(int_range 0 50) (float_range (-100.0) 100.0)))
+    (fun (window, xs) ->
+      let s = Series.create ~window in
+      List.iter (Series.push s) xs;
+      let n = List.length xs in
+      let keep = min n window in
+      let expected =
+        List.filteri (fun i _ -> i >= n - keep) xs |> List.mapi (fun i v -> (n - keep + i, v))
+      in
+      Series.to_list s = expected && Series.total s = n && Series.length s = keep)
+
+let suite =
+  [
+    Alcotest.test_case "exact mode pins Stats bitwise" `Quick test_exact_mode_pins_stats;
+    Alcotest.test_case "cap crossing spills to buckets" `Quick test_cap_crossing_spills;
+    Alcotest.test_case "bad inputs rejected" `Quick test_rejects_bad_inputs;
+    Alcotest.test_case "merge config mismatch raises" `Quick test_merge_mismatch_raises;
+    Alcotest.test_case "merge under cap stays exact" `Quick test_merge_exact_stays_exact;
+    Alcotest.test_case "shard merge deterministic jobs 1/2/4" `Quick test_shard_merge_deterministic;
+    Alcotest.test_case "error bound on adversarial distributions" `Quick test_error_bound_adversarial;
+    Alcotest.test_case "bounded memory at 10^6 samples" `Quick test_bounded_memory_million;
+    Alcotest.test_case "metrics histogram degrades to sketch" `Quick test_metrics_degrades_to_sketch;
+    Alcotest.test_case "metrics histogram exact below cap" `Quick test_metrics_under_cap_stays_exact;
+    Alcotest.test_case "series ring semantics" `Quick test_series_ring;
+    Alcotest.test_case "series partial fill" `Quick test_series_partial_fill;
+    Alcotest.test_case "series rejects bad window" `Quick test_series_rejects_bad_window;
+    QCheck_alcotest.to_alcotest qcheck_shard_merge;
+    QCheck_alcotest.to_alcotest qcheck_error_bound;
+    QCheck_alcotest.to_alcotest qcheck_series_model;
+  ]
