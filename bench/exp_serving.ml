@@ -1,0 +1,345 @@
+(* E20: serving at scale — does the read-path level cache flatten the
+   hotspots E19 measured?
+
+   E19 established that skewed traffic concentrates on the hosts owning
+   the coarse upper levels of both skip-web structures. This experiment
+   attacks that: it drives an {e open-loop} skewed workload (Poisson
+   arrivals, 90/10 read/write mix for the hierarchy, Zipf(1.1) + uniform
+   query blend, fully replayable from its seed — [Open_loop.plan]) against
+   builds with the level cache configured at c = 4 coarse levels and
+   k ∈ {1, 2, 4} replicas, at n up to 10^6, and reports per row:
+
+     - the per-query message distribution (quantile sketch) — the cache
+       must not move it: per-query cost stays O(log n);
+     - the congestion Gini and p99/max of per-host traffic, and the share
+       of traffic served by the 16 busiest hosts — the flattening;
+     - the network's total message count, asserted equal across k up to a
+       tiny relative epsilon (caching only relocates reads; the rare saved
+       hop is a placement collision, ~1/H per visit).
+
+   Two hard checks are built in rather than eyeballed:
+
+     - k = 1 must be {e byte-identical} to an uncached build: the row is
+       driven twice, once with the cache configured at k = 1 and once with
+       no cache arguments at all, and the total message counts must match
+       exactly ("uncached_match" in the JSON — CI greps for it);
+     - the Gini must strictly decrease k = 1 → 2 → 4 for the hierarchy
+       and be non-increasing with a strict overall drop for the blocked
+       structure (whose group cache only spreads basic-block groups).
+
+   The hierarchy replays the identical event plan against a fresh build
+   per k (the cache is a build-time parameter there); the blocked
+   structure is built {e once} per n and re-pointed with [set_cache] —
+   the sweep this call exists for. Replay is sequential for the hierarchy
+   (writes mutate the structure; event i's query coins come from
+   [Prng.stream] i) and batched for the read-only blocked plan, so every
+   deterministic JSON field is identical for any --jobs count; wall
+   clocks live in the "timing" member CI strips. Results go to
+   BENCH_serving.json. *)
+
+module Network = Skipweb_net.Network
+module Obs = Skipweb_net.Observatory
+module H = Skipweb_core.Hierarchy
+module B1 = Skipweb_core.Blocked1d
+module I = Skipweb_core.Instances
+module W = Skipweb_workload.Workload
+module OL = Skipweb_workload.Open_loop
+module Prng = Skipweb_util.Prng
+module Sketch = Skipweb_util.Sketch
+module Stats = Skipweb_util.Stats
+module C = Bench_common
+
+module HInt = H.Make (I.Ints)
+
+let cache_levels = 4
+let cache_ks = [ 1; 2; 4 ]
+let top_m = 16
+let sketch_alpha = 0.01
+let sketch_cap = 256
+let msg_epsilon = 0.002
+
+type row = {
+  structure : string;
+  n : int;
+  hosts : int;
+  c : int;
+  k : int;
+  ops : int;
+  queries : int;
+  inserts : int;
+  removes : int;
+  total_msgs : int;
+  mean_read_msgs : float;
+  sketch_json : string;
+  congestion : Obs.congestion;
+  top_share : float;
+  uncached_match : bool option;  (* Some true on the k = 1 row *)
+  wall_s : float;
+  jobs : int;
+}
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  max 1 (go 0)
+
+(* ------- hierarchy: open-loop mixed churn, fresh build per k ------- *)
+
+(* Replay the plan sequentially. Query i's origin coins are a pure
+   function of (seed, i) — identical whichever build consumes them. *)
+let replay_hierarchy h ~seed ~sketch events =
+  let coins = Prng.create (seed + 0x5e1) in
+  Array.iteri
+    (fun i e ->
+      match e.OL.op with
+      | OL.Query q ->
+          let _, st = HInt.query h ~rng:(Prng.stream coins i) q in
+          Sketch.observe_int sketch st.HInt.messages
+      | OL.Insert key -> ignore (HInt.insert h key : int)
+      | OL.Remove key -> ignore (HInt.remove h key : int))
+    events
+
+let hierarchy_rows ~pool ~jobs ~seed ~ops n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let spec =
+    {
+      OL.seed = seed + 0xe20;
+      ops;
+      rate = 1000.0;
+      read_fraction = 0.9;
+      zipf_share = 0.5;
+      zipf_s = 1.1;
+      bound;
+    }
+  in
+  let events = OL.plan spec ~keys in
+  let counts = OL.counts events in
+  let run ~cache =
+    let net = Network.create ~hosts:n in
+    let h =
+      match cache with
+      | None -> HInt.build ~net ~seed ?pool keys
+      | Some k -> HInt.build ~net ~seed ~cache_levels ~cache_replicas:k ?pool keys
+    in
+    Network.reset_traffic net;
+    let sketch = Sketch.create ~alpha:sketch_alpha ~exact_cap:sketch_cap () in
+    let _, wall_s = C.timed (fun () -> replay_hierarchy h ~seed ~sketch events) in
+    (net, sketch, wall_s)
+  in
+  let net0, _, _ = run ~cache:None in
+  let base_total = Network.total_messages net0 in
+  List.map
+    (fun k ->
+      let net, sketch, wall_s = run ~cache:(Some k) in
+      let total = Network.total_messages net in
+      let uncached_match =
+        if k <> 1 then None
+        else if total <> base_total then
+          failwith
+            (Printf.sprintf "E20: hierarchy k=1 not byte-identical to uncached (%d vs %d msgs)"
+               total base_total)
+        else Some true
+      in
+      if abs_float (float_of_int (total - base_total)) > msg_epsilon *. float_of_int base_total
+      then
+        failwith
+          (Printf.sprintf "E20: hierarchy k=%d moved total messages beyond epsilon (%d vs %d)" k
+             total base_total);
+      let s = Sketch.summary sketch in
+      {
+        structure = "hierarchy";
+        n;
+        hosts = Network.host_count net;
+        c = cache_levels;
+        k;
+        ops;
+        queries = counts.OL.queries;
+        inserts = counts.OL.inserts;
+        removes = counts.OL.removes;
+        total_msgs = total;
+        mean_read_msgs = s.Stats.mean;
+        sketch_json = Sketch.to_json sketch;
+        congestion = Obs.congestion_of net;
+        top_share = Obs.top_share net ~m:top_m;
+        uncached_match;
+        wall_s;
+        jobs;
+      })
+    cache_ks
+
+(* ------- blocked 1-d: one build per n, set_cache sweep ------- *)
+
+let blocked_rows ~pool ~jobs ~seed ~ops n =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let spec =
+    {
+      OL.seed = seed + 0xe21;
+      ops;
+      rate = 1000.0;
+      read_fraction = 1.0;  (* read-only: the structure stays fixed, so one
+                               build serves the whole k sweep *)
+      zipf_share = 0.5;
+      zipf_s = 1.1;
+      bound;
+    }
+  in
+  let events = OL.plan spec ~keys in
+  let qs =
+    Array.map (function { OL.op = OL.Query q; _ } -> q | _ -> assert false) events
+  in
+  let net = Network.create ~hosts:n in
+  let b = B1.build ~net ~seed ~m:(4 * log2i n) ?pool keys in
+  let serve () =
+    Network.reset_traffic net;
+    let (results : B1.search_result array), wall_s =
+      C.timed (fun () -> B1.query_batch ?pool b ~rng:(Prng.create (seed + 0x5e2)) qs)
+    in
+    let sketch = Sketch.create ~alpha:sketch_alpha ~exact_cap:sketch_cap () in
+    Array.iter (fun (r : B1.search_result) -> Sketch.observe_int sketch r.B1.messages) results;
+    (sketch, wall_s)
+  in
+  let _, _ = serve () in
+  let base_total = Network.total_messages net in
+  List.map
+    (fun k ->
+      B1.set_cache b ~levels:cache_levels ~k;
+      let sketch, wall_s = serve () in
+      let total = Network.total_messages net in
+      let uncached_match =
+        if k <> 1 then None
+        else if total <> base_total then
+          failwith
+            (Printf.sprintf "E20: blocked k=1 not byte-identical to uncached (%d vs %d msgs)"
+               total base_total)
+        else Some true
+      in
+      if abs_float (float_of_int (total - base_total)) > msg_epsilon *. float_of_int base_total
+      then
+        failwith
+          (Printf.sprintf "E20: blocked k=%d moved total messages beyond epsilon (%d vs %d)" k
+             total base_total);
+      let s = Sketch.summary sketch in
+      {
+        structure = "blocked1d";
+        n;
+        hosts = Network.host_count net;
+        c = cache_levels;
+        k;
+        ops;
+        queries = Array.length qs;
+        inserts = 0;
+        removes = 0;
+        total_msgs = total;
+        mean_read_msgs = s.Stats.mean;
+        sketch_json = Sketch.to_json sketch;
+        congestion = Obs.congestion_of net;
+        top_share = Obs.top_share net ~m:top_m;
+        uncached_match;
+        wall_s;
+        jobs;
+      })
+    cache_ks
+
+(* The point of the experiment, asserted rather than eyeballed: more
+   cache replicas must flatten the per-host traffic distribution. *)
+let assert_flattening rows =
+  let by_struct s = List.filter (fun r -> r.structure = s) rows in
+  List.iter
+    (fun s ->
+      let sr = by_struct s in
+      List.iter
+        (fun r ->
+          match List.find_opt (fun r' -> r'.n = r.n && r'.k = 2 * r.k) sr with
+          | None -> ()
+          | Some r' ->
+              let g = r.congestion.Obs.gini and g' = r'.congestion.Obs.gini in
+              let ok = if s = "hierarchy" then g' < g else g' <= g +. 1e-9 in
+              if not ok then
+                failwith
+                  (Printf.sprintf "E20: %s n=%d gini did not flatten k=%d→%d (%.4f → %.4f)" s
+                     r.n r.k r'.k g g'))
+        sr;
+      (* Overall strict drop k = 1 → 4 for both structures. *)
+      List.iter
+        (fun r1 ->
+          if r1.k = 1 then
+            match List.find_opt (fun r' -> r'.n = r1.n && r'.k = 4) sr with
+            | None -> ()
+            | Some r4 ->
+                if not (r4.congestion.Obs.gini < r1.congestion.Obs.gini) then
+                  failwith
+                    (Printf.sprintf "E20: %s n=%d gini not strictly lower at k=4 (%.4f vs %.4f)"
+                       s r1.n r4.congestion.Obs.gini r1.congestion.Obs.gini))
+        sr)
+    [ "hierarchy"; "blocked1d" ];
+  Printf.printf "cache flattening: OK (gini decreases with k on every row pair)\n"
+
+let json_of_rows rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"structure\": \"%s\", \"n\": %d, \"hosts\": %d, \"cache_levels\": %d, \
+       \"cache_replicas\": %d,\n\
+      \     \"ops\": %d, \"queries\": %d, \"inserts\": %d, \"removes\": %d,\n\
+      \     \"total_messages\": %d, \"mean_read_messages\": %.4f,%s\n\
+      \     \"read_messages\": %s,\n\
+      \     \"congestion\": %s,\n\
+      \     \"top%d_share\": %.6f,\n\
+      \     \"timing\": {\"jobs\": %d, \"wall_s\": %.6f}}"
+      r.structure r.n r.hosts r.c r.k r.ops r.queries r.inserts r.removes r.total_msgs
+      r.mean_read_msgs
+      (match r.uncached_match with Some true -> " \"uncached_match\": true," | _ -> "")
+      r.sketch_json
+      (Obs.congestion_to_json r.congestion)
+      top_m r.top_share r.jobs r.wall_s
+  in
+  Printf.sprintf
+    "{\n  \"experiment\": \"serving\",\n  \"workload\": \"open-loop Poisson arrivals, \
+     Zipf(1.1)+uniform blend; hierarchy 90/10 read/write churn, blocked read-only; level cache \
+     c=%d swept over k=1/2/4 (k=1 asserted byte-identical to uncached)\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    cache_levels
+    (String.concat ",\n" (List.map row_json rows))
+
+let run (cfg : C.config) =
+  C.section "Serving at scale: level cache vs hotspots (E20)";
+  let seed = List.hd cfg.C.seeds in
+  let sizes = if cfg.C.quick then [ 20_000 ] else [ 100_000; 1_000_000 ] in
+  let ops = if cfg.C.quick then 2_000 else 20_000 in
+  let rows =
+    C.with_pool cfg (fun pool ->
+        let jobs = match pool with None -> 1 | Some p -> Skipweb_util.Pool.jobs p in
+        List.concat_map
+          (fun n ->
+            hierarchy_rows ~pool ~jobs ~seed ~ops n @ blocked_rows ~pool ~jobs ~seed ~ops n)
+          sizes)
+  in
+  assert_flattening rows;
+  let tbl =
+    Skipweb_util.Tables.create
+      ~title:
+        (Printf.sprintf
+           "level cache c=%d under open-loop Zipf(1.1) traffic (%d job(s))" cache_levels
+           cfg.C.jobs)
+      ~columns:
+        [
+          "structure"; "n"; "k"; "total msgs"; "mean read"; "traffic p99"; "traffic max"; "gini";
+          Printf.sprintf "top%d share" top_m;
+        ]
+  in
+  List.iter
+    (fun r ->
+      Skipweb_util.Tables.add_row tbl
+        [
+          r.structure;
+          string_of_int r.n;
+          string_of_int r.k;
+          string_of_int r.total_msgs;
+          Printf.sprintf "%.2f" r.mean_read_msgs;
+          Printf.sprintf "%.0f" r.congestion.Obs.p99;
+          Printf.sprintf "%.0f" r.congestion.Obs.max;
+          Printf.sprintf "%.4f" r.congestion.Obs.gini;
+          Printf.sprintf "%.4f" r.top_share;
+        ])
+    rows;
+  Skipweb_util.Tables.print tbl;
+  C.write_json ~file:"BENCH_serving.json" (json_of_rows rows)

@@ -15,7 +15,7 @@
                                               # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, scale, churn, hotspot, trace, time. *)
+   bucket, ablations, scale, churn, hotspot, serving, trace, time. *)
 
 let experiments =
   [
@@ -31,6 +31,7 @@ let experiments =
     ("scale", fun cfg -> Exp_scale.run cfg);
     ("churn", fun cfg -> Exp_churn.run cfg);
     ("hotspot", fun cfg -> Exp_hotspot.run cfg);
+    ("serving", fun cfg -> Exp_serving.run cfg);
     ("trace", fun cfg -> Exp_trace.run cfg);
   ]
 

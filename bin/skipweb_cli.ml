@@ -9,7 +9,8 @@
      dune exec bin/skipweb_cli.exe -- load -s skipweb-generic -n 100000 --jobs 4
      dune exec bin/skipweb_cli.exe -- census -n 1024
      dune exec bin/skipweb_cli.exe -- churn -s skipweb-generic -n 2048 --r 2 --epochs 8
-     dune exec bin/skipweb_cli.exe -- hotspots -s skipweb-generic -n 4096 --queries 2000
+     dune exec bin/skipweb_cli.exe -- hotspots -s skipweb-generic -n 4096 --queries 2000 --alpha 1.3
+     dune exec bin/skipweb_cli.exe -- serve -s skipweb-generic -n 4096 --ops 4000 --cache-replicas 4
      dune exec bin/skipweb_cli.exe -- monitor -s skipweb -n 2048 --epochs 12 --window 6
 
    --jobs threads a domain pool through both the read phases (query/stats)
@@ -93,8 +94,13 @@ let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
    the driver — every caller scopes driver creation and use inside one
    [Pool.with_pool]. The overlay baselines build node-by-node and ignore
    it. *)
-let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
+let make_driver structure ~net_pad ~seed ~m ~buckets ?(cache = (0, 1)) ?pool keys =
   let n = Array.length keys in
+  let cache_levels, cache_replicas = cache in
+  let cache_tag =
+    if cache_replicas > 1 then Printf.sprintf ", cache c=%d k=%d" cache_levels cache_replicas
+    else ""
+  in
   match structure with
   | Skip_graph ->
       let net = Network.create ~hosts:(n + net_pad) in
@@ -174,10 +180,10 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
   | Skipweb ->
       let net = Network.create ~hosts:(n + net_pad) in
       let m = match m with Some m -> m | None -> 4 * log2i n in
-      let g = B1.build ~net ~seed ~m ?pool keys in
+      let g = B1.build ~net ~seed ~m ~cache_levels ~cache_replicas ?pool keys in
       let rng = Prng.create (seed + 1) in
       {
-        describe = Printf.sprintf "skip-web, blocked (§2.4.1), H = n, M = %d" m;
+        describe = Printf.sprintf "skip-web, blocked (§2.4.1), H = n, M = %d%s" m cache_tag;
         query = (fun q -> (B1.query g ~rng q).B1.messages);
         query_all =
           (fun pool qs ->
@@ -192,10 +198,10 @@ let make_driver structure ~net_pad ~seed ~m ~buckets ?pool keys =
       }
   | Skipweb_generic ->
       let net = Network.create ~hosts:(n + net_pad) in
-      let g = HInt.build ~net ~seed ?pool keys in
+      let g = HInt.build ~net ~seed ~cache_levels ~cache_replicas ?pool keys in
       let rng = Prng.create (seed + 1) in
       {
-        describe = "skip-web, arbitrary placement (§2.4 general)";
+        describe = "skip-web, arbitrary placement (§2.4 general)" ^ cache_tag;
         query =
           (fun q ->
             let _, stats = HInt.query g ~rng q in
@@ -491,10 +497,10 @@ let run_stats structure n queries updates seed m buckets format jobs =
 (* The hotspot workload: even slots uniform over the key domain, odd
    slots Zipf(1.1)-popular stored keys — popularity skew on top of the
    structural skew the upper levels already create. *)
-let mixed_queries ~seed ~keys ~total ~bound =
+let mixed_queries ~seed ~keys ~total ~bound ?(s = 1.1) () =
   let total = if total mod 2 = 1 then total + 1 else total in
   let half = total / 2 in
-  let z = W.zipf_queries ~seed:(seed + 0x21f) ~keys ~n:half ~s:1.1 in
+  let z = W.zipf_queries ~seed:(seed + 0x21f) ~keys ~n:half ~s in
   let rng = Prng.create (seed + 0x0b5) in
   let u = Array.init half (fun _ -> Prng.int rng bound) in
   Array.init total (fun i -> if i mod 2 = 0 then u.(i / 2) else z.(i / 2))
@@ -506,14 +512,19 @@ let mixed_queries ~seed ~keys ~total ~bound =
    query count — then print the hottest hosts, the per-host congestion
    percentiles and Gini, and (for the skip-web structures) the
    per-level attribution from a small traced sample. *)
-let run_hotspots structure n queries seed m buckets k jobs =
+let run_hotspots structure n queries seed m buckets k alpha cache jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
-  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
-  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:queries ~bound:(100 * n) in
+  let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ~cache ?pool keys in
+  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:queries ~bound:(100 * n) ~s:alpha () in
   Printf.printf "structure: %s\n" d.describe;
-  Printf.printf "items: %d   hosts: %d   queries: %d (half uniform, half Zipf 1.1)\n\n" n
-    d.host_count (Array.length qs);
+  Printf.printf "items: %d   hosts: %d   queries: %d (half uniform, half Zipf %.2f)\n" n
+    d.host_count (Array.length qs) alpha;
+  (match cache with
+  | _, ck when ck > 1 ->
+      Printf.printf "level cache: c = %d coarse levels x k = %d replicas (per-origin routing)\n\n"
+        (fst cache) ck
+  | _ -> print_newline ());
   let obs = Obs.create ~k () in
   (* Attribution sample first (traced, sequential), then reset the
      workload counters so the congestion snapshot describes the tapped
@@ -616,7 +627,7 @@ let run_monitor structure n queries epochs window seed m buckets jobs =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
   let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ?pool keys in
-  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:(epochs * queries) ~bound:(100 * n) in
+  let qs = mixed_queries ~seed:(seed + 2) ~keys ~total:(epochs * queries) ~bound:(100 * n) () in
   let qper = Array.length qs / epochs in
   Printf.printf "structure: %s\n" d.describe;
   Printf.printf "items: %d   hosts: %d   epochs: %d x %d queries   window: %d   jobs: %d\n\n" n
@@ -665,6 +676,85 @@ let run_monitor structure n queries epochs window seed m buckets jobs =
   Printf.printf "live hosts: %d/%d   stranded memory: %d units\n" (Network.live_hosts d.net)
     (Network.host_count d.net)
     (Network.stranded_memory d.net);
+  0
+
+(* ---------------- serve: open-loop skewed traffic ---------------- *)
+
+module OL = Skipweb_workload.Open_loop
+
+(* Serve an open-loop workload: Poisson arrivals at --rate, a --read-fraction
+   read/write mix, queries blended half-uniform / half-Zipf(--alpha) over the
+   stored keys. The whole plan is derived from the seed up front
+   ([Open_loop.plan]), so a run is replayable — and comparable across
+   --cache-replicas settings, which is the point: the level cache must
+   flatten the congestion table without moving the msgs/op sketch. *)
+let run_serve structure n ops rate read_fraction seed m buckets alpha cache jobs =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let spec =
+    { OL.seed = seed + 0x5e0; ops; rate; read_fraction; zipf_share = 0.5; zipf_s = alpha; bound }
+  in
+  let events = OL.plan spec ~keys in
+  let counts = OL.counts events in
+  Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
+  let d = make_driver structure ~net_pad:(counts.OL.inserts + 16) ~seed ~m ~buckets ~cache ?pool keys in
+  Printf.printf "structure: %s\n" d.describe;
+  Printf.printf
+    "items: %d   hosts: %d   ops: %d (%d queries / %d inserts / %d removes)\n\
+     open loop: rate %.0f ops/s, %.0f simulated seconds; queries half uniform, half Zipf %.2f\n"
+    n d.host_count ops counts.OL.queries counts.OL.inserts counts.OL.removes rate
+    (OL.duration events) alpha;
+  (match cache with
+  | cl, ck when ck > 1 ->
+      Printf.printf "level cache: c = %d coarse levels x k = %d replicas (per-origin routing)\n\n"
+        cl ck
+  | _ -> print_newline ());
+  Network.reset_traffic d.net;
+  let sk = Sketch.create () in
+  let t0 = now () in
+  Array.iter
+    (fun e ->
+      match e.OL.op with
+      | OL.Query q -> Sketch.observe_int sk (d.query q)
+      | OL.Insert k -> ignore (d.insert k : int)
+      | OL.Remove k -> ignore (try d.delete k with Invalid_argument _ -> 0))
+    events;
+  let wall_s = now () -. t0 in
+  let s = Sketch.summary sk in
+  let t =
+    Tables.create ~title:"query message cost (per-op sketch)"
+      ~columns:[ "ops"; "mean"; "p50"; "p90"; "p99"; "max" ]
+  in
+  Tables.add_row t
+    [
+      string_of_int s.Stats.count;
+      Tables.cell_float s.Stats.mean;
+      Tables.cell_float s.Stats.p50;
+      Tables.cell_float s.Stats.p90;
+      Tables.cell_float s.Stats.p99;
+      Tables.cell_float s.Stats.max;
+    ];
+  Tables.print t;
+  let c = Obs.congestion_of d.net in
+  let t =
+    Tables.create ~title:"per-host congestion (live hosts)"
+      ~columns:[ "live"; "visits"; "mean"; "p50"; "p90"; "p99"; "max"; "gini"; "top16 share" ]
+  in
+  Tables.add_row t
+    [
+      string_of_int c.Obs.live;
+      string_of_int c.Obs.total_traffic;
+      Tables.cell_float c.Obs.mean;
+      Tables.cell_float c.Obs.p50;
+      Tables.cell_float c.Obs.p90;
+      Tables.cell_float c.Obs.p99;
+      Tables.cell_float c.Obs.max;
+      Printf.sprintf "%.4f" c.Obs.gini;
+      Printf.sprintf "%.4f" (Obs.top_share d.net ~m:16);
+    ];
+  Tables.print t;
+  Printf.printf "total messages: %d   served in %.3f s wall clock\n"
+    (Network.total_messages d.net) wall_s;
   0
 
 (* ---------------- churn: kill/rejoin epochs + self-repair ---------------- *)
@@ -837,12 +927,37 @@ let stats_cmd =
     Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg $ jobs_arg)
 
 let topk_arg =
-  Arg.(value & opt int 10 & info [ "k"; "top" ] ~docv:"K" ~doc:"Heavy-hitter table size: at most $(docv) hosts are monitored, whatever the host count.")
+  Arg.(value & opt int 10 & info [ "k"; "top"; "topk" ] ~docv:"K" ~doc:"Heavy-hitter table size: at most $(docv) hosts are monitored, whatever the host count.")
+
+let alpha_arg =
+  Arg.(value & opt float 1.1 & info [ "alpha" ] ~docv:"S" ~doc:"Zipf exponent for the skewed half of the query mix (higher = hotter head).")
+
+let cache_levels_arg =
+  Arg.(value & opt int 4 & info [ "cache-levels" ] ~docv:"C" ~doc:"Coarse levels covered by the read-path level cache (skip-web structures only; no effect while --cache-replicas is 1).")
+
+let cache_replicas_arg =
+  Arg.(value & opt int 1 & info [ "cache-replicas" ] ~docv:"K" ~doc:"Replicas per cached coarse range, routed per query origin (skip-web structures only; 1 = cache off, byte-identical to the uncached code).")
+
+let cache_term = Term.(const (fun c k -> (c, k)) $ cache_levels_arg $ cache_replicas_arg)
 
 let hotspots_cmd =
-  let doc = "Drive mixed uniform + Zipf(1.1) query traffic with the congestion observatory tapped in and report the hottest hosts (space-saving top-k), per-host congestion percentiles and Gini, the message-cost sketch, and (skip-web structures) the per-level load attribution — all in memory independent of the query count." in
+  let doc = "Drive mixed uniform + Zipf(--alpha) query traffic with the congestion observatory tapped in and report the hottest hosts (space-saving top-k), per-host congestion percentiles and Gini, the message-cost sketch, and (skip-web structures) the per-level load attribution — all in memory independent of the query count." in
   Cmd.v (Cmd.info "hotspots" ~doc)
-    Term.(const run_hotspots $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ topk_arg $ jobs_arg)
+    Term.(const run_hotspots $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ topk_arg $ alpha_arg $ cache_term $ jobs_arg)
+
+let ops_arg =
+  Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations in the open-loop plan.")
+
+let rate_arg =
+  Arg.(value & opt float 1000.0 & info [ "rate" ] ~docv:"R" ~doc:"Poisson arrival rate (ops per simulated second).")
+
+let read_fraction_arg =
+  Arg.(value & opt float 0.9 & info [ "read-fraction" ] ~docv:"F" ~doc:"Fraction of operations that are queries; the rest split evenly between inserts of fresh keys and removes of live ones.")
+
+let serve_cmd =
+  let doc = "Serve an open-loop workload (Poisson arrivals, Zipf + uniform query blend, read/write mix) replayed from its seed, and report the per-op message sketch and the per-host congestion table. With --cache-replicas > 1 the skip-web structures spread each coarse level over k per-origin replicas — the congestion Gini and top-16 share must fall while msgs/op stays put." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve $ structure_arg $ n_arg $ ops_arg $ rate_arg $ read_fraction_arg $ seed_arg $ m_arg $ buckets_arg $ alpha_arg $ cache_term $ jobs_arg)
 
 let window_arg =
   Arg.(value & opt int 8 & info [ "window"; "w" ] ~docv:"W" ~doc:"Time-series window: only the last $(docv) epochs are retained (older ones roll off the ring).")
@@ -858,7 +973,7 @@ let main =
     (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
     [
       query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd; churn_cmd; hotspots_cmd;
-      monitor_cmd;
+      serve_cmd; monitor_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,5 +1,6 @@
 module Network = Skipweb_net.Network
 module Trace = Skipweb_net.Trace
+module Placement = Skipweb_net.Placement
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
 module L = Skipweb_linklist.Linklist
@@ -19,8 +20,22 @@ type t = {
   sets : (int * int, int array) Hashtbl.t;  (* (level, prefix) -> sorted keys *)
   blocks : (int * int * int, Network.host array) Hashtbl.t;
       (* basic (level, prefix, block) -> owners, primary first *)
-  replicas : (int * int, (int * int * Network.host array) list) Hashtbl.t;
-      (* non-basic (level, prefix) -> cone intervals (code_lo, code_hi, owners) *)
+  replicas : (int * int, (int * int * Network.host array * int) list) Hashtbl.t;
+      (* non-basic (level, prefix) -> cone intervals
+         (code_lo, code_hi, owners, block index in the basic group below) *)
+  (* Read-path level cache: a basic block group — the block plus every
+     cone interval it drags along — whose basic level is below
+     [cache_levels] keeps [cache_replicas - 1] whole extra copies on
+     distinct live hosts, drawn by a pure collision-skipping hash at
+     rebuild time. Caching whole groups (not individual levels) preserves
+     the co-location that gives Blocked1d its O(log n / log log n) bound:
+     a query reading cache copy s of a group still walks the entire group
+     on one host. *)
+  mutable cache_levels : int;  (* groups with basic level < this are cached *)
+  mutable cache_replicas : int;  (* k: total read copies per cached group *)
+  cache_seed : int;
+  cache : (int * int * int, Network.host array) Hashtbl.t;
+      (* cached basic (level, prefix, block) -> the k - 1 cache hosts *)
   host_mem : (Network.host, int) Hashtbl.t;  (* what we charged, for rebuilds *)
   mutable pool : Skipweb_util.Pool.t option;  (* fans rebuild phases out when set *)
 }
@@ -47,6 +62,89 @@ let charge t host units =
 let uncharge_all t =
   Hashtbl.iter (fun host units -> if units <> 0 then Network.charge_memory t.net host (-units)) t.host_mem;
   Hashtbl.reset t.host_mem
+
+(* ------- the read-path group cache ------- *)
+
+(* Ranges the block [(level, b, j)] itself stores (0 when the block fell
+   off the end after a shrink). *)
+let block_units t level b j =
+  match Hashtbl.find_opt t.sets (level, b) with
+  | None -> 0
+  | Some arr ->
+      let codes = L.num_ranges arr in
+      let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
+      if clo <= chi then chi - clo + 1 else 0
+
+(* A cone interval's basic group: the basic level below it and the block
+   prefix it fans out from. *)
+let cone_group t lvl cb = (lvl - (lvl mod t.stride), cb lsr (lvl mod t.stride))
+
+(* Stored units per basic group (block plus its cone intervals) — what one
+   cache copy of the group costs. *)
+let group_units_table t =
+  let units = Hashtbl.create 64 in
+  let add key u =
+    Hashtbl.replace units key (u + try Hashtbl.find units key with Not_found -> 0)
+  in
+  Hashtbl.iter (fun (level, b, j) _ -> add (level, b, j) (block_units t level b j)) t.blocks;
+  Hashtbl.iter
+    (fun (lvl, cb) lst ->
+      let base, pb = cone_group t lvl cb in
+      List.iter (fun (clo, chi, _, j) -> add (base, pb, j) (chi - clo + 1)) lst)
+    t.replicas;
+  units
+
+(* The k - 1 cache hosts of one group: pure hash draws salted by the cache
+   slot, skipping dead hosts and hosts already holding a copy (an owner or
+   an earlier cache slot) — so all r + k - 1 copies of a group sit on
+   distinct live hosts, exactly the hierarchy's collision-skipping
+   discipline. Pure in (cache_seed, group, live set, owners): [rebuild]
+   and [set_cache] always agree on where every copy lives. *)
+let draw_cache t ~owners level b j k =
+  let hosts = Network.host_count t.net in
+  let taken = ref (Array.to_list owners) in
+  Array.init (k - 1) (fun s ->
+      let rec pick attempt =
+        if attempt > 10_000 then failwith "Blocked1d: cache placement exhausted";
+        let h =
+          Prng.hash3
+            (t.cache_seed + ((s + 1) * 0x9e3779) + (attempt * 0x85ebca))
+            ((level * 0x100000) + b)
+            j
+          mod hosts
+        in
+        if Network.alive t.net h && not (List.mem h !taken) then h else pick (attempt + 1)
+      in
+      let h = pick 0 in
+      taken := h :: !taken;
+      h)
+
+(* Charge (or release, [sign = -1]) every cache copy of every cached
+   group. *)
+let charge_cache t ~sign =
+  if Hashtbl.length t.cache > 0 then begin
+    let units = group_units_table t in
+    Hashtbl.iter
+      (fun key arr ->
+        let u = try Hashtbl.find units key with Not_found -> 0 in
+        if u > 0 then Array.iter (fun h -> charge t h (sign * u)) arr)
+      t.cache
+  end
+
+(* (Re)derive the cache table from the current block/cone maps and charge
+   it: every eligible group (basic level below the cache window, active
+   cache) gets its k - 1 copies. Iteration order over the hashtable is
+   irrelevant — draws are pure per group and charges are sums. *)
+let apply_cache t =
+  Hashtbl.reset t.cache;
+  if t.cache_replicas > 1 then begin
+    Hashtbl.iter
+      (fun (level, b, j) owners ->
+        if level < t.cache_levels then
+          Hashtbl.replace t.cache (level, b, j) (draw_cache t ~owners level b j t.cache_replicas))
+      t.blocks;
+    charge_cache t ~sign:1
+  end
 
 (* Key-interval endpoints of a code interval within a set array. *)
 let interval_span arr clo chi =
@@ -104,6 +202,7 @@ let rebuild t =
   Hashtbl.reset t.sets;
   Hashtbl.reset t.blocks;
   Hashtbl.reset t.replicas;
+  Hashtbl.reset t.cache;
   let n = size t in
   t.top <- required_top n;
   (* Level sets along every element's membership path. The ground set is
@@ -203,7 +302,7 @@ let rebuild t =
           | Some child_arr ->
               let clo', chi' = codes_touching child_arr span_block in
               if clo' <= chi' then begin
-                cones := ((!lvl, cb), (clo', chi', owners)) :: !cones;
+                cones := ((!lvl, cb), (clo', chi', owners, j)) :: !cones;
                 charge_owners (chi' - clo' + 1)
               end
         done;
@@ -222,12 +321,18 @@ let rebuild t =
             (entry :: (try Hashtbl.find cone_replicas key with Not_found -> [])))
         reps)
     results;
-  Hashtbl.iter (fun key lst -> Hashtbl.replace t.replicas key lst) cone_replicas
+  Hashtbl.iter (fun key lst -> Hashtbl.replace t.replicas key lst) cone_replicas;
+  (* Cache copies ride on the finished block/cone maps: pure re-derivation,
+     so an update-triggered rebuild and [set_cache] always agree. *)
+  apply_cache t
 
-let build ~net ~seed ~m ?(r = 1) ?pool keys =
+let build ~net ~seed ~m ?(r = 1) ?(cache_levels = 0) ?(cache_replicas = 1) ?pool keys =
   if m < 4 then invalid_arg "Blocked1d.build: m >= 4";
   if r < 1 || r > Network.host_count net then
     invalid_arg "Blocked1d.build: need 1 <= r <= host count";
+  if cache_levels < 0 then invalid_arg "Blocked1d.build: cache_levels >= 0";
+  if cache_replicas < 1 || r + cache_replicas - 1 > Network.host_count net then
+    invalid_arg "Blocked1d.build: need 1 <= cache_replicas and r + cache_replicas - 1 <= hosts";
   let xs = Array.copy keys in
   Array.sort compare xs;
   Array.iteri (fun i k -> if i > 0 && xs.(i - 1) = k then invalid_arg "Blocked1d.build: duplicate keys") xs;
@@ -249,6 +354,10 @@ let build ~net ~seed ~m ?(r = 1) ?pool keys =
       sets = Hashtbl.create 64;
       blocks = Hashtbl.create 64;
       replicas = Hashtbl.create 64;
+      cache_levels;
+      cache_replicas;
+      cache_seed = seed + 0xca4e;
+      cache = Hashtbl.create 64;
       host_mem = Hashtbl.create 64;
       pool;
     }
@@ -257,6 +366,22 @@ let build ~net ~seed ~m ?(r = 1) ?pool keys =
   t
 
 let replication t = t.r
+
+let cache_config t = (t.cache_levels, t.cache_replicas)
+
+(* Reconfigure the cache without a full rebuild: release the current cache
+   charges, swap the window and replica count, and re-derive. The block /
+   cone maps, all primary placements and every charge outside the cache
+   are untouched, so this is cheap even at n = 10^6 — which is what lets
+   the serving bench sweep k against one build. *)
+let set_cache t ~levels ~k =
+  if levels < 0 then invalid_arg "Blocked1d.set_cache: levels >= 0";
+  if k < 1 || t.r + k - 1 > Network.host_count t.net then
+    invalid_arg "Blocked1d.set_cache: need 1 <= k and r + k - 1 <= hosts";
+  charge_cache t ~sign:(-1);
+  t.cache_levels <- levels;
+  t.cache_replicas <- k;
+  apply_cache t
 
 let total_storage t = Hashtbl.fold (fun _ arr acc -> acc + L.num_ranges arr) t.sets 0
 
@@ -273,18 +398,48 @@ let entry_rep t owners =
   | Some h -> h
   | None -> owners.(0)
 
+(* The representative for a query reading cache slot [slot] of an entry's
+   basic group: the group's cache copy when one exists and is live, the
+   first live owner otherwise. Slot 0 — and any group outside the cache
+   window — is always the owner path, preserving the historical routing
+   byte-for-byte. *)
+let entry_rep_slot t ~slot ~group owners =
+  if slot >= 1 then
+    match Hashtbl.find_opt t.cache group with
+    | Some arr when slot - 1 < Array.length arr && Network.alive t.net arr.(slot - 1) ->
+        arr.(slot - 1)
+    | Some _ | None -> entry_rep t owners
+  else entry_rep t owners
+
+(* Which cache copy a query from [origin] reads for groups based at basic
+   level [base]: pure in (cache_seed, origin, base) — bit-identical runs
+   for fixed parameters, jobs-invariant — and 0 (the owner path) whenever
+   the group is uncached. One slot per *group*, not per level, so a
+   descent still changes hosts only at basic-level boundaries and the
+   O(log n / log log n) message bound is untouched. *)
+let slot_for t origin base =
+  if t.cache_replicas > 1 && base < t.cache_levels then
+    Placement.replica_slot ~seed:t.cache_seed ~origin ~level:base ~k:t.cache_replicas
+  else 0
+
 (* One representative per covering entry (block, or cone interval) of the
-   range with this code. With nobody dead every representative is that
-   entry's primary, so the list — and hence every routing decision made
-   over it — is identical to the unreplicated one for any [r]. *)
-let hosts_of t level b code =
-  if level mod t.stride = 0 then [ entry_rep t (Hashtbl.find t.blocks (level, b, code / t.bsize)) ]
+   range with this code. With nobody dead and [slot = 0] every
+   representative is that entry's primary, so the list — and hence every
+   routing decision made over it — is identical to the unreplicated,
+   uncached one for any [r]. *)
+let hosts_of ?(slot = 0) t level b code =
+  if level mod t.stride = 0 then
+    let j = code / t.bsize in
+    [ entry_rep_slot t ~slot ~group:(level, b, j) (Hashtbl.find t.blocks (level, b, j)) ]
   else
+    let base, pb = cone_group t level b in
     match Hashtbl.find_opt t.replicas (level, b) with
     | None -> []
     | Some lst ->
         List.concat_map
-          (fun (lo, hi, hs) -> if lo <= code && code <= hi then [ entry_rep t hs ] else [])
+          (fun (lo, hi, hs, j) ->
+            if lo <= code && code <= hi then [ entry_rep_slot t ~slot ~group:(base, pb, j) hs ]
+            else [])
           lst
 
 (* Where a walk lands for this replica list: the first live owner, else the
@@ -311,14 +466,15 @@ let preferred_host t origin level q =
   | None -> None
   | Some arr -> (
       let code = L.encode (L.locate arr q) in
-      match Hashtbl.find_opt t.blocks (base, b, code / t.bsize) with
+      let j = code / t.bsize in
+      match Hashtbl.find_opt t.blocks (base, b, j) with
       | None -> None
-      | Some owners -> (
-          (* First live replica of the preferred block; its primary when
-             nobody is dead, preserving the historical routing exactly. *)
-          match Array.find_opt (fun h -> Network.alive t.net h) owners with
-          | Some h -> Some h
-          | None -> Some owners.(0)))
+      | Some owners ->
+          (* The origin's read copy of the preferred block: its cache copy
+             when the group is cached for this origin, else the first live
+             owner — the primary when nobody is dead, preserving the
+             historical routing exactly. *)
+          Some (entry_rep_slot t ~slot:(slot_for t origin base) ~group:(base, b, j) owners))
 
 (* Traced descents open one leveled span per level, noting whether the
    level's range lives in a block or a cone and how many replicas cover
@@ -328,7 +484,8 @@ let query_from ?trace t origin q =
   let b_top = prefix t origin t.top in
   let arr_top = Hashtbl.find t.sets (t.top, b_top) in
   let code_top = L.encode (L.locate arr_top q) in
-  let initial_hosts = hosts_of t t.top b_top code_top in
+  let slot_at level = slot_for t origin (level - (level mod t.stride)) in
+  let initial_hosts = hosts_of ~slot:(slot_at t.top) t t.top b_top code_top in
   let pick level hosts current =
     (* Route among the covering entries whose representative is live; with
        nobody dead that is one primary per entry and the choice matches
@@ -353,7 +510,7 @@ let query_from ?trace t origin q =
       let b = prefix t origin level in
       let arr = Hashtbl.find t.sets (level, b) in
       let code = L.encode (L.locate arr q) in
-      let hs = hosts_of t level b code in
+      let hs = hosts_of ~slot:(slot_at level) t level b code in
       let target = pick level hs (Network.current session) in
       (match trace with
       | None -> Network.goto session target
@@ -449,6 +606,32 @@ let check_invariants t =
         | _ :: _ -> ()
       done)
     t.sets;
+  (* Cache coverage: exactly the eligible groups are cached, each with
+     k - 1 copies pairwise distinct from each other and from the owners.
+     (Liveness is not checked — like owners, cache placements go stale
+     between a kill and the next repair/rebuild.) *)
+  Hashtbl.iter
+    (fun (level, b, j) owners ->
+      match Hashtbl.find_opt t.cache (level, b, j) with
+      | None ->
+          if t.cache_replicas > 1 && level < t.cache_levels then
+            failwith "Blocked1d: eligible block group missing its cache copies"
+      | Some arr ->
+          if not (t.cache_replicas > 1 && level < t.cache_levels) then
+            failwith "Blocked1d: cache copies on an ineligible block group";
+          if Array.length arr <> t.cache_replicas - 1 then
+            failwith "Blocked1d: wrong cache copy count";
+          let all = Array.append owners arr in
+          Array.iteri
+            (fun i h ->
+              Array.iteri (fun i' h' -> if i < i' && h = h' then failwith "Blocked1d: cache copy collides") all)
+            all)
+    t.blocks;
+  Hashtbl.iter
+    (fun (level, _, _) _ ->
+      if not (t.cache_replicas > 1 && level < t.cache_levels) then
+        failwith "Blocked1d: stale cache entry outside the window")
+    t.cache;
   (* Conflict-chain soundness: on every level, the range containing a probe
      key conflicts with the range containing it one level up. *)
   if n > 0 then begin
@@ -481,28 +664,36 @@ type repair_stats = { scanned : int; repaired : int; messages : int; lost : int 
    migrates the stranded charges as a side effect of re-charging. *)
 let repair t =
   let scanned = ref 0 and repaired = ref 0 and messages = ref 0 and lost = ref 0 in
-  let account owners units =
+  let account copies units =
     incr scanned;
-    let any_live = Array.exists (fun h -> Network.alive t.net h) owners in
+    let any_live = Array.exists (fun h -> Network.alive t.net h) copies in
     Array.iter
       (fun h ->
         if not (Network.alive t.net h) then begin
           repaired := !repaired + units;
           if any_live then messages := !messages + units else lost := !lost + units
         end)
-      owners
+      copies
+  in
+  (* Cache copies are billed exactly like data replicas: a cached group's
+     copies on dead hosts are steals from any surviving copy — owner or
+     cache — and the rebuild below re-draws them over live hosts only. *)
+  let with_cache group owners =
+    match Hashtbl.find_opt t.cache group with
+    | Some arr -> Array.append owners arr
+    | None -> owners
   in
   Hashtbl.iter
     (fun (level, b, j) owners ->
-      match Hashtbl.find_opt t.sets (level, b) with
-      | None -> ()
-      | Some arr ->
-          let codes = L.num_ranges arr in
-          let clo = j * t.bsize and chi = min (codes - 1) (((j + 1) * t.bsize) - 1) in
-          if clo <= chi then account owners (chi - clo + 1))
+      let units = block_units t level b j in
+      if units > 0 then account (with_cache (level, b, j) owners) units)
     t.blocks;
   Hashtbl.iter
-    (fun _ lst -> List.iter (fun (clo, chi, owners) -> account owners (chi - clo + 1)) lst)
+    (fun (lvl, cb) lst ->
+      let base, pb = cone_group t lvl cb in
+      List.iter
+        (fun (clo, chi, owners, j) -> account (with_cache (base, pb, j) owners) (chi - clo + 1))
+        lst)
     t.replicas;
   rebuild t;
   { scanned = !scanned; repaired = !repaired; messages = !messages; lost = !lost }

@@ -28,7 +28,15 @@ module Prng = Skipweb_util.Prng
 type t
 
 val build :
-  net:Network.t -> seed:int -> m:int -> ?r:int -> ?pool:Skipweb_util.Pool.t -> int array -> t
+  net:Network.t ->
+  seed:int ->
+  m:int ->
+  ?r:int ->
+  ?cache_levels:int ->
+  ?cache_replicas:int ->
+  ?pool:Skipweb_util.Pool.t ->
+  int array ->
+  t
 (** [build ~net ~seed ~m keys]: distribute over all hosts of [net] with
     per-host memory target [m] (the M parameter). Keys must be distinct.
     Raises [Invalid_argument] if [m < 4].
@@ -48,7 +56,21 @@ val build :
     later query's message count) and all memory charges are bit-identical
     for any jobs count. The structure {e keeps} the pool for the rebuilds
     that {!insert}/{!delete} trigger: the pool must stay alive as long as
-    this structure receives updates, or be detached with {!set_pool}. *)
+    this structure receives updates, or be detached with {!set_pool}.
+
+    [cache_levels] / [cache_replicas] configure the read-path group cache
+    (the congestion-flattening trick of the skip-graph NoN line): every
+    {e basic block group} — a block plus the cone it drags along — whose
+    basic level is below [cache_levels] keeps [cache_replicas - 1] whole
+    extra copies on distinct live hosts, drawn by a pure collision-skipping
+    hash. A query reads all levels of a cached group at one deterministic
+    per-origin copy (pure in [(seed, origin, basic level)]), so hosts are
+    still only crossed at basic-level boundaries — message counts keep the
+    O(log n / log log n) bound — while distinct origins spread a hot
+    group's load over all [cache_replicas] copies. With
+    [cache_replicas = 1] (the default) the cache is off and routing is
+    byte-identical to the uncached code. Requires [cache_levels >= 0] and
+    [1 <= cache_replicas] with [r + cache_replicas - 1 <= host count]. *)
 
 val set_pool : t -> Skipweb_util.Pool.t option -> unit
 (** Attach or detach the domain pool used by update-triggered rebuilds.
@@ -61,6 +83,20 @@ val levels : t -> int
 
 val replication : t -> int
 (** The replication factor [r] this structure was built with. *)
+
+val cache_config : t -> int * int
+(** The current [(cache_levels, cache_replicas)] — [(_, 1)] means the
+    read-path group cache is inactive. *)
+
+val set_cache : t -> levels:int -> k:int -> unit
+(** Reconfigure the read-path group cache in place: release the current
+    cache copies' memory charges, then re-derive and charge the new ones.
+    Blocks, cones, primary placements and every non-cache charge are
+    untouched — no rebuild — so sweeping [k] against one build of a large
+    structure is cheap (the E20 serving bench relies on this). Placement
+    is a pure function of the structure and the live-host set, so
+    [set_cache] and a rebuild always agree on where every copy lives.
+    Same argument requirements as [build]'s cache parameters. *)
 
 val basic_levels : t -> int list
 (** The basic level indices, ascending. *)

@@ -1,5 +1,6 @@
 module Network = Skipweb_net.Network
 module Trace = Skipweb_net.Trace
+module Placement = Skipweb_net.Placement
 module Membership = Skipweb_util.Membership
 module Prng = Skipweb_util.Prng
 module Pool = Skipweb_util.Pool
@@ -30,6 +31,20 @@ module Make (S : Range_structure.S) = struct
     net : Network.t;
     place_seed : int;
     r : int;  (* replication factor: copies per range *)
+    (* Read-path level cache (the NoN / bucket-skip-web trick): every
+       range of the bottom [cache_levels] levels — the coarse, sparse-set
+       levels every query funnels through — keeps [cache_replicas - 1]
+       extra copies beyond its r data replicas. Cache copies occupy
+       replica slots r .. r + cache_replicas - 2 of the same unified slot
+       space, so placement, collision skipping, redraw generations and
+       repair need no second mechanism. The window is anchored at level 0
+       (membership prefixes only grow with the level index, so "coarse"
+       means a *small* level index here), which keeps [cached_level]
+       independent of [top]: growing or shrinking the hierarchy never
+       shifts which levels are cached, so charges always match. *)
+    cache_levels : int;  (* c: levels 0 .. c - 1 are cached *)
+    cache_replicas : int;  (* k: total read copies per cached range *)
+    cache_seed : int;  (* salts the per-origin slot choice *)
     (* Re-drawn placements: (level, prefix, range id, replica slot) ->
        redraw generation. Slot j of a range lives at the hash of
        (place_seed, level set, rid, j, generation); absent means
@@ -59,6 +74,17 @@ module Make (S : Range_structure.S) = struct
 
   let fresh_layer () =
     { structures = Hashtbl.create 16; members = Hashtbl.create 16; charged = Hashtbl.create 16 }
+
+  (* Is this level in the cache window, with an active cache? With
+     [cache_replicas = 1] (the default) this is false everywhere, and
+     every loop below collapses to its pre-cache bounds — the bit-identical
+     k = 1 contract. *)
+  let cached_level t level = t.cache_replicas > 1 && level < t.cache_levels
+
+  (* How many copies (data replicas + cache copies) a range at this level
+     carries: the loop bound for charging, redraw cleanup, repair and the
+     invariant cross-check. *)
+  let slots_at t level = if cached_level t level then t.r + t.cache_replicas - 1 else t.r
 
   (* Host of replica slot [j] of a range at redraw generation [g]. At
      slot 0, generation 0, the mixing constants vanish and this is exactly
@@ -124,9 +150,31 @@ module Make (S : Range_structure.S) = struct
       in
       go 1
 
-  (* Charge (or release) one unit on every replica of a range. *)
+  (* Where a query originating at element [origin] reads a range: at
+     cached levels, its deterministic per-origin cache slot — slot 0 is
+     the primary itself, slot s >= 1 the cache copy at unified slot
+     r - 1 + s — falling back to the ordinary primary/failover route when
+     that copy's host is dead. Pure in (cache_seed, origin, level), so a
+     fixed-parameter run is bit-identical and jobs-invariant, and with
+     the cache off ([replica_slot] returns 0 for k <= 1) this *is*
+     [route_host]. Different origins spread over all k copies, which is
+     what splits a hot coarse-level range's load k ways. *)
+  let read_host t origin level b rid =
+    if cached_level t level then begin
+      let s =
+        Placement.replica_slot ~seed:t.cache_seed ~origin ~level ~k:t.cache_replicas
+      in
+      if s = 0 then route_host t level b rid
+      else
+        let h = replica_host t level b rid (t.r - 1 + s) in
+        if Network.alive t.net h then h else route_host t level b rid
+    end
+    else route_host t level b rid
+
+  (* Charge (or release) one unit on every copy of a range — data replicas
+     and, at cached levels, the cache copies too. *)
   let charge_replicas t ~charge level b rid k =
-    for j = 0 to t.r - 1 do
+    for j = 0 to slots_at t level - 1 do
       charge (replica_host t level b rid j) k
     done
 
@@ -134,7 +182,7 @@ module Make (S : Range_structure.S) = struct
      the same (level, b, rid) code starts from generation 0 again. *)
   let forget_redraws t level b rid =
     if Hashtbl.length t.redraw > 0 then
-      for j = 0 to t.r - 1 do
+      for j = 0 to slots_at t level - 1 do
         Hashtbl.remove t.redraw (level, b, rid, j)
       done
 
@@ -366,15 +414,23 @@ module Make (S : Range_structure.S) = struct
       count
     end
 
-  let build ~net ~seed ?(p = 0.5) ?(r = 1) ?pool keys =
+  let build ~net ~seed ?(p = 0.5) ?(r = 1) ?(cache_levels = 0) ?(cache_replicas = 1) ?pool keys
+      =
     if r < 1 then invalid_arg "Hierarchy.build: r >= 1";
     if r > Network.host_count net then invalid_arg "Hierarchy.build: r exceeds host count";
+    if cache_levels < 0 then invalid_arg "Hierarchy.build: cache_levels >= 0";
+    if cache_replicas < 1 then invalid_arg "Hierarchy.build: cache_replicas >= 1";
+    if r + cache_replicas - 1 > Network.host_count net then
+      invalid_arg "Hierarchy.build: r + cache_replicas - 1 exceeds host count";
     let vecs = if p = 0.5 then Membership.create ~seed else Membership.biased ~seed ~p in
     let t =
       {
         net;
         place_seed = seed + 0x5157;
         r;
+        cache_levels;
+        cache_replicas;
+        cache_seed = seed + 0xca4e;
         redraw = Hashtbl.create 16;
         vecs;
         layers = [| fresh_layer () |];
@@ -391,6 +447,8 @@ module Make (S : Range_structure.S) = struct
     t
 
   let replication t = t.r
+
+  let cache t = (t.cache_levels, t.cache_replicas)
 
   (* ------- self-repair ------- *)
 
@@ -420,14 +478,20 @@ module Make (S : Range_structure.S) = struct
             Hashtbl.iter
               (fun rid () ->
                 incr scanned;
-                let old = Array.init t.r (replica_host t level b rid) in
+                (* Every copy of the range: its r data replicas plus, at
+                   cached levels, the cache copies — a cache copy on a
+                   dead host is re-drawn with the same collision-skipping
+                   generation scheme and billed like any other steal, so
+                   the cache never silently survives on dead hosts. *)
+                let slots = slots_at t level in
+                let old = Array.init slots (replica_host t level b rid) in
                 let any_live = Array.exists (fun h -> Network.alive t.net h) old in
                 if Array.exists (fun h -> not (Network.alive t.net h)) old then begin
                   (* Bump each dead slot's generation until its placement
                      lands live. Ascending slot order: a bumped slot can
                      shift the admissible enumeration of *later* slots
                      only, so one ascending pass settles every slot. *)
-                  for j = 0 to t.r - 1 do
+                  for j = 0 to slots - 1 do
                     let rec settle attempts =
                       if attempts > 10_000 then
                         failwith "Hierarchy.repair: could not find a live host";
@@ -442,7 +506,7 @@ module Make (S : Range_structure.S) = struct
                   (* Migrate charges by placement diff — which also catches
                      a live slot whose admissible draw shifted because an
                      earlier slot of the same range moved. *)
-                  for j = 0 to t.r - 1 do
+                  for j = 0 to slots - 1 do
                     let h' = replica_host t level b rid j in
                     if h' <> old.(j) then begin
                       Network.charge_memory t.net old.(j) (-1);
@@ -485,8 +549,8 @@ module Make (S : Range_structure.S) = struct
     let loc0, visited0 = S.locate s_top q in
     let start_host =
       match visited0 with
-      | rid :: _ -> route_host t t.top b_top rid
-      | [] -> route_host t t.top b_top 0
+      | rid :: _ -> read_host t origin_id t.top b_top rid
+      | [] -> read_host t origin_id t.top b_top 0
     in
     let session = Network.start ?trace t.net start_host in
     let goto_label = match trace with None -> None | Some _ -> Some S.visit_label in
@@ -494,7 +558,7 @@ module Make (S : Range_structure.S) = struct
     | None -> ()
     | Some tr -> Trace.span_open tr ~level:t.top ("locate " ^ S.name));
     List.iter
-      (fun rid -> Network.goto ?label:goto_label session (route_host t t.top b_top rid))
+      (fun rid -> Network.goto ?label:goto_label session (read_host t origin_id t.top b_top rid))
       visited0;
     (match trace with
     | None -> ()
@@ -513,7 +577,7 @@ module Make (S : Range_structure.S) = struct
         | Some tr -> Trace.span_open tr ~level ("refine " ^ S.name));
         let loc', visited = S.refine s ~from:desc q in
         List.iter
-          (fun rid -> Network.goto ?label:goto_label session (route_host t level b rid))
+          (fun rid -> Network.goto ?label:goto_label session (read_host t origin_id level b rid))
           visited;
         (match trace with
         | None -> ()
@@ -747,7 +811,7 @@ module Make (S : Range_structure.S) = struct
           (fun b ch ->
             Hashtbl.iter
               (fun rid () ->
-                for j = 0 to t.r - 1 do
+                for j = 0 to slots_at t level - 1 do
                   let h = replica_host t level b rid j in
                   Hashtbl.replace expected h (1 + try Hashtbl.find expected h with Not_found -> 0)
                 done)

@@ -26,6 +26,8 @@ module Make (S : Range_structure.S) : sig
     seed:int ->
     ?p:float ->
     ?r:int ->
+    ?cache_levels:int ->
+    ?cache_replicas:int ->
     ?pool:Skipweb_util.Pool.t ->
     S.key array ->
     t
@@ -43,6 +45,26 @@ module Make (S : Range_structure.S) : sig
       failures: queries fail over to the first live replica mid-walk, and
       {!repair} re-homes dead hosts' copies. Requires
       [1 <= r <= Network.host_count net].
+
+      [cache_levels] / [cache_replicas] configure the read-path level
+      cache (the NoN / bucket-skip-web congestion trick): every range of
+      the coarse levels [0 .. cache_levels - 1] — the sparse upper levels
+      of the search tree that every query funnels through — carries
+      [cache_replicas - 1] cache copies beyond its [r] data replicas,
+      placed by the same pure collision-skipping hash (unified replica
+      slots [r .. r + cache_replicas - 2], so the [cache_replicas + r - 1]
+      copies of a range are always on distinct hosts). A query reads each
+      cached level at a deterministic per-origin copy — pure in
+      [(seed, origin, level)], hence bit-identical for fixed parameters
+      and jobs-invariant — so distinct origins spread a hot range's load
+      over all [cache_replicas] copies while per-query message counts stay
+      O(log n). The window is anchored at level 0 and is independent of
+      the hierarchy's height, so growth or shrinkage never shifts it.
+      With [cache_replicas = 1] (the default) the cache is off and every
+      message count, charge and answer is byte-identical to the uncached
+      code. Requires [cache_levels >= 0], [cache_replicas >= 1] and
+      [r + cache_replicas - 1 <= Network.host_count net].
+
       With [pool], the per-level construction fans out over its domains
       (see {!insert_batch}, which this routes through); the resulting
       structure, storage and per-host memory are bit-identical for any
@@ -54,6 +76,10 @@ module Make (S : Range_structure.S) : sig
 
   val replication : t -> int
   (** The replication factor [r] this hierarchy was built with. *)
+
+  val cache : t -> int * int
+  (** [(cache_levels, cache_replicas)] this hierarchy was built with —
+      [(0, 1)] (or any [k = 1]) means the read-path cache is inactive. *)
 
   (** {1 Failure handling}
 
@@ -82,6 +108,10 @@ module Make (S : Range_structure.S) : sig
       re-draw its placement (bump the slot's redraw generation until the
       hash lands on a live host), migrate the memory charge, and bill one
       copy message for stealing the range from any surviving replica.
+      Cache copies at cached levels are treated exactly like data
+      replicas — re-drawn with the same collision-skipping generation
+      scheme and billed in the stats — so a cache never silently survives
+      on dead hosts.
       Idempotent once all placements are live; must not run concurrently
       with queries or updates (failure epochs are serialized, like
       updates). The message bill is returned in the stats and {e not}

@@ -120,6 +120,29 @@ let congestion_of net =
     gini = gini a;
   }
 
+(* Share of total live-host traffic served by the [m] busiest live hosts —
+   the replica-aware flattening metric: a level cache does not change the
+   total (queries still visit the same number of ranges), it divides the
+   busiest hosts' share by the replica count, which is exactly what this
+   ratio shows falling. 0 when there is no traffic. *)
+let top_share net ~m =
+  if m < 1 then invalid_arg "Observatory.top_share: m must be >= 1";
+  let loads = ref [] in
+  for h = Network.host_count net - 1 downto 0 do
+    if Network.alive net h then loads := Network.traffic net h :: !loads
+  done;
+  let a = Array.of_list !loads in
+  Array.sort (fun x y -> compare y x) a;
+  let total = Array.fold_left ( + ) 0 a in
+  if total = 0 then 0.0
+  else begin
+    let top = ref 0 in
+    for i = 0 to min m (Array.length a) - 1 do
+      top := !top + a.(i)
+    done;
+    float_of_int !top /. float_of_int total
+  end
+
 let congestion_to_json c =
   Printf.sprintf
     "{\"live_hosts\": %d, \"total_traffic\": %d, \"mean\": %g, \"p50\": %g, \"p90\": %g, \

@@ -80,6 +80,14 @@ val congestion_of : Network.t -> congestion
 
 val congestion_to_json : congestion -> string
 
+val top_share : Network.t -> m:int -> float
+(** Fraction of all live-host traffic served by the [m] busiest live
+    hosts, in [\[0, 1\]] (0 when there is no traffic). The replica-aware
+    congestion view: caching the upper levels across [k] hosts leaves
+    total traffic unchanged and divides the hottest hosts' share by [k],
+    so this is the ratio the E20 serving bench shows flattening.
+    Requires [m >= 1]. *)
+
 (** {1 The observatory} *)
 
 type t

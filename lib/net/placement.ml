@@ -10,6 +10,9 @@ let chunked ~chunk ~hosts i =
 
 let hashed ~seed ~hosts i = Skipweb_util.Prng.hash2 seed i mod hosts
 
+let replica_slot ~seed ~origin ~level ~k =
+  if k <= 1 then 0 else Skipweb_util.Prng.hash3 seed origin level mod k
+
 let charge_all net place ~items =
   for i = 0 to items - 1 do
     Network.charge_memory net (place i) 1

@@ -24,5 +24,14 @@ val hashed : seed:int -> hosts:int -> t
 (** Pseudo-random placement, deterministic in [seed]: the "arbitrary"
     assignment of §2.4. *)
 
+val replica_slot : seed:int -> origin:int -> level:int -> k:int -> int
+(** Which of [k] cached copies a query should read: a pure hash of
+    [(seed, origin, level)] into [\[0, k)], so every query from the same
+    originating element deterministically picks the same copy — runs are
+    bit-identical for fixed parameters and independent of job count — while
+    distinct origins spread across all [k] copies, splitting a hot range's
+    load [k] ways. Always [0] when [k <= 1] (slot 0 is the primary), which
+    is what makes an inactive cache byte-identical to no cache at all. *)
+
 val charge_all : Network.t -> t -> items:int -> unit
 (** Charge one memory unit to the owning host of each of [items] items. *)

@@ -1,0 +1,124 @@
+module Prng = Skipweb_util.Prng
+
+(* An open-loop serving workload: operations arrive on a Poisson schedule
+   at a configured rate whether or not the structure has finished the
+   previous one — the "millions of users" regime — instead of the
+   closed-loop batches the benches used before, where the next query only
+   exists once the previous one returns. The plan is materialized up
+   front as a deterministic function of the spec, so a run can be
+   replayed exactly (same seed, same events, same arrival times) against
+   any structure or cache configuration, which is what makes the E20
+   cross-`k` comparisons apples-to-apples. *)
+
+type op = Query of int | Insert of int | Remove of int
+
+type event = { at : float; op : op }
+
+type spec = {
+  seed : int;
+  ops : int;
+  rate : float;  (* mean arrivals per unit time (Poisson) *)
+  read_fraction : float;  (* P(op is a query) *)
+  zipf_share : float;  (* among queries: P(Zipf-popular stored key) *)
+  zipf_s : float;
+  bound : int;  (* uniform queries draw from [0, bound) *)
+}
+
+let default =
+  {
+    seed = 42;
+    ops = 1_000;
+    rate = 1_000.0;
+    read_fraction = 0.9;
+    zipf_share = 0.5;
+    zipf_s = 1.1;
+    bound = 1 lsl 20;
+  }
+
+(* One plan, one rng, coins drawn strictly in event order: arrival gap,
+   then the read/write coin, then the op's own draws. Every derived
+   quantity is a pure function of (spec, keys), so two plans from equal
+   inputs are equal arrays — the replay contract. Writes alternate by a
+   coin between removing a uniformly random live key (swap-pop over the
+   live arena) and inserting a fresh key from [bound, 2*bound) — disjoint
+   from the [0, bound) initial key space, so an insert never collides
+   with a stored key, and a resample table keeps re-inserts out. *)
+let plan spec ~keys =
+  if spec.ops < 0 then invalid_arg "Open_loop.plan: ops >= 0";
+  if spec.rate <= 0.0 then invalid_arg "Open_loop.plan: rate > 0";
+  if spec.read_fraction < 0.0 || spec.read_fraction > 1.0 then
+    invalid_arg "Open_loop.plan: read_fraction in [0, 1]";
+  if spec.zipf_share < 0.0 || spec.zipf_share > 1.0 then
+    invalid_arg "Open_loop.plan: zipf_share in [0, 1]";
+  if spec.bound < 1 then invalid_arg "Open_loop.plan: bound >= 1";
+  let rng = Prng.create spec.seed in
+  let zipf =
+    if spec.zipf_share > 0.0 && Array.length keys > 0 then
+      Some (Workload.zipf_prepare ~rng ~keys ~s:spec.zipf_s)
+    else None
+  in
+  (* Live-key arena for removals: the stored keys, plus keys this plan
+     inserts (so a long write-heavy run churns its own insertions too). *)
+  let live = ref (Array.copy keys) in
+  let nlive = ref (Array.length keys) in
+  let push k =
+    if !nlive = Array.length !live then begin
+      let bigger = Array.make (max 8 (2 * !nlive)) 0 in
+      Array.blit !live 0 bigger 0 !nlive;
+      live := bigger
+    end;
+    !live.(!nlive) <- k;
+    incr nlive
+  in
+  let inserted = Hashtbl.create 64 in
+  let clock = ref 0.0 in
+  Array.init spec.ops (fun _ ->
+      (* Poisson arrivals: exponential inter-arrival gaps at [rate]. *)
+      let u = Prng.float rng 1.0 in
+      clock := !clock +. (-.log (1.0 -. u) /. spec.rate);
+      let op =
+        if Prng.float rng 1.0 < spec.read_fraction then
+          let q =
+            match zipf with
+            | Some z when Prng.float rng 1.0 < spec.zipf_share -> Workload.zipf_draw z rng
+            | Some _ | None -> Prng.int rng spec.bound
+          in
+          Query q
+        else if !nlive > 0 && Prng.bool rng then begin
+          let i = Prng.int rng !nlive in
+          let k = !live.(i) in
+          !live.(i) <- !live.(!nlive - 1);
+          decr nlive;
+          Remove k
+        end
+        else begin
+          let rec fresh () =
+            let k = spec.bound + Prng.int rng spec.bound in
+            if Hashtbl.mem inserted k then fresh ()
+            else begin
+              Hashtbl.add inserted k ();
+              k
+            end
+          in
+          let k = fresh () in
+          push k;
+          Insert k
+        end
+      in
+      { at = !clock; op })
+
+type counts = { queries : int; inserts : int; removes : int }
+
+let counts events =
+  Array.fold_left
+    (fun acc e ->
+      match e.op with
+      | Query _ -> { acc with queries = acc.queries + 1 }
+      | Insert _ -> { acc with inserts = acc.inserts + 1 }
+      | Remove _ -> { acc with removes = acc.removes + 1 })
+    { queries = 0; inserts = 0; removes = 0 }
+    events
+
+let duration events =
+  let n = Array.length events in
+  if n = 0 then 0.0 else events.(n - 1).at

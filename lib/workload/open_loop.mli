@@ -1,0 +1,48 @@
+(** Open-loop serving workloads: operations arrive on a Poisson schedule
+    at a configured rate, independent of how fast the structure answers —
+    the serving-scale regime, as opposed to the closed-loop batches of
+    the query benches (where the next operation only exists once the
+    previous one returns, so a slow structure conveniently sees less
+    load). A plan is a deterministic function of its spec: the same
+    [(spec, keys)] always yields the same event array, arrival times
+    included, so one stream can be replayed verbatim against different
+    structures or cache configurations (the E20 cross-[k] comparison). *)
+
+type op =
+  | Query of int  (** nearest-neighbor lookup *)
+  | Insert of int  (** fresh key from [\[bound, 2*bound)] *)
+  | Remove of int  (** a currently live key *)
+
+type event = { at : float;  (** arrival time *) op : op }
+
+type spec = {
+  seed : int;
+  ops : int;  (** number of events to plan *)
+  rate : float;  (** mean arrivals per unit time; gaps are exponential *)
+  read_fraction : float;  (** probability an event is a [Query] *)
+  zipf_share : float;  (** among queries: probability of a Zipf-popular
+                           stored key instead of a uniform point *)
+  zipf_s : float;  (** Zipf exponent (see {!Workload.zipf_queries}) *)
+  bound : int;  (** uniform queries draw from [\[0, bound)]; inserts from
+                    the disjoint [\[bound, 2*bound)] *)
+}
+
+val default : spec
+(** 1000 ops at rate 1000, 90% reads, half of them Zipf(1.1). *)
+
+val plan : spec -> keys:int array -> event array
+(** Materialize the event stream. Writes split evenly (by coin) between
+    removing a uniformly random currently-live key — stored keys plus
+    this plan's own insertions — and inserting a fresh key from
+    [\[bound, 2*bound)], never colliding with the [\[0, bound)] key space
+    or an earlier insert. With [zipf_share > 0] and a non-empty key set,
+    the Zipf sampler's rank permutation is drawn first, then every event
+    consumes its coins in order — fully deterministic in [spec.seed].
+    Raises [Invalid_argument] on out-of-range spec fields. *)
+
+type counts = { queries : int; inserts : int; removes : int }
+
+val counts : event array -> counts
+
+val duration : event array -> float
+(** Arrival time of the last event (0 for an empty plan). *)

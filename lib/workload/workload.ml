@@ -216,20 +216,33 @@ let zipf_cdf ~m ~s =
   cdf.(m - 1) <- 1.0;
   cdf
 
-let zipf_queries ~seed ~keys ~n ~s =
+(* An incremental Zipf sampler: the CDF and rank permutation are fixed at
+   creation, each draw consumes exactly one float from the caller's rng.
+   [zipf_queries] is a loop of draws, and the open-loop driver interleaves
+   draws with its other coins — both see the same key popularity. *)
+type zipf = { cdf : float array; perm : int array; zkeys : int array }
+
+let zipf_prepare ~rng ~keys ~s =
   let m = Array.length keys in
-  if m = 0 then invalid_arg "Workload.zipf_queries: empty keys";
-  if s <= 0.0 then invalid_arg "Workload.zipf_queries: s > 0";
-  let rng = Prng.create seed in
+  if m = 0 then invalid_arg "Workload.zipf_prepare: empty keys";
+  if s <= 0.0 then invalid_arg "Workload.zipf_prepare: s > 0";
   (* Inverse-CDF sampling over ranks 1..m. *)
   let cdf = zipf_cdf ~m ~s in
   (* Popularity rank -> a fixed random permutation of the keys. *)
   let perm = Array.init m (fun i -> i) in
   Prng.shuffle rng perm;
-  Array.init n (fun _ ->
-      let u = Prng.float rng 1.0 in
-      let rec find lo hi = if lo >= hi then lo else
-        let mid = (lo + hi) / 2 in
-        if cdf.(mid) < u then find (mid + 1) hi else find lo mid
-      in
-      keys.(perm.(min (m - 1) (find 0 m))))
+  { cdf; perm; zkeys = keys }
+
+let zipf_draw z rng =
+  let m = Array.length z.zkeys in
+  let u = Prng.float rng 1.0 in
+  let rec find lo hi = if lo >= hi then lo else
+    let mid = (lo + hi) / 2 in
+    if z.cdf.(mid) < u then find (mid + 1) hi else find lo mid
+  in
+  z.zkeys.(z.perm.(min (m - 1) (find 0 m)))
+
+let zipf_queries ~seed ~keys ~n ~s =
+  let rng = Prng.create seed in
+  let z = zipf_prepare ~rng ~keys ~s in
+  Array.init n (fun _ -> zipf_draw z rng)

@@ -18,5 +18,6 @@ let () =
       ("skipgraph", Test_skipgraph.suite);
       ("core", Test_core.suite);
       ("churn", Test_churn.suite);
+      ("serving", Test_serving.suite);
       ("soak", Test_core.soak_suite);
     ]
