@@ -53,6 +53,7 @@ module DPool = Skipweb_util.Pool
 module C = Bench_common
 
 module HInt = H.Make (I.Ints)
+module O = Skipweb_util.Ordseq
 
 type row = {
   n : int;
@@ -231,7 +232,105 @@ let measure ~pool ~seed ~n ~ops =
     metrics = m;
   }
 
-let json_of_rows rows =
+(* ---------------- the --jobs write sweep ---------------- *)
+
+(* One point of the speedup curve: the same batch insert + remove cycle
+   timed under a pool of [sw_jobs] domains. *)
+type sweep_point = { sw_jobs : int; sw_insert_s : float; sw_remove_s : float }
+
+(* Fresh keys above the stored domain, disjoint from the structure by
+   construction (same recipe as the per-row write phase). *)
+let fresh_batch ~seed ~bound count =
+  let gen = Prng.create (seed + 0x3b17e) in
+  let taken = Hashtbl.create count in
+  let out = Array.make count 0 in
+  let filled = ref 0 in
+  while !filled < count do
+    let k = bound + Prng.int gen bound in
+    if not (Hashtbl.mem taken k) then begin
+      Hashtbl.replace taken k ();
+      out.(!filled) <- k;
+      incr filled
+    end
+  done;
+  out
+
+(* The write-throughput speedup curve: one structure at the sweep size,
+   then for each jobs count a timed [insert_batch] + [remove_batch] cycle
+   under its own pool — the remove restores the pre-cycle state exactly,
+   so every point times the same transition. Two determinism asserts ride
+   along: the hierarchy's charged memory and size must agree across all
+   points, and the raw Ordseq chunk layout after the same batch splice
+   must be bit-identical to the sequential one for every jobs count. *)
+let write_sweep ~seed ~n jobs_list =
+  let bound = 100 * n in
+  let keys = W.distinct_ints ~seed ~n ~bound in
+  let net = Network.create ~hosts:n in
+  let h = HInt.build ~net ~seed keys in
+  let batch = max 500 (min 20_000 (n / 5)) in
+  let wkeys = fresh_batch ~seed ~bound batch in
+  let baseline = ref None in
+  let points =
+    List.map
+      (fun jobs ->
+        DPool.with_pool ~jobs (fun pool ->
+            let inserted, sw_insert_s = C.timed (fun () -> HInt.insert_batch ?pool h wkeys) in
+            let mem_full = Network.total_memory net in
+            let removed, sw_remove_s = C.timed (fun () -> HInt.remove_batch ?pool h wkeys) in
+            if inserted <> batch || removed <> batch then
+              failwith "exp_scale: write sweep lost keys";
+            let state = (mem_full, Network.total_memory net, HInt.size h) in
+            (match !baseline with
+            | None -> baseline := Some state
+            | Some base ->
+                if state <> base then failwith "exp_scale: write sweep diverged across jobs");
+            { sw_jobs = jobs; sw_insert_s; sw_remove_s }))
+      jobs_list
+  in
+  (* Ordseq layout identity: the chunk-sharded splice itself, checked at
+     the chunk level — the final layout is a pure function of (pre-state,
+     batch), never of the jobs count. *)
+  let sorted_w = Array.copy wkeys in
+  Array.sort compare sorted_w;
+  let layout jobs =
+    DPool.with_pool ~jobs (fun pool ->
+        let o = O.of_array ?pool keys in
+        ignore (O.insert_batch ?pool o sorted_w : int);
+        let after_insert = O.chunk_lengths o in
+        ignore (O.remove_batch ?pool o sorted_w : int);
+        (after_insert, O.chunk_lengths o))
+  in
+  (match jobs_list with
+  | [] | [ _ ] -> ()
+  | j1 :: rest ->
+      let base = layout j1 in
+      List.iter
+        (fun j ->
+          if layout j <> base then failwith "exp_scale: Ordseq chunk layout diverged across jobs")
+        rest);
+  (batch, points)
+
+let json_of_sweep ~n ~batch points =
+  let total p = p.sw_insert_s +. p.sw_remove_s in
+  let base = match points with p :: _ -> total p | [] -> 0.0 in
+  let point_json p =
+    (* Whole point on one line carrying "timing", so the CI jobs-diff
+       strips it; "speedup" stays greppable in the full artifact. *)
+    Printf.sprintf
+      "      {\"jobs\": %d, \"timing\": {\"insert_s\": %.6f, \"remove_s\": %.6f, \
+       \"write_ops_per_s\": %.1f}, \"speedup\": %.2f}"
+      p.sw_jobs p.sw_insert_s p.sw_remove_s
+      (float_of_int (2 * batch) /. Float.max 1e-9 (total p))
+      (base /. Float.max 1e-9 (total p))
+  in
+  Printf.sprintf
+    "  \"write_sweep\": {\"n\": %d, \"batch\": %d, \"jobs_swept\": [%s],\n\
+    \    \"points\": [\n%s\n    ]}"
+    n batch
+    (String.concat ", " (List.map (fun p -> string_of_int p.sw_jobs) points))
+    (String.concat ",\n" (List.map point_json points))
+
+let json_of_rows ?sweep rows =
   let latency_json r =
     let field name =
       match Metrics.histogram_summary r.metrics name with
@@ -271,8 +370,9 @@ let json_of_rows rows =
     "{\n  \"experiment\": \"scale\",\n  \"structure\": \"1-d generic skip-web (Hierarchy + \
      sorted lists)\",\n  \"workload\": \"bulk load, mixed churn (40%% insert / 40%% delete / \
      20%% query), a parallel query phase, then a parallel batch-write phase\",\n  \"rows\": \
-     [\n%s\n  ]\n}\n"
+     [\n%s\n  ]%s\n}\n"
     (String.concat ",\n" (List.map row_json rows))
+    (match sweep with None -> "" | Some s -> ",\n" ^ s)
 
 let run (cfg : C.config) =
   C.section "Bulk load + churn + parallel queries: wall-clock scaling (E15)";
@@ -326,4 +426,36 @@ let run (cfg : C.config) =
         ])
     rows;
   Skipweb_util.Tables.print tbl;
-  C.write_json ~file:"BENCH_scale.json" (json_of_rows rows)
+  (* The --jobs write sweep: the speedup curve of the chunk-sharded batch
+     splice at the largest size, swept over its own pools — the headline
+     number of the intra-level parallel write path. *)
+  let sweep_n = List.fold_left max 0 sizes in
+  let sweep_jobs =
+    List.sort_uniq compare (List.map (fun j -> DPool.clamp_jobs ~warn:false j) [ 1; 2; 4 ])
+  in
+  let sweep_batch, points = write_sweep ~seed:(List.hd cfg.C.seeds) ~n:sweep_n sweep_jobs in
+  let stbl =
+    Skipweb_util.Tables.create
+      ~title:
+        (Printf.sprintf "batch-write speedup sweep (n = %d, batch = %d x insert + remove)"
+           sweep_n sweep_batch)
+      ~columns:[ "jobs"; "insert (s)"; "remove (s)"; "w ops/s"; "speedup" ]
+  in
+  let base =
+    match points with p :: _ -> p.sw_insert_s +. p.sw_remove_s | [] -> 0.0
+  in
+  List.iter
+    (fun p ->
+      let total = p.sw_insert_s +. p.sw_remove_s in
+      Skipweb_util.Tables.add_row stbl
+        [
+          string_of_int p.sw_jobs;
+          Printf.sprintf "%.3f" p.sw_insert_s;
+          Printf.sprintf "%.3f" p.sw_remove_s;
+          Printf.sprintf "%.0f" (float_of_int (2 * sweep_batch) /. Float.max 1e-9 total);
+          Printf.sprintf "%.2fx" (base /. Float.max 1e-9 total);
+        ])
+    points;
+  Skipweb_util.Tables.print stbl;
+  C.write_json ~file:"BENCH_scale.json"
+    (json_of_rows ~sweep:(json_of_sweep ~n:sweep_n ~batch:sweep_batch points) rows)

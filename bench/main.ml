@@ -47,7 +47,7 @@ let () =
     let rec take acc = function
       | "--jobs" :: n :: rest -> (
           match int_of_string_opt n with
-          | Some j when j >= 1 -> (j, List.rev_append acc rest)
+          | Some j when j >= 1 -> (Bench_common.clamp_jobs j, List.rev_append acc rest)
           | Some _ | None ->
               Printf.eprintf "error: --jobs expects a positive integer, got %S\n" n;
               exit 2)

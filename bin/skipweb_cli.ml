@@ -405,7 +405,7 @@ let run_trace structure n seed m at =
 
 type stats_format = Table | Json | Csv
 
-let run_stats structure n queries updates seed m buckets format jobs =
+let run_stats structure n queries updates seed m buckets format jobs pool_stats =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   (* The build, query and update phases all run inside one pool scope: the
      build fans its per-level sweeps out, the query phase fans its walks
@@ -459,6 +459,13 @@ let run_stats structure n queries updates seed m buckets format jobs =
   Metrics.incr reg ~by:(Network.sessions_started d.net) "network.sessions";
   Metrics.incr reg ~by:(Network.live_hosts d.net) "network.live_hosts";
   Metrics.incr reg ~by:(Network.stranded_memory d.net) "network.stranded_memory";
+  (* Pool utilization rides along only on request: the figures are
+     wall-clock and jobs-dependent, so by default the registry dump stays
+     byte-identical for any jobs count. *)
+  (if pool_stats then
+     match pool with
+     | Some p -> Skipweb_util.Pool.record_metrics p reg
+     | None -> ());
   (match format with
   | Json -> print_string (Metrics.to_json reg)
   | Csv -> print_string (Metrics.to_csv reg)
@@ -512,7 +519,7 @@ let mixed_queries ~seed ~keys ~total ~bound ?(s = 1.1) () =
    query count — then print the hottest hosts, the per-host congestion
    percentiles and Gini, and (for the skip-web structures) the
    per-level attribution from a small traced sample. *)
-let run_hotspots structure n queries seed m buckets k alpha cache jobs =
+let run_hotspots structure n queries seed m buckets k alpha cache jobs pool_stats =
   let keys = W.distinct_ints ~seed ~n ~bound:(100 * n) in
   Skipweb_util.Pool.with_pool ~jobs @@ fun pool ->
   let d = make_driver structure ~net_pad:16 ~seed ~m ~buckets ~cache ?pool keys in
@@ -612,6 +619,28 @@ let run_hotspots structure n queries seed m buckets k alpha cache jobs =
       | 0 -> ()
       | u -> Tables.add_row t [ "(none)"; string_of_int u ]);
       Tables.print t);
+  (* Per-slot pool utilization on request only — wall-clock figures, so
+     the default output stays comparable across jobs counts. *)
+  (if pool_stats then
+     match pool with
+     | None -> Printf.printf "pool utilization: sequential run (--jobs 1), no pool\n"
+     | Some p ->
+         let u = Skipweb_util.Pool.utilization p in
+         let t =
+           Tables.create
+             ~title:(Printf.sprintf "pool utilization (%d slots)" (Array.length u.Skipweb_util.Pool.tasks))
+             ~columns:[ "slot"; "tasks"; "busy s" ]
+         in
+         Array.iteri
+           (fun i n ->
+             Tables.add_row t
+               [
+                 string_of_int i;
+                 string_of_int n;
+                 Printf.sprintf "%.4f" u.Skipweb_util.Pool.busy_s.(i);
+               ])
+           u.Skipweb_util.Pool.tasks;
+         Tables.print t);
   0
 
 (* Watch a workload evolve: run [epochs] query batches and push one
@@ -874,7 +903,12 @@ let updates_arg = Arg.(value & opt int 50 & info [ "updates"; "u" ] ~docv:"U" ~d
 let seed_arg = Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 let m_arg = Arg.(value & opt (some int) None & info [ "m" ] ~docv:"M" ~doc:"Per-host memory target for skip-webs (default 4 log n).")
 let buckets_arg = Arg.(value & opt (some int) None & info [ "buckets" ] ~docv:"H" ~doc:"Host count for bucket structures (default n / log n).")
-let jobs_arg = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc:"Domains for the query phase and the write paths (bulk load, update rebuilds; skip-web structures only; 1 = sequential). Measured costs are identical for any value; only wall-clock time changes.")
+let jobs_arg =
+  (* Every subcommand's jobs count is validated here: values past the
+     hardware's recommended domain count are clamped with a stderr
+     warning instead of silently oversubscribing. *)
+  let raw = Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc:"Domains for the query phase and the write paths (bulk load, update rebuilds; skip-web structures only; 1 = sequential). Measured costs are identical for any value; only wall-clock time changes. Values above the recommended domain count are clamped with a warning.") in
+  Term.(const (fun j -> Skipweb_util.Pool.clamp_jobs j) $ raw)
 
 let query_cmd =
   let doc = "Measure query message costs on a structure." in
@@ -921,10 +955,13 @@ let churn_cmd =
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(const run_churn $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ r_arg $ epochs_arg $ fails_arg $ jobs_arg)
 
+let pool_stats_arg =
+  Arg.(value & flag & info [ "pool-stats" ] ~doc:"Include per-slot domain-pool utilization (tasks claimed, busy wall-clock) in the output. Off by default: the figures are wall-clock and jobs-dependent, so they would break byte-identical-across-jobs comparisons of the export.")
+
 let stats_cmd =
   let doc = "Run a query/update workload and dump the metrics registry (messages-per-op distributions, per-host traffic and memory histograms)." in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg $ jobs_arg)
+    Term.(const run_stats $ structure_arg $ n_arg $ queries_arg $ updates_arg $ seed_arg $ m_arg $ buckets_arg $ format_arg $ jobs_arg $ pool_stats_arg)
 
 let topk_arg =
   Arg.(value & opt int 10 & info [ "k"; "top"; "topk" ] ~docv:"K" ~doc:"Heavy-hitter table size: at most $(docv) hosts are monitored, whatever the host count.")
@@ -943,7 +980,7 @@ let cache_term = Term.(const (fun c k -> (c, k)) $ cache_levels_arg $ cache_repl
 let hotspots_cmd =
   let doc = "Drive mixed uniform + Zipf(--alpha) query traffic with the congestion observatory tapped in and report the hottest hosts (space-saving top-k), per-host congestion percentiles and Gini, the message-cost sketch, and (skip-web structures) the per-level load attribution — all in memory independent of the query count." in
   Cmd.v (Cmd.info "hotspots" ~doc)
-    Term.(const run_hotspots $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ topk_arg $ alpha_arg $ cache_term $ jobs_arg)
+    Term.(const run_hotspots $ structure_arg $ n_arg $ queries_arg $ seed_arg $ m_arg $ buckets_arg $ topk_arg $ alpha_arg $ cache_term $ jobs_arg $ pool_stats_arg)
 
 let ops_arg =
   Arg.(value & opt int 2000 & info [ "ops" ] ~docv:"OPS" ~doc:"Operations in the open-loop plan.")

@@ -581,6 +581,67 @@ let delete t k =
     update_cost t locate_msgs
   end
 
+(* ------- bulk maintenance updates ------- *)
+
+(* Canonical batch form: strictly increasing. Already-sorted input (the
+   common case for epoch-style feeds) passes through without copying. *)
+let sorted_distinct ks =
+  let m = Array.length ks in
+  let sorted = ref true in
+  for i = 1 to m - 1 do
+    if ks.(i - 1) >= ks.(i) then sorted := false
+  done;
+  if !sorted then ks
+  else begin
+    let xs = Array.copy ks in
+    Array.sort compare xs;
+    let w = ref 1 in
+    for r = 1 to m - 1 do
+      if xs.(r) <> xs.(!w - 1) then begin
+        xs.(!w) <- xs.(r);
+        incr w
+      end
+    done;
+    Array.sub xs 0 !w
+  end
+
+(* Run [f] with [pool] (when given) standing in for the structure's own,
+   so one batch op's ground-set splice *and* the rebuild it triggers fan
+   out under the same pool. *)
+let with_batch_pool t pool f =
+  match pool with
+  | None -> f t.pool
+  | Some _ ->
+      let saved = t.pool in
+      t.pool <- pool;
+      Fun.protect ~finally:(fun () -> t.pool <- saved) (fun () -> f pool)
+
+(* The bulk write path: splice the whole sorted batch into the ground
+   set through the chunk-sharded Ordseq engine, then rebuild the
+   block/cone maps once for the entire batch instead of once per key.
+   Like [repair], this is a maintenance operation — no locate queries
+   run and nothing is added to the network's message counters (the
+   online per-key bill is [update_cost] each). The splice shards over
+   disjoint chunk ranges and the rebuild fans its two phases, both
+   bit-identical to sequential for any jobs count. *)
+let insert_batch ?pool t ks =
+  let ks = sorted_distinct ks in
+  if Array.length ks = 0 then 0
+  else
+    with_batch_pool t pool (fun pool ->
+        let added = O.insert_batch ?pool t.keys ks in
+        if added > 0 then rebuild t;
+        added)
+
+let delete_batch ?pool t ks =
+  let ks = sorted_distinct ks in
+  if Array.length ks = 0 then 0
+  else
+    with_batch_pool t pool (fun pool ->
+        let gone = O.remove_batch ?pool t.keys ks in
+        if gone > 0 then rebuild t;
+        gone)
+
 let check_invariants t =
   let n = size t in
   for level = 0 to t.top do

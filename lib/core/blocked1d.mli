@@ -142,6 +142,24 @@ val insert : t -> int -> int
 
 val delete : t -> int -> int
 
+val insert_batch : ?pool:Skipweb_util.Pool.t -> t -> int array -> int
+(** Bulk maintenance insert: sort / dedup the batch, splice it into the
+    ground set through the chunk-sharded {!Skipweb_util.Ordseq} batch
+    engine, and rebuild the block / cone maps {e once} for the whole
+    batch instead of once per key. [?pool] (default: the structure's own
+    pool) shards the splice over disjoint chunk ranges and fans the
+    rebuild's bulk phases; the resulting structure and all memory
+    charges are bit-identical for any jobs count. Like {!repair}, the
+    bulk path is a maintenance operation: no locate queries run and
+    nothing is added to the network's message counters — the online
+    per-key bill is {!insert}'s. Returns the number of keys actually
+    inserted (duplicates of stored keys are no-ops). *)
+
+val delete_batch : ?pool:Skipweb_util.Pool.t -> t -> int array -> int
+(** Bulk counterpart of {!delete}: keys absent from the ground set are
+    no-ops; returns the number actually removed. Same pool, determinism
+    and accounting contract as {!insert_batch}. *)
+
 val check_invariants : t -> unit
 (** Level partitions, block coverage, replica coverage of non-basic
     ranges, and conflict-chain soundness on samples. *)

@@ -281,8 +281,10 @@ module Make (S : Range_structure.S) = struct
   (* Build every set of one level in a single pass over the ground set:
      bucket the keys by level prefix, then one [S.build] per bucket. Reads
      only [t.id_keys] (frozen during a batch) and writes only this level's
-     state, so levels build concurrently. *)
-  let build_level t ~charge level =
+     state, so levels build concurrently. When a pool is threaded in (the
+     coarse levels of the two-axis schedule, which run one at a time in
+     the caller), each bucket build may shard host-local work over it. *)
+  let build_level ?pool t ~charge level =
     let ly = t.layers.(level) in
     let buckets = Hashtbl.create 64 in
     Hashtbl.iter
@@ -293,7 +295,7 @@ module Make (S : Range_structure.S) = struct
       t.id_keys;
     Hashtbl.iter
       (fun b ks ->
-        let s = S.build (Array.of_list ks) in
+        let s = S.build ?pool (Array.of_list ks) in
         Hashtbl.replace ly.structures b s;
         charge_fresh t ~charge ly level b (S.range_ids s))
       buckets
@@ -314,7 +316,7 @@ module Make (S : Range_structure.S) = struct
     arena_add t id;
     id
 
-  let grow_top t =
+  let grow_top ?pool t =
     let wanted = required_top (size t) in
     if t.top < wanted then begin
       let old = t.layers in
@@ -322,66 +324,115 @@ module Make (S : Range_structure.S) = struct
         Array.init (wanted + 1) (fun l -> if l < Array.length old then old.(l) else fresh_layer ());
       while t.top < wanted do
         let level = t.top + 1 in
-        build_level t ~charge:(direct_charge t) level;
+        build_level ?pool t ~charge:(direct_charge t) level;
         t.top <- level
       done
     end
 
-  (* One level's slice of a bulk insertion: a single ascending sweep of the
-     sorted fresh batch through the level's sets. *)
-  let insert_sweep t ~charge fresh level =
-    let ly = t.layers.(level) in
+  (* Group a sorted (key, id) batch by this level's membership prefix.
+     Buckets come back in order of first appearance in the batch and keep
+     the batch's ascending key order inside each group — both are pure
+     functions of the batch, never of scheduling. *)
+  let bucket_sorted t batch level =
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
     Array.iter
-      (fun (k, id) ->
+      (fun ((_, id) as entry) ->
         let b = prefix t id level in
-        Hashtbl.replace (member_table ly b) id ();
-        match Hashtbl.find_opt ly.structures b with
-        | Some s -> apply_delta t ~charge ly level b (S.insert s k)
+        match Hashtbl.find_opt tbl b with
+        | Some l -> l := entry :: !l
         | None ->
-            let s = S.build [| k |] in
+            Hashtbl.replace tbl b (ref [ entry ]);
+            order := b :: !order)
+      batch;
+    List.rev_map (fun b -> (b, Array.of_list (List.rev !(Hashtbl.find tbl b)))) !order
+    |> List.rev
+
+  (* One level's slice of a bulk insertion: group the sorted fresh batch
+     by membership prefix, then one batch splice per level set —
+     [S.insert_batch] nets the same deltas the per-key loop reported, and
+     shards the splice over [?pool] when the two-axis schedule threads
+     one in. A set the batch creates from nothing takes one canonical
+     [S.build] over its whole group. *)
+  let insert_sweep ?pool t ~charge fresh level =
+    let ly = t.layers.(level) in
+    List.iter
+      (fun (b, group) ->
+        Array.iter (fun (_, id) -> Hashtbl.replace (member_table ly b) id ()) group;
+        let ks = Array.map fst group in
+        match Hashtbl.find_opt ly.structures b with
+        | Some s -> apply_delta t ~charge ly level b (S.insert_batch ?pool s ks)
+        | None ->
+            let s = S.build ?pool ks in
             Hashtbl.replace ly.structures b s;
             charge_fresh t ~charge ly level b (S.range_ids s))
-      fresh
+      (bucket_sorted t fresh level)
 
   (* One level's slice of a bulk deletion: drop a set's structure outright
-     once the batch empties its member set. *)
-  let remove_sweep t ~charge victims level =
+     once the batch empties its member set (releasing every charge it
+     held — same net charges as removing its keys one at a time), batch
+     removal otherwise. *)
+  let remove_sweep ?pool t ~charge victims level =
     let ly = t.layers.(level) in
-    Array.iter
-      (fun (k, id) ->
-        let b = prefix t id level in
-        Hashtbl.remove (member_table ly b) id;
+    List.iter
+      (fun (b, group) ->
+        Array.iter (fun (_, id) -> Hashtbl.remove (member_table ly b) id) group;
         match Hashtbl.find_opt ly.structures b with
         | Some s ->
             if Hashtbl.length (member_table ly b) = 0 then begin
               Hashtbl.remove ly.structures b;
               uncharge_set t ~charge ly level b
             end
-            else apply_delta t ~charge ly level b (S.remove s k)
+            else apply_delta t ~charge ly level b (S.remove_batch ?pool s (Array.map fst group))
         | None -> failwith "Hierarchy.remove_batch: missing structure")
-      victims
+      (bucket_sorted t victims level)
 
-  (* Fan one task per level out over the pool, heaviest level first. Level
-     ℓ holds every key whose first ℓ coins came up heads, so per-level
-     sweep cost falls geometrically with ℓ — exactly the skew
-     [Pool.parallel_for_tasks] largest-first dispatch is for: static
-     equal-count chunking would hand level 0 and the trivial top levels to
-     the same domain. Each task buffers its memory charges and commits the
-     netted per-host sums through the network's atomics, so per-host
-     memory is bit-identical to the sequential loop for any jobs count. *)
-  let run_levels ?pool t f =
+  (* How many of the biggest levels get intra-level sharding instead of a
+     level task of their own: level ℓ holds ~n/2^ℓ keys, so levels up to
+     log2(jobs) each still carry at least a whole domain's fair share and
+     are worth splitting across every domain. *)
+  let coarse_levels t p =
+    let jobs = Pool.jobs p in
+    let rec lg acc = if 1 lsl acc >= jobs then acc else lg (acc + 1) in
+    min t.top (lg 0)
+
+  (* The two-axis schedule. Level ℓ holds every key whose first ℓ coins
+     came up heads, so per-level sweep cost falls geometrically with ℓ —
+     fanning one task per level caps the speedup at the level count and
+     serializes everything behind level 0's task. Instead: the coarse
+     levels (0 .. log2 jobs) run one at a time in the caller with the
+     pool threaded {e into} the sweep, where the chunk-shard batch engine
+     splits the level's splice across every domain; the remaining levels
+     then fan out one task per level, heaviest first, as before. The two
+     phases cannot overlap (the pool is not re-entrant), but the fanned
+     tail holds at most ~n/jobs of the work, so little is lost.
+
+     Charge discipline: the coarse phase charges the network directly
+     (nothing else is charging), the fanned tasks buffer and commit
+     netted per-host sums through the network's atomics — either way
+     per-host memory is bit-identical to the sequential loop for any
+     jobs count. *)
+  let run_levels ?pool t (f : ?pool:Pool.t -> charge:(int -> int -> unit) -> int -> unit) =
     match pool with
     | None ->
         for level = 0 to t.top do
           f ~charge:(direct_charge t) level
         done
     | Some p ->
-        let n = size t in
-        let weights = Array.init (t.top + 1) (fun level -> (n lsr level) + 1) in
-        Pool.parallel_for_tasks p ~weights (fun level ->
-            let buf = Network.deferred_charges t.net in
-            f ~charge:(Network.charge buf) level;
-            Network.commit_charges buf)
+        let coarse = coarse_levels t p in
+        for level = 0 to coarse do
+          f ~pool:p ~charge:(direct_charge t) level
+        done;
+        let rest = t.top - coarse in
+        if rest > 0 then begin
+          let n = size t in
+          let weights = Array.init rest (fun i -> (n lsr (coarse + 1 + i)) + 1) in
+          Pool.parallel_for_tasks p ~weights (fun i ->
+              let level = coarse + 1 + i in
+              let buf = Network.deferred_charges t.net in
+              f ~charge:(Network.charge buf) level;
+              Network.commit_charges buf)
+        end
 
   (* Bulk insertion: register the whole batch (drawing every membership
      coin sequentially), then stream it through the hierarchy level by
@@ -404,13 +455,13 @@ module Make (S : Range_structure.S) = struct
     else if was_empty then begin
       t.top <- required_top (size t);
       t.layers <- Array.init (t.top + 1) (fun _ -> fresh_layer ());
-      run_levels ?pool t (fun ~charge level -> build_level t ~charge level);
+      run_levels ?pool t (fun ?pool ~charge level -> build_level ?pool t ~charge level);
       count
     end
     else begin
       Array.sort (fun (a, _) (b, _) -> compare a b) fresh;
-      run_levels ?pool t (fun ~charge level -> insert_sweep t ~charge fresh level);
-      grow_top t;
+      run_levels ?pool t (fun ?pool ~charge level -> insert_sweep ?pool t ~charge fresh level);
+      grow_top ?pool t;
       count
     end
 
@@ -727,7 +778,7 @@ module Make (S : Range_structure.S) = struct
     if count = 0 then 0
     else begin
       Array.sort (fun (a, _) (b, _) -> compare a b) victims;
-      run_levels ?pool t (fun ~charge level -> remove_sweep t ~charge victims level);
+      run_levels ?pool t (fun ?pool ~charge level -> remove_sweep ?pool t ~charge victims level);
       Array.iter
         (fun (k, id) ->
           Hashtbl.remove t.key_ids k;

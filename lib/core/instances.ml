@@ -50,7 +50,7 @@ module Ints :
   let name = "sorted-list"
   let visit_label = "list-walk"
 
-  let build keys = { xs = O.of_array keys }
+  let build ?pool keys = { xs = O.of_array ?pool keys }
 
   let size t = O.length t.xs
   let storage_units t = (2 * O.length t.xs) + 1
@@ -75,6 +75,49 @@ module Ints :
     let n = O.length t.xs in
     if O.remove t.xs k then { Range_structure.added = []; removed = [ (2 * n) - 1; 2 * n ] }
     else Range_structure.empty_delta
+
+  (* Batches must reach the chunk-shard engine strictly increasing;
+     callers may hand over merely sorted (or unsorted) key runs. *)
+  let sorted_distinct ks =
+    let m = Array.length ks in
+    if m <= 1 then ks
+    else begin
+      let sorted = ref true in
+      for i = 1 to m - 1 do
+        if ks.(i - 1) >= ks.(i) then sorted := false
+      done;
+      if !sorted then ks
+      else begin
+        let a = Array.copy ks in
+        Array.sort compare a;
+        let w = ref 1 in
+        for i = 1 to m - 1 do
+          if a.(i) <> a.(!w - 1) then begin
+            a.(!w) <- a.(i);
+            incr w
+          end
+        done;
+        Array.sub a 0 !w
+      end
+    end
+
+  (* The dense-code deltas of a batch: g new keys over a set of n0 extend
+     the code space by 2g codes — exactly the union of the per-key loop's
+     [(2n+1; 2n+2)] steps as n runs n0 .. n0+g-1, already ascending. *)
+  let insert_batch ?pool t ks =
+    let n0 = O.length t.xs in
+    let added = O.insert_batch ?pool t.xs (sorted_distinct ks) in
+    if added = 0 then Range_structure.empty_delta
+    else
+      { Range_structure.added = List.init (2 * added) (fun i -> (2 * n0) + 1 + i); removed = [] }
+
+  let remove_batch ?pool t ks =
+    let n0 = O.length t.xs in
+    let gone = O.remove_batch ?pool t.xs (sorted_distinct ks) in
+    if gone = 0 then Range_structure.empty_delta
+    else
+      let n1 = n0 - gone in
+      { Range_structure.added = []; removed = List.init (2 * gone) (fun i -> (2 * n1) + 1 + i) }
 
   let probe k = k
 
@@ -142,7 +185,10 @@ end) :
   let name = Printf.sprintf "quadtree-%dd" D.dim
   let visit_label = "cube-walk"
 
-  let build keys = Cqtree.build ~dim:D.dim keys
+  let build ?pool keys =
+    ignore pool;
+    Cqtree.build ~dim:D.dim keys
+
   let size = Cqtree.size
   let storage_units = Cqtree.node_count
 
@@ -158,6 +204,14 @@ end) :
   let remove t k =
     let _, added, removed = Cqtree.remove_delta t k in
     { Range_structure.added; removed }
+
+  let insert_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold insert t ks
+
+  let remove_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold remove t ks
 
   let probe k = k
 
@@ -216,7 +270,10 @@ module Strings :
   let name = "trie"
   let visit_label = "trie-walk"
 
-  let build = Ctrie.build
+  let build ?pool keys =
+    ignore pool;
+    Ctrie.build keys
+
   let size = Ctrie.size
   let storage_units = Ctrie.node_count
 
@@ -232,6 +289,14 @@ module Strings :
   let remove t k =
     let _, added, removed = Ctrie.remove_delta t k in
     { Range_structure.added; removed }
+
+  let insert_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold insert t ks
+
+  let remove_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold remove t ks
 
   let probe k = k
 
@@ -277,7 +342,10 @@ module Segments :
   let name = "trapezoidal-map"
   let visit_label = "trap-walk"
 
-  let build keys = Trapmap.build keys
+  let build ?pool keys =
+    ignore pool;
+    Trapmap.build keys
+
   let size = Trapmap.segment_count
   let storage_units = Trapmap.trap_count
 
@@ -289,6 +357,14 @@ module Segments :
 
   let remove _t _k =
     failwith "Segments.remove: trapezoidal-map deletion is out of scope (paper §4 amortizes insertions only)"
+
+  let insert_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold insert t ks
+
+  let remove_batch ?pool t ks =
+    ignore pool;
+    Range_structure.batch_of_fold remove t ks
 
   (* A point just above the segment's midpoint locates where the segment
      will land. *)

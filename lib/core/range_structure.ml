@@ -49,6 +49,31 @@ type range_delta = { added : int list; removed : int list }
 
 let empty_delta = { added = []; removed = [] }
 
+(** Net effect of a sequence of per-key deltas, in application order. Ids
+    are never reused, so an id created and then destroyed inside the batch
+    cancels exactly; everything else survives. Both output lists are
+    sorted ascending — a canonical order, so the net delta is a pure
+    function of the delta {e multiset} and batch implementations that
+    reorder or regroup per-key work still report identical deltas. *)
+let net_deltas ds =
+  let added = Hashtbl.create 16 in
+  let removed = ref [] in
+  List.iter
+    (fun d ->
+      List.iter (fun id -> Hashtbl.replace added id ()) d.added;
+      List.iter
+        (fun id -> if Hashtbl.mem added id then Hashtbl.remove added id else removed := id :: !removed)
+        d.removed)
+    ds;
+  let adds = Hashtbl.fold (fun id () acc -> id :: acc) added [] in
+  { added = List.sort compare adds; removed = List.sort compare !removed }
+
+(** Per-key fallback for structures without a native batch path: apply
+    [op] key by key in array order and net the deltas. The mutations and
+    ids are exactly the per-key loop's, only the reporting is batched. *)
+let batch_of_fold op t keys =
+  net_deltas (List.rev (Array.fold_left (fun acc k -> op t k :: acc) [] keys))
+
 module type S = sig
   type key
   type query
@@ -74,8 +99,12 @@ module type S = sig
       hierarchy descents. Must be a constant — it is attached to hops on
       the traced path only and must not cost allocation per hop. *)
 
-  val build : key array -> t
-  (** Canonical build; duplicates are ignored. *)
+  val build : ?pool:Skipweb_util.Pool.t -> key array -> t
+  (** Canonical build; duplicates are ignored. [?pool] may be used to
+      parallelize host-local construction work; because the result is
+      canonical in the key {e set}, a pooled build must produce exactly
+      the structure the sequential build produces (instances without a
+      parallel path simply ignore the pool). *)
 
   val size : t -> int
   (** Number of keys currently stored. *)
@@ -96,6 +125,21 @@ module type S = sig
   (** Delete a key (no-op if absent, returning {!empty_delta}). Raises
       [Failure] for structures whose deletions are out of scope
       (trapezoidal maps, per §4's hedge). *)
+
+  val insert_batch : ?pool:Skipweb_util.Pool.t -> t -> key array -> range_delta
+  (** Add a whole sorted batch of keys (duplicates — of each other or of
+      stored keys — are no-ops) and return the {e net} delta: exactly
+      {!net_deltas} of the per-key deltas the one-at-a-time loop would
+      have produced, with both lists in ascending id order. Instances
+      with a native batch engine (the 1-d sorted list) shard the splice
+      over [?pool] workers; the net delta and the final structure must
+      still be bit-identical to the sequential per-key loop for any job
+      count. *)
+
+  val remove_batch : ?pool:Skipweb_util.Pool.t -> t -> key array -> range_delta
+  (** Batch counterpart of {!remove}, same contract shape as
+      {!insert_batch}; raises [Failure] on non-empty batches for
+      structures whose deletions are out of scope. *)
 
   val probe : key -> query
   (** A query that routes to the place a key occupies (or would occupy) —

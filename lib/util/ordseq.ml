@@ -326,9 +326,68 @@ let dedup_sorted a =
     !m
   end
 
-let of_array a =
+(* Sort a copy of [a], splitting the sort over the pool when the input is
+   big enough to pay for it: static segments sorted concurrently, then
+   deterministic pairwise merge rounds. The sorted multiset of ints is
+   unique whatever the segmentation, so the result is byte-identical to
+   the sequential sort for any job count. *)
+let sorted_copy ?pool a =
   let a = Array.copy a in
-  Array.sort compare a;
+  let n = Array.length a in
+  let parts =
+    match pool with
+    | Some p when n >= 8192 && Pool.jobs p > 1 -> min (Pool.jobs p) (n / 4096)
+    | _ -> 1
+  in
+  if parts < 2 then begin
+    Array.sort compare a;
+    a
+  end
+  else begin
+    let base = n / parts and extra = n mod parts in
+    let segs =
+      Array.init parts (fun i ->
+          let start = (i * base) + min i extra in
+          let len = base + if i < extra then 1 else 0 in
+          Array.sub a start len)
+    in
+    (match pool with
+    | Some p -> Pool.parallel_for p ~lo:0 ~hi:parts (fun i -> Array.sort compare segs.(i))
+    | None -> Array.iter (Array.sort compare) segs);
+    let merge2 x y =
+      let lx = Array.length x and ly = Array.length y in
+      let out = Array.make (lx + ly) 0 in
+      let i = ref 0 and j = ref 0 and o = ref 0 in
+      while !i < lx && !j < ly do
+        if x.(!i) <= y.(!j) then begin
+          out.(!o) <- x.(!i);
+          incr i
+        end
+        else begin
+          out.(!o) <- y.(!j);
+          incr j
+        end;
+        incr o
+      done;
+      Array.blit x !i out !o (lx - !i);
+      Array.blit y !j out (!o + lx - !i) (ly - !j);
+      out
+    in
+    let rec rounds = function
+      | [] -> [||]
+      | [ s ] -> s
+      | segs ->
+          let rec pair = function
+            | x :: y :: rest -> merge2 x y :: pair rest
+            | tail -> tail
+          in
+          rounds (pair segs)
+    in
+    rounds (Array.to_list segs)
+  end
+
+let of_array ?pool a =
+  let a = sorted_copy ?pool a in
   let m = dedup_sorted a in
   let t = create () in
   load t a m;
@@ -433,6 +492,256 @@ let range_keys t ~lo ~hi =
     end
   end
 
+(* ---------- parallel batch splice ---------- *)
+
+(* The batch engine: route a sorted batch to chunks through the [cmax]
+   summary (so every chunk owns a disjoint slice of the batch), apply
+   each chunk's slice independently — pool workers handle whole chunks,
+   each writing only its own [plan] slot — then run a sequential
+   merge/commit pass that rebuilds the chunk table, the maxima and the
+   Fenwick counts. The per-chunk apply is deterministic and the commit
+   pass reads the plan in chunk order, so the final layout is a pure
+   function of (pre-state, batch): identical for any job count. *)
+
+(* [seg] has nchunks + 1 entries; chunk [j] owns batch slice
+   [seg.(j), seg.(j+1)). [affected] lists the chunks whose slice is
+   non-empty. *)
+let affected_chunks nch seg =
+  let n = ref 0 in
+  for j = 0 to nch - 1 do
+    if seg.(j + 1) > seg.(j) then incr n
+  done;
+  let out = Array.make !n 0 in
+  let i = ref 0 in
+  for j = 0 to nch - 1 do
+    if seg.(j + 1) > seg.(j) then begin
+      out.(!i) <- j;
+      incr i
+    end
+  done;
+  out
+
+(* Run [apply i] for every affected chunk: over the pool when there are
+   at least two shards to overlap (largest slices dispatched first),
+   inline otherwise. Each call writes a distinct plan slot, so the plan
+   contents never depend on which domain ran which shard. *)
+let dispatch_shards pool t seg aff apply =
+  let naff = Array.length aff in
+  match pool with
+  | Some p when naff >= 2 && Pool.jobs p > 1 ->
+      let weights =
+        Array.init naff (fun i ->
+            let j = aff.(i) in
+            t.clen.(j) + (seg.(j + 1) - seg.(j)))
+      in
+      Pool.parallel_for_tasks p ~weights apply
+  | _ ->
+      for i = 0 to naff - 1 do
+        apply i
+      done
+
+(* Sequential merge/commit: rebuild the chunk table from [plan]
+   (plan.(j) = Some (arr, len) replaces chunk j's live content, None
+   keeps it), splitting oversized results into balanced parts and
+   folding runts into their left neighbour, then refresh the maxima, the
+   Fenwick sums and the re-chunk trigger. Every split part lands in
+   [target/2, target + 1): below the split threshold, above the merge
+   one, so the normal single-op invariants hold afterwards. *)
+let commit_plan t plan =
+  let tgt = t.target in
+  let nch = t.nchunks in
+  let cap = ref (max 4 nch) in
+  let out_chunk = ref (Array.make !cap [||]) in
+  let out_len = ref (Array.make !cap 0) in
+  let n_out = ref 0 in
+  let push arr len =
+    if len > 0 then begin
+      let merged =
+        !n_out > 0
+        &&
+        let pl = !out_len.(!n_out - 1) in
+        (4 * len < tgt || 4 * pl < tgt) && pl + len < 2 * tgt
+      in
+      if merged then begin
+        let pj = !n_out - 1 in
+        let pl = !out_len.(pj) in
+        let parr = !out_chunk.(pj) in
+        let parr =
+          if Array.length parr < pl + len then begin
+            let na = Array.make (max (pl + len) (2 * Array.length parr)) 0 in
+            Array.blit parr 0 na 0 pl;
+            !out_chunk.(pj) <- na;
+            na
+          end
+          else parr
+        in
+        Array.blit arr 0 parr pl len;
+        !out_len.(pj) <- pl + len
+      end
+      else begin
+        if !n_out = !cap then begin
+          cap := 2 * !cap;
+          let nc = Array.make !cap [||] and nl = Array.make !cap 0 in
+          Array.blit !out_chunk 0 nc 0 !n_out;
+          Array.blit !out_len 0 nl 0 !n_out;
+          out_chunk := nc;
+          out_len := nl
+        end;
+        !out_chunk.(!n_out) <- arr;
+        !out_len.(!n_out) <- len;
+        incr n_out
+      end
+    end
+  in
+  for j = 0 to nch - 1 do
+    let arr, len =
+      match plan.(j) with Some (a, l) -> (a, l) | None -> (t.chunk.(j), t.clen.(j))
+    in
+    if len >= 2 * tgt then begin
+      let parts = (len + tgt - 1) / tgt in
+      let base = len / parts and extra = len mod parts in
+      let off = ref 0 in
+      for p = 0 to parts - 1 do
+        let l = base + if p < extra then 1 else 0 in
+        let a = Array.make (max (2 * tgt) l) 0 in
+        Array.blit arr !off a 0 l;
+        off := !off + l;
+        push a l
+      done
+    end
+    else push arr len
+  done;
+  let m = !n_out in
+  let slots = max 4 m in
+  let chunk = Array.make slots [||] and clen = Array.make slots 0 and cmax = Array.make slots 0 in
+  let total = ref 0 in
+  for j = 0 to m - 1 do
+    let a = !out_chunk.(j) and l = !out_len.(j) in
+    chunk.(j) <- a;
+    clen.(j) <- l;
+    cmax.(j) <- a.(l - 1);
+    total := !total + l
+  done;
+  t.chunk <- chunk;
+  t.clen <- clen;
+  t.cmax <- cmax;
+  t.nchunks <- m;
+  t.total <- !total;
+  fen_rebuild t;
+  maybe_rechunk t
+
+let validate_batch ~what ks =
+  let m = Array.length ks in
+  for i = 1 to m - 1 do
+    if ks.(i - 1) >= ks.(i) then invalid_arg (what ^ ": batch not strictly increasing")
+  done;
+  m
+
+let insert_batch ?pool t ks =
+  let m = validate_batch ~what:"Ordseq.insert_batch" ks in
+  if m = 0 then 0
+  else if t.nchunks = 0 then begin
+    load t ks m;
+    m
+  end
+  else begin
+    let nch = t.nchunks in
+    let seg = Array.make (nch + 1) 0 in
+    seg.(nch) <- m;
+    for j = 1 to nch - 1 do
+      (* Keys <= cmax.(j-1) go left of chunk j; keys beyond the last
+         maximum fall to the last chunk, matching [insert]'s clamp. *)
+      seg.(j) <- array_upper_index ~len:m ks t.cmax.(j - 1) + 1
+    done;
+    let aff = affected_chunks nch seg in
+    let plan = Array.make nch None in
+    let dups = Array.make (Array.length aff) 0 in
+    let apply i =
+      let j = aff.(i) in
+      let lo = seg.(j) and hi = seg.(j + 1) in
+      let c = t.chunk.(j) and len = t.clen.(j) in
+      let out = Array.make (len + (hi - lo)) 0 in
+      let o = ref 0 and a = ref 0 and b = ref lo in
+      while !a < len && !b < hi do
+        let x = c.(!a) and y = ks.(!b) in
+        if x < y then begin
+          out.(!o) <- x;
+          incr a
+        end
+        else if x > y then begin
+          out.(!o) <- y;
+          incr b
+        end
+        else begin
+          out.(!o) <- x;
+          incr a;
+          incr b;
+          dups.(i) <- dups.(i) + 1
+        end;
+        incr o
+      done;
+      while !a < len do
+        out.(!o) <- c.(!a);
+        incr o;
+        incr a
+      done;
+      while !b < hi do
+        out.(!o) <- ks.(!b);
+        incr o;
+        incr b
+      done;
+      plan.(j) <- Some (out, !o)
+    in
+    dispatch_shards pool t seg aff apply;
+    commit_plan t plan;
+    m - Array.fold_left ( + ) 0 dups
+  end
+
+let remove_batch ?pool t ks =
+  let m = validate_batch ~what:"Ordseq.remove_batch" ks in
+  if m = 0 || t.nchunks = 0 then 0
+  else begin
+    let nch = t.nchunks in
+    let seg = Array.make (nch + 1) 0 in
+    (* Keys beyond the last maximum are absent; clip them off the last
+       chunk's slice instead of scanning them. *)
+    seg.(nch) <- array_upper_index ~len:m ks t.cmax.(nch - 1) + 1;
+    for j = 1 to nch - 1 do
+      seg.(j) <- array_upper_index ~len:m ks t.cmax.(j - 1) + 1
+    done;
+    let aff = affected_chunks nch seg in
+    let plan = Array.make nch None in
+    let gone = Array.make (Array.length aff) 0 in
+    let apply i =
+      let j = aff.(i) in
+      let lo = seg.(j) and hi = seg.(j + 1) in
+      let c = t.chunk.(j) and len = t.clen.(j) in
+      (* In-place left compaction: the write cursor never passes the
+         read cursor, so no scratch array is needed. *)
+      let w = ref 0 and s = ref lo in
+      for r = 0 to len - 1 do
+        let x = c.(r) in
+        while !s < hi && ks.(!s) < x do
+          incr s
+        done;
+        if !s < hi && ks.(!s) = x then begin
+          incr s;
+          gone.(i) <- gone.(i) + 1
+        end
+        else begin
+          c.(!w) <- x;
+          incr w
+        end
+      done;
+      plan.(j) <- Some (c, !w)
+    in
+    dispatch_shards pool t seg aff apply;
+    commit_plan t plan;
+    Array.fold_left ( + ) 0 gone
+  end
+
+let chunk_lengths t = Array.init t.nchunks (fun j -> t.clen.(j))
+
 (* ---------- invariant checks ---------- *)
 
 let check_core ~sorted ~what t =
@@ -504,6 +813,118 @@ module Vec = struct
     let v = t.chunk.(j).(p) in
     del t j p;
     v
+
+  (* Chunk start offsets: off.(j) = global position of chunk j's first
+     cell (off.(nchunks) = total). *)
+  let chunk_offsets t =
+    let off = Array.make (t.nchunks + 1) 0 in
+    for j = 0 to t.nchunks - 1 do
+      off.(j + 1) <- off.(j) + t.clen.(j)
+    done;
+    off
+
+  (* First batch index whose position is >= k. *)
+  let pos_lower_bound pos m k =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) lsr 1 in
+        if pos mid < k then go (mid + 1) hi else go lo mid
+    in
+    go 0 m
+
+  let insert_at_batch ?pool t pairs =
+    let m = Array.length pairs in
+    for i = 0 to m - 1 do
+      let p = fst pairs.(i) in
+      if p < 0 || p > t.total then invalid_arg "Ordseq.Vec.insert_at_batch: position out of range";
+      if i > 0 && fst pairs.(i - 1) > p then
+        invalid_arg "Ordseq.Vec.insert_at_batch: positions not sorted"
+    done;
+    if m = 0 then ()
+    else if t.nchunks = 0 then load t (Array.map snd pairs) m
+    else begin
+      let nch = t.nchunks in
+      let off = chunk_offsets t in
+      let seg = Array.make (nch + 1) 0 in
+      seg.(nch) <- m;
+      for j = 1 to nch - 1 do
+        (* A position equal to a chunk's start offset prepends to that
+           chunk — the [fen_find] routing of the single op; positions at
+           [total] fall to the last chunk, matching [insert_at]. *)
+        seg.(j) <- pos_lower_bound (fun i -> fst pairs.(i)) m off.(j)
+      done;
+      let aff = affected_chunks nch seg in
+      let plan = Array.make nch None in
+      let apply i =
+        let j = aff.(i) in
+        let lo = seg.(j) and hi = seg.(j + 1) in
+        let base = off.(j) in
+        let c = t.chunk.(j) and len = t.clen.(j) in
+        let out = Array.make (len + (hi - lo)) 0 in
+        let o = ref 0 and s = ref lo in
+        for r = 0 to len - 1 do
+          while !s < hi && fst pairs.(!s) - base <= r do
+            out.(!o) <- snd pairs.(!s);
+            incr o;
+            incr s
+          done;
+          out.(!o) <- c.(r);
+          incr o
+        done;
+        while !s < hi do
+          out.(!o) <- snd pairs.(!s);
+          incr o;
+          incr s
+        done;
+        plan.(j) <- Some (out, len + (hi - lo))
+      in
+      dispatch_shards pool t seg aff apply;
+      commit_plan t plan
+    end
+
+  let remove_at_batch ?pool t positions =
+    let m = Array.length positions in
+    for i = 0 to m - 1 do
+      if positions.(i) < 0 || positions.(i) >= t.total then
+        invalid_arg "Ordseq.Vec.remove_at_batch: position out of range";
+      if i > 0 && positions.(i - 1) >= positions.(i) then
+        invalid_arg "Ordseq.Vec.remove_at_batch: positions not strictly increasing"
+    done;
+    let removed = Array.make m 0 in
+    if m > 0 then begin
+      let nch = t.nchunks in
+      let off = chunk_offsets t in
+      let seg = Array.make (nch + 1) 0 in
+      seg.(nch) <- m;
+      for j = 1 to nch - 1 do
+        seg.(j) <- pos_lower_bound (fun i -> positions.(i)) m off.(j)
+      done;
+      let aff = affected_chunks nch seg in
+      let plan = Array.make nch None in
+      let apply i =
+        let j = aff.(i) in
+        let lo = seg.(j) and hi = seg.(j + 1) in
+        let base = off.(j) in
+        let c = t.chunk.(j) and len = t.clen.(j) in
+        let w = ref 0 and s = ref lo in
+        for r = 0 to len - 1 do
+          if !s < hi && positions.(!s) - base = r then begin
+            (* Slot [!s] of [removed] belongs to this chunk alone. *)
+            removed.(!s) <- c.(r);
+            incr s
+          end
+          else begin
+            c.(!w) <- c.(r);
+            incr w
+          end
+        done;
+        plan.(j) <- Some (c, !w)
+      in
+      dispatch_shards pool t seg aff apply;
+      commit_plan t plan
+    end;
+    removed
 
   let iter = iter
   let to_array = to_array

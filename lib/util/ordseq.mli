@@ -45,9 +45,12 @@ val of_sorted_array : int array -> t
 (** O(n) bulk load. The input must be strictly increasing; raises
     [Invalid_argument] otherwise. The array is copied. *)
 
-val of_array : int array -> t
+val of_array : ?pool:Pool.t -> int array -> t
 (** Copy, single sort, in-place dedup, then bulk load — the constructor
-    [Instances.Ints.build] uses (no intermediate list, no double sort). *)
+    [Instances.Ints.build] uses (no intermediate list, no double sort).
+    With [?pool] the sort splits into per-domain segments merged
+    deterministically, so the result is byte-identical to the sequential
+    sort for any job count. *)
 
 val length : t -> int
 val is_empty : t -> bool
@@ -95,8 +98,29 @@ val to_array : t -> int array
 val range_keys : t -> lo:int -> hi:int -> int list
 (** Keys in the closed interval [\[lo, hi\]], ascending — O(log n + k). *)
 
+val insert_batch : ?pool:Pool.t -> t -> int array -> int
+(** [insert_batch ?pool t ks] adds every key of the strictly increasing
+    batch [ks] and returns how many were actually new (duplicates of
+    stored keys are skipped). The batch is routed to chunks by the
+    summary array; each affected chunk's slice is spliced independently
+    — over [?pool] workers when given — and a sequential merge/commit
+    pass then rebuilds the chunk summaries and Fenwick counts. The final
+    layout is a pure function of the pre-state and the batch: bit
+    identical for any job count, including [?pool = None]. Raises
+    [Invalid_argument] if [ks] is not strictly increasing. *)
+
+val remove_batch : ?pool:Pool.t -> t -> int array -> int
+(** [remove_batch ?pool t ks] drops every stored key of the strictly
+    increasing batch [ks] (absent keys are ignored) and returns how many
+    were removed. Same sharding, determinism and cost shape as
+    {!insert_batch}; affected chunks compact in place. *)
+
 val chunk_count : t -> int
 (** Number of live chunks (tests assert the O(√n) shape). *)
+
+val chunk_lengths : t -> int array
+(** Live length of every chunk in order — the layout probe the
+    parallel-splice tests compare across job counts. *)
 
 val check : t -> unit
 (** Validates chunk bounds, maxima, Fenwick sums and strict global
@@ -123,6 +147,19 @@ module Vec : sig
 
   val remove_at : t -> int -> int
   (** Removes and returns the element at position [i]. *)
+
+  val insert_at_batch : ?pool:Pool.t -> t -> (int * int) array -> unit
+  (** [insert_at_batch ?pool t pairs] splices every [(pos, v)] of
+      [pairs] in one pass. Positions are relative to the {e original}
+      vector, must be non-decreasing and within [0, length]; each [v]
+      lands before the original element at [pos] (equal positions keep
+      batch order). Chunk-sharded like {!Skipweb_util.Ordseq.insert_batch}:
+      layout and contents are identical for any job count. *)
+
+  val remove_at_batch : ?pool:Pool.t -> t -> int array -> int array
+  (** [remove_at_batch ?pool t positions] removes the elements at the
+      strictly increasing original positions and returns them in that
+      order. *)
 
   val iter : (int -> unit) -> t -> unit
   val to_array : t -> int array

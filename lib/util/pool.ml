@@ -3,28 +3,38 @@ type t = {
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : (int -> unit) Queue.t;  (* tasks receive the executing slot *)
   mutable pending : int;  (* tasks queued or executing, current batch *)
   mutable active : bool;  (* a parallel batch is in flight *)
   mutable stop : bool;
   mutable failure : exn option;
   mutable workers : unit Domain.t list;
+  (* Per-slot utilization, indexed by executing domain: worker domain [i]
+     owns slot [i], the submitting domain owns slot [jobs - 1]. Each slot
+     is only ever written by its own domain; [run_batch]'s final mutex
+     round gives the submitter a consistent view once a batch returns. *)
+  stat_tasks : int array;
+  stat_busy : float array;
 }
 
-(* Run one task; record the first exception rather than killing the domain,
-   then account for its completion. *)
-let exec pool task =
-  (try task ()
+(* Run one queued closure; record the first exception rather than killing
+   the domain, then account for its completion and the slot's busy time.
+   Work items (indices, dynamic claims) are counted by the dispatchers,
+   which know how many an executing closure covers. *)
+let exec pool slot task =
+  let t0 = Unix.gettimeofday () in
+  (try task slot
    with e ->
      Mutex.lock pool.mutex;
      if pool.failure = None then pool.failure <- Some e;
      Mutex.unlock pool.mutex);
+  pool.stat_busy.(slot) <- pool.stat_busy.(slot) +. (Unix.gettimeofday () -. t0);
   Mutex.lock pool.mutex;
   pool.pending <- pool.pending - 1;
   if pool.pending = 0 then Condition.broadcast pool.work_done;
   Mutex.unlock pool.mutex
 
-let rec worker_loop pool =
+let rec worker_loop pool slot =
   Mutex.lock pool.mutex;
   while Queue.is_empty pool.queue && not pool.stop do
     Condition.wait pool.work_ready pool.mutex
@@ -33,8 +43,8 @@ let rec worker_loop pool =
   else begin
     let task = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
-    exec pool task;
-    worker_loop pool
+    exec pool slot task;
+    worker_loop pool slot
   end
 
 let create ~jobs =
@@ -51,24 +61,57 @@ let create ~jobs =
       stop = false;
       failure = None;
       workers = [];
+      stat_tasks = Array.make jobs 0;
+      stat_busy = Array.make jobs 0.0;
     }
   in
   (* The caller participates in draining the queue, so jobs - 1 extra
      domains suffice for a concurrency level of [jobs]. *)
-  pool.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.workers <- List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool i));
   pool
 
 let jobs pool = pool.jobs
 
+let clamp_jobs ?(warn = true) jobs =
+  let cap = Domain.recommended_domain_count () in
+  if jobs > cap then begin
+    if warn then
+      Printf.eprintf
+        "warning: --jobs %d exceeds the recommended domain count %d; clamping to %d\n%!" jobs cap
+        cap;
+    cap
+  end
+  else jobs
+
+type utilization = { tasks : int array; busy_s : float array }
+
+let utilization pool =
+  { tasks = Array.copy pool.stat_tasks; busy_s = Array.copy pool.stat_busy }
+
+let reset_utilization pool =
+  Array.fill pool.stat_tasks 0 pool.jobs 0;
+  Array.fill pool.stat_busy 0 pool.jobs 0.0
+
+let record_metrics pool reg =
+  let u = utilization pool in
+  Metrics.incr reg ~by:pool.jobs "pool.jobs";
+  for i = 0 to pool.jobs - 1 do
+    Metrics.incr reg ~by:u.tasks.(i) (Printf.sprintf "pool.slot%02d.tasks" i);
+    Metrics.incr reg
+      ~by:(int_of_float (u.busy_s.(i) *. 1e6))
+      (Printf.sprintf "pool.slot%02d.busy_us" i)
+  done
+
 (* The submitting domain helps: run queued tasks until none are left, then
    wait for the stragglers other domains are still executing. *)
 let drain pool =
+  let slot = pool.jobs - 1 in
   let rec loop () =
     Mutex.lock pool.mutex;
     if not (Queue.is_empty pool.queue) then begin
       let task = Queue.pop pool.queue in
       Mutex.unlock pool.mutex;
-      exec pool task;
+      exec pool slot task;
       loop ()
     end
     else begin
@@ -123,7 +166,8 @@ let parallel_for pool ~lo ~hi f =
         Array.init chunks (fun c ->
             let start = lo + (c * base) + min c extra in
             let stop = start + base + if c < extra then 1 else 0 in
-            fun () ->
+            fun slot ->
+              pool.stat_tasks.(slot) <- pool.stat_tasks.(slot) + (stop - start);
               for i = start to stop - 1 do
                 f i
               done)
@@ -141,10 +185,11 @@ let parallel_for pool ~lo ~hi f =
 let run_dynamic pool ~name ~order f =
   let n = Array.length order in
   let next = Atomic.make 0 in
-  let runner () =
+  let runner slot =
     let rec claim () =
       let ix = Atomic.fetch_and_add next 1 in
       if ix < n then begin
+        pool.stat_tasks.(slot) <- pool.stat_tasks.(slot) + 1;
         f order.(ix);
         claim ()
       end

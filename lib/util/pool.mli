@@ -44,6 +44,44 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The concurrency level the pool was created with. *)
 
+val clamp_jobs : ?warn:bool -> int -> int
+(** [clamp_jobs jobs] caps a requested jobs count at
+    [Domain.recommended_domain_count ()], printing a one-line warning to
+    stderr (suppress with [~warn:false]) instead of silently
+    oversubscribing domains. Values at or under the cap pass through
+    unchanged; so do values [<= 1] (the sequential convention). Every
+    [--jobs] entry point (bench driver, CLI) routes through this. *)
+
+(** {1 Utilization}
+
+    Per-slot busy time and task counts, for observing how evenly a
+    parallel phase spread over the domains. Worker domain [i] owns slot
+    [i]; the submitting domain (which helps drain) owns slot [jobs - 1].
+    Each slot is written only by its own domain, and batch completion
+    synchronizes, so reading between batches is race-free. Wall-clock
+    figures — never part of any determinism contract. *)
+
+type utilization = {
+  tasks : int array;
+      (** work items (chunk indices, dynamic claims) executed per slot,
+          [jobs] entries *)
+  busy_s : float array;  (** wall-clock seconds spent inside tasks *)
+}
+
+val utilization : t -> utilization
+(** Snapshot (copies) of the counters accumulated since creation or the
+    last {!reset_utilization}. Call between batches, not during one. *)
+
+val reset_utilization : t -> unit
+
+val record_metrics : t -> Metrics.t -> unit
+(** Export the utilization snapshot into a metrics registry as counters:
+    [pool.jobs], and per slot [pool.slotNN.tasks] /
+    [pool.slotNN.busy_us]. The CLI's [stats]/[hotspots] use this behind
+    [--pool-stats] (off by default: the figures are wall-clock and
+    jobs-dependent, so they would break the byte-identical-across-jobs
+    diff of the registry export). *)
+
 val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for every [i] in [\[lo, hi)],
     split into contiguous static chunks across the pool's domains. Within

@@ -456,6 +456,145 @@ let qcheck_vec_model =
         ops;
       !ok)
 
+(* ---------- the chunk-sharded batch splice ---------- *)
+
+module DPool = Skipweb_util.Pool
+
+let sorted_distinct_of_list xs = Array.of_list (List.sort_uniq compare xs)
+
+(* One full batch cycle under [jobs] domains: insert the batch, remove it
+   again, observing contents AND chunk layout after each commit. The
+   tuple is everything the determinism contract promises: a pure function
+   of (pre-state, batch), identical for any jobs count. *)
+let batch_observation ~jobs ~base ~batch =
+  DPool.with_pool ~jobs @@ fun pool ->
+  let t = Ordseq.of_sorted_array base in
+  let added = Ordseq.insert_batch ?pool t batch in
+  Ordseq.check t;
+  let mid = (Ordseq.to_array t, Ordseq.chunk_lengths t) in
+  let gone = Ordseq.remove_batch ?pool t batch in
+  Ordseq.check t;
+  (added, mid, gone, Ordseq.to_array t, Ordseq.chunk_lengths t)
+
+let qcheck_ordseq_batch_model =
+  QCheck.Test.make ~name:"ordseq batch splice = model, layout jobs-invariant" ~count:30
+    QCheck.(pair (list (int_range 0 2000)) (list (int_range 0 2000)))
+    (fun (base_l, batch_l) ->
+      let base = sorted_distinct_of_list base_l in
+      let batch = sorted_distinct_of_list batch_l in
+      let module S = Set.Make (Int) in
+      let bset = S.of_list (Array.to_list base) in
+      let kset = S.of_list (Array.to_list batch) in
+      let expect_mid = Array.of_list (S.elements (S.union bset kset)) in
+      let expect_added = Array.length expect_mid - S.cardinal bset in
+      let expect_final = Array.of_list (S.elements (S.diff bset kset)) in
+      let ((added, (mid, _), gone, fin, _) as base_obs) = batch_observation ~jobs:1 ~base ~batch in
+      added = expect_added
+      && mid = expect_mid
+      && gone = Array.length batch
+      && fin = expect_final
+      && List.for_all (fun jobs -> batch_observation ~jobs ~base ~batch = base_obs) [ 2; 4 ])
+
+let test_ordseq_batch_adversarial () =
+  (* Every batch key lands in ONE chunk of the base: the worst case for
+     the sharded splice (a single heavy shard) and the path that forces
+     the commit pass's oversized balanced split. Removing the batch again
+     exercises the runt-merge rule on the same region. *)
+  let base = Array.init 512 (fun i -> 100_000 * i) in
+  let batch = Array.init 700 (fun i -> 5_000_001 + (7 * i)) in
+  let o1 = batch_observation ~jobs:1 ~base ~batch in
+  let added, (mid, _), gone, fin, _ = o1 in
+  checki "added" 700 added;
+  checki "mid length" (512 + 700) (Array.length mid);
+  checki "gone" 700 gone;
+  checkb "base restored" true (fin = base);
+  checkb "jobs 2 bit-identical" true (batch_observation ~jobs:2 ~base ~batch = o1);
+  checkb "jobs 4 bit-identical" true (batch_observation ~jobs:4 ~base ~batch = o1)
+
+let test_ordseq_batch_mass_remove () =
+  (* Strip 90% of the keys in one batch: chunks empty out and merge, and
+     the rebuilt layout must match sequential for every jobs count. *)
+  let base = Array.init 1000 (fun i -> 3 * i) in
+  let victims = Array.init 900 (fun i -> 3 * i) in
+  let obs jobs =
+    DPool.with_pool ~jobs @@ fun pool ->
+    let t = Ordseq.of_sorted_array base in
+    let gone = Ordseq.remove_batch ?pool t victims in
+    Ordseq.check t;
+    (gone, Ordseq.to_array t, Ordseq.chunk_lengths t)
+  in
+  let ((gone, fin, _) as o1) = obs 1 in
+  checki "gone" 900 gone;
+  checkb "survivors" true (fin = Array.init 100 (fun i -> 3 * (900 + i)));
+  checkb "jobs 2 bit-identical" true (obs 2 = o1);
+  checkb "jobs 4 bit-identical" true (obs 4 = o1)
+
+let test_ordseq_batch_validation () =
+  let t = Ordseq.of_sorted_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "unsorted insert batch"
+    (Invalid_argument "Ordseq.insert_batch: batch not strictly increasing") (fun () ->
+      ignore (Ordseq.insert_batch t [| 5; 4 |] : int));
+  Alcotest.check_raises "duplicate remove batch"
+    (Invalid_argument "Ordseq.remove_batch: batch not strictly increasing") (fun () ->
+      ignore (Ordseq.remove_batch t [| 2; 2 |] : int));
+  checki "empty insert batch" 0 (Ordseq.insert_batch t [||]);
+  checki "empty remove batch" 0 (Ordseq.remove_batch t [||]);
+  checki "dup-only batch" 0 (Ordseq.insert_batch t [| 1; 2; 3 |]);
+  checki "absent-only batch" 0 (Ordseq.remove_batch t [| 10; 20 |]);
+  checkb "untouched" true (Ordseq.to_array t = [| 1; 2; 3 |]);
+  (* A batch into an empty structure takes the bulk-load path. *)
+  let e = Ordseq.create () in
+  checki "load path" 3 (Ordseq.insert_batch e [| 7; 8; 9 |]);
+  Ordseq.check e;
+  checkb "loaded" true (Ordseq.to_array e = [| 7; 8; 9 |])
+
+let test_vec_batch () =
+  let n = 400 in
+  let init = Array.init n (fun i -> 10 * i) in
+  (* Model for insert_at_batch: positions are relative to the original
+     vector, so splicing in descending order one at a time reproduces it
+     (equal positions keep batch order because later pairs go in first
+     and earlier ones land before them). *)
+  let pairs =
+    Array.init 150 (fun i ->
+        let pos = 7 * i mod (n + 1) in
+        (pos, 1_000_000 + i))
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) pairs;
+  let model_insert () =
+    let xs = ref (Array.to_list init) in
+    let insert_at i v =
+      let rec go k = function
+        | rest when k = i -> v :: rest
+        | x :: rest -> x :: go (k + 1) rest
+        | [] -> [ v ]
+      in
+      xs := go 0 !xs
+    in
+    for i = Array.length pairs - 1 downto 0 do
+      let pos, v = pairs.(i) in
+      insert_at pos v
+    done;
+    Array.of_list !xs
+  in
+  let expect = model_insert () in
+  let positions = Array.init 120 (fun i -> 3 * i) in
+  let obs jobs =
+    DPool.with_pool ~jobs @@ fun pool ->
+    let v = Ordseq.Vec.of_array init in
+    Ordseq.Vec.insert_at_batch ?pool v pairs;
+    Ordseq.Vec.check v;
+    let mid = Ordseq.Vec.to_array v in
+    let removed = Ordseq.Vec.remove_at_batch ?pool v positions in
+    Ordseq.Vec.check v;
+    (mid, removed, Ordseq.Vec.to_array v)
+  in
+  let ((mid, removed, _) as o1) = obs 1 in
+  checkb "insert batch = model" true (mid = expect);
+  checkb "removed are the originals" true (removed = Array.map (fun p -> mid.(p)) positions);
+  checkb "jobs 2 bit-identical" true (obs 2 = o1);
+  checkb "jobs 4 bit-identical" true (obs 4 = o1)
+
 let qcheck_prng_int =
   QCheck.Test.make ~name:"prng int always in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -516,8 +655,13 @@ let suite =
     Alcotest.test_case "ordseq range_keys" `Quick test_ordseq_range_keys;
     Alcotest.test_case "ordseq nearest tie-break" `Quick test_ordseq_nearest_tie;
     Alcotest.test_case "ordseq incremental growth" `Quick test_ordseq_incremental_growth;
+    Alcotest.test_case "ordseq batch adversarial one-chunk" `Quick test_ordseq_batch_adversarial;
+    Alcotest.test_case "ordseq batch mass remove" `Quick test_ordseq_batch_mass_remove;
+    Alcotest.test_case "ordseq batch validation" `Quick test_ordseq_batch_validation;
+    Alcotest.test_case "vec positional batch splice" `Quick test_vec_batch;
     QCheck_alcotest.to_alcotest qcheck_prng_int;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
     QCheck_alcotest.to_alcotest qcheck_ordseq_model;
+    QCheck_alcotest.to_alcotest qcheck_ordseq_batch_model;
     QCheck_alcotest.to_alcotest qcheck_vec_model;
   ]
