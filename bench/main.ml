@@ -15,7 +15,8 @@
                                               # bit-identical to --jobs 1)
 
    Experiments: table1, lemmas, theorem2, updates, figures, congestion,
-   bucket, ablations, scale, churn, hotspot, serving, trace, time. *)
+   bucket, ablations, scale, churn, hotspot, serving, trace, multid,
+   time. *)
 
 let experiments =
   [
@@ -33,6 +34,7 @@ let experiments =
     ("hotspot", fun cfg -> Exp_hotspot.run cfg);
     ("serving", fun cfg -> Exp_serving.run cfg);
     ("trace", fun cfg -> Exp_trace.run cfg);
+    ("multid", fun cfg -> Exp_multid.run cfg);
   ]
 
 let () =

@@ -12,6 +12,9 @@
      dune exec bin/skipweb_cli.exe -- hotspots -s skipweb-generic -n 4096 --queries 2000 --alpha 1.3
      dune exec bin/skipweb_cli.exe -- serve -s skipweb-generic -n 4096 --ops 4000 --cache-replicas 4
      dune exec bin/skipweb_cli.exe -- monitor -s skipweb -n 2048 --epochs 12 --window 6
+     dune exec bin/skipweb_cli.exe -- range -n 100000 --lo 0.2,0.2 --hi 0.6,0.6 --limit 10
+     dune exec bin/skipweb_cli.exe -- knn -n 100000 --at 0.5,0.5 -k 8 --jobs 4
+     dune exec bin/skipweb_cli.exe -- prefix -n 100000 --prefix 978-0- --limit 10
 
    --jobs threads a domain pool through both the read phases (query/stats)
    and the write paths (load's bulk build, update's rebuilds on the
@@ -889,6 +892,118 @@ let run_churn structure n queries seed m r epochs fails jobs =
       end
       else 0
 
+(* ---------------- range / knn / prefix: the multi-d scan surfaces ---------------- *)
+
+module HP2 = H.Make (I.Points2d)
+module HStr = H.Make (I.Strings)
+module Point = Skipweb_geom.Point
+
+(* Each subcommand builds the multi-dimensional skip-web under the --jobs
+   pool, runs one detailed scan (printed in full), then fans a seeded
+   sweep of --queries scans over the pool through [scan_batch]. No wall
+   clock is printed: every line of output is bit-identical for any
+   --jobs value. *)
+
+let build_points ~n ~seed ~pool =
+  let pts = W.uniform_points ~seed ~n ~dim:2 in
+  let net = Network.create ~hosts:n in
+  let h = HP2.build ~net ~seed ?pool pts in
+  Printf.printf "quadtree-2d skip-web: %d stored points, %d hosts\n" (HP2.size h)
+    (Network.host_count net);
+  h
+
+let run_range n queries seed lo hi limit jobs =
+  Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+      let h = build_points ~n ~seed ~pool in
+      let lo = Point.create [ fst lo; snd lo ] and hi = Point.create [ fst hi; snd hi ] in
+      let answer, stats =
+        HP2.scan h ~rng:(Prng.create (seed + 1)) (I.Box { lo; hi; limit })
+      in
+      (match answer with
+      | I.Box_hits { count; sample } ->
+          Printf.printf "box %s .. %s (limit %d): %d points\n" (Point.to_string lo)
+            (Point.to_string hi) limit count;
+          List.iter (fun p -> Printf.printf "  %s\n" (Point.to_string p)) sample
+      | I.Knn_hits _ -> assert false);
+      Printf.printf "messages=%d ranges_visited=%d\n" stats.HP2.messages stats.HP2.ranges_visited;
+      (* The sweep: side-0.15 boxes at seeded uniform corners. *)
+      let corners = W.uniform_query_points ~seed:(seed + 3) ~n:queries ~dim:2 in
+      let scans =
+        Array.map
+          (fun (c : Point.t) ->
+            let x = Float.min c.(0) 0.8 and y = Float.min c.(1) 0.8 in
+            I.Box
+              { lo = Point.create [ x; y ]; hi = Point.create [ x +. 0.15; y +. 0.15 ]; limit })
+          corners
+      in
+      let res = HP2.scan_batch ?pool h ~rng:(Prng.create (seed + 4)) scans in
+      let hits = ref 0 and msgs = ref 0 in
+      Array.iter
+        (fun (a, s) ->
+          (match a with I.Box_hits { count; _ } -> hits := !hits + count | I.Knn_hits _ -> ());
+          msgs := !msgs + s.HP2.messages)
+        res;
+      Printf.printf "sweep: %d boxes (side 0.15): %d total hits, %d messages (%.1f msgs/scan)\n"
+        queries !hits !msgs
+        (float_of_int !msgs /. Float.max 1e-9 (float_of_int queries));
+      0)
+
+let run_knn n queries seed center k jobs =
+  Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+      let h = build_points ~n ~seed ~pool in
+      let c = Point.create [ fst center; snd center ] in
+      let answer, stats = HP2.scan h ~rng:(Prng.create (seed + 1)) (I.Knn { center = c; k }) in
+      (match answer with
+      | I.Knn_hits hits ->
+          Printf.printf "%d nearest to %s:\n" k (Point.to_string c);
+          List.iteri
+            (fun i (p, d) -> Printf.printf "  %2d. %s  dist=%.6f\n" (i + 1) (Point.to_string p) d)
+            hits
+      | I.Box_hits _ -> assert false);
+      Printf.printf "messages=%d ranges_visited=%d\n" stats.HP2.messages stats.HP2.ranges_visited;
+      let centers = W.uniform_query_points ~seed:(seed + 3) ~n:queries ~dim:2 in
+      let scans = Array.map (fun c -> I.Knn { center = c; k }) centers in
+      let res = HP2.scan_batch ?pool h ~rng:(Prng.create (seed + 4)) scans in
+      let msgs = Array.fold_left (fun a (_, s) -> a + s.HP2.messages) 0 res in
+      Printf.printf "sweep: %d k-nn scans (k=%d): %d messages (%.1f msgs/scan)\n" queries k msgs
+        (float_of_int msgs /. Float.max 1e-9 (float_of_int queries));
+      0)
+
+let run_prefix n queries seed prefix limit jobs =
+  Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+      let publishers = max 4 (n / 500) in
+      let keys = W.isbn_strings ~seed ~n ~publishers in
+      let net = Network.create ~hosts:n in
+      let h = HStr.build ~net ~seed ?pool keys in
+      Printf.printf "trie skip-web: %d stored ISBNs (%d publishers), %d hosts\n" (HStr.size h)
+        publishers (Network.host_count net);
+      let answer, stats =
+        HStr.scan h ~rng:(Prng.create (seed + 1)) { I.prefix; scan_limit = limit }
+      in
+      Printf.printf "prefix %S (limit %d): %d strings\n" prefix limit answer.I.total;
+      List.iter (fun s -> Printf.printf "  %s\n" s) answer.I.strings;
+      Printf.printf "messages=%d ranges_visited=%d\n" stats.HStr.messages stats.HStr.ranges_visited;
+      (* The sweep draws publisher prefixes from the isbn generator's own
+         Zipf-ish popularity law, so popular publishers are scanned more. *)
+      let rng = Prng.create (seed + 3) in
+      let scans =
+        Array.init queries (fun _ ->
+            let r = Prng.float rng 1.0 in
+            let p = int_of_float (float_of_int publishers *. r *. r) in
+            { I.prefix = Printf.sprintf "978-%d-" p; scan_limit = limit })
+      in
+      let res = HStr.scan_batch ?pool h ~rng:(Prng.create (seed + 4)) scans in
+      let hits = ref 0 and msgs = ref 0 in
+      Array.iter
+        (fun ((a : I.trie_scan_answer), s) ->
+          hits := !hits + a.I.total;
+          msgs := !msgs + s.HStr.messages)
+        res;
+      Printf.printf "sweep: %d publisher prefixes: %d total hits, %d messages (%.1f msgs/scan)\n"
+        queries !hits !msgs
+        (float_of_int !msgs /. Float.max 1e-9 (float_of_int queries));
+      0)
+
 (* ---------------- command line ---------------- *)
 
 open Cmdliner
@@ -1004,13 +1119,47 @@ let monitor_cmd =
   Cmd.v (Cmd.info "monitor" ~doc)
     Term.(const run_monitor $ structure_arg $ n_arg $ queries_arg $ epochs_arg $ window_arg $ seed_arg $ m_arg $ buckets_arg $ jobs_arg)
 
+let floatpair_conv = Arg.(pair ~sep:',' float float)
+
+let lo_arg =
+  Arg.(value & opt floatpair_conv (0.25, 0.25) & info [ "lo" ] ~docv:"X,Y" ~doc:"Lower corner of the detailed box; coordinates in [0,1).")
+
+let hi_arg =
+  Arg.(value & opt floatpair_conv (0.75, 0.75) & info [ "hi" ] ~docv:"X,Y" ~doc:"Upper corner of the detailed box; coordinates in [0,1).")
+
+let limit_arg =
+  Arg.(value & opt int 10 & info [ "limit" ] ~docv:"L" ~doc:"Sample cap: at most $(docv) matches are materialized per scan (counts stay exact).")
+
+let range_cmd =
+  let doc = "Axis-aligned range scans on the 2-d quadtree skip-web: one detailed box, then a seeded sweep of --queries boxes fanned over --jobs domains through scan_batch. Every output line is bit-identical for any jobs count." in
+  Cmd.v (Cmd.info "range" ~doc)
+    Term.(const run_range $ n_arg $ queries_arg $ seed_arg $ lo_arg $ hi_arg $ limit_arg $ jobs_arg)
+
+let knn_at_arg =
+  Arg.(value & opt floatpair_conv (0.5, 0.5) & info [ "at" ] ~docv:"X,Y" ~doc:"Query point for the detailed k-nn scan; coordinates in [0,1).")
+
+let k_arg = Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Neighbors per k-nn scan.")
+
+let knn_cmd =
+  let doc = "Approximate k-nearest-neighbor scans on the 2-d quadtree skip-web: one detailed scan with distances, then a seeded sweep of --queries scans fanned over --jobs domains. Every output line is bit-identical for any jobs count." in
+  Cmd.v (Cmd.info "knn" ~doc)
+    Term.(const run_knn $ n_arg $ queries_arg $ seed_arg $ knn_at_arg $ k_arg $ jobs_arg)
+
+let prefix_arg =
+  Arg.(value & opt string "978-0-" & info [ "prefix" ] ~docv:"P" ~doc:"Prefix for the detailed scan. Stored keys look like 978-<publisher>-<title>.")
+
+let prefix_cmd =
+  let doc = "Prefix scans on the trie skip-web over ISBN-shaped strings: one detailed scan, then a seeded sweep of --queries publisher prefixes fanned over --jobs domains. Every output line is bit-identical for any jobs count." in
+  Cmd.v (Cmd.info "prefix" ~doc)
+    Term.(const run_prefix $ n_arg $ queries_arg $ seed_arg $ prefix_arg $ limit_arg $ jobs_arg)
+
 let main =
   let doc = "Drive the skip-webs reproduction's distributed structures." in
   Cmd.group
     (Cmd.info "skipweb_cli" ~version:"1.0" ~doc)
     [
       query_cmd; update_cmd; load_cmd; census_cmd; trace_cmd; stats_cmd; churn_cmd; hotspots_cmd;
-      serve_cmd; monitor_cmd;
+      serve_cmd; monitor_cmd; range_cmd; knn_cmd; prefix_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -589,12 +589,16 @@ module Make (S : Range_structure.S) = struct
 
   (* Route a query from the top-level set of the given element down to
      level 0; the session's host pointer tracks where processing happens.
+     Shared by point queries and scans: returns the still-open session
+     (the caller charges any further walk, then finishes it), the level-0
+     location and structure, and the visit accounting (per-level counts
+     in level-0-first order).
 
      Tracing discipline: one leveled span per refinement step, closed with
      the step's conflict-set size, and every hop labeled with the
      structure's walk kind. All trace work is guarded on [trace], so an
      untraced query allocates and branches exactly as before. *)
-  let query_from ?trace t origin_id q =
+  let routed_descent ?trace t origin_id q =
     let b_top = prefix t origin_id t.top in
     let s_top = structure_exn t t.top b_top in
     let loc0, visited0 = S.locate s_top q in
@@ -640,18 +644,73 @@ module Make (S : Range_structure.S) = struct
       end
     in
     let loc_final, s_final = descend (t.top - 1) loc0 s_top in
+    (session, loc_final, s_final, !per_level, !total)
+
+  let query_from ?trace t origin_id q =
+    let session, loc_final, s_final, per_level, total = routed_descent ?trace t origin_id q in
     Network.finish session;
     let answer = S.answer s_final loc_final q in
     ( answer,
       {
         messages = Network.messages session;
-        ranges_visited = !total;
-        per_level_visits = List.rev !per_level;
+        ranges_visited = total;
+        per_level_visits = List.rev per_level;
       } )
 
   let query ?trace t ~rng q =
     if size t = 0 then invalid_arg "Hierarchy.query: empty structure";
     query_from ?trace t (sample_id t rng) q
+
+  (* Multi-result scans (range counts, k-NN, prefix enumeration): route
+     the scan's probe down to level 0 exactly like a point query, then run
+     the structure's scan walk there, charging each range it visits as a
+     hop from the session's current host. The extra visits land in level
+     0's per-level entry, so scan stats decompose like query stats. *)
+  let scan_from ?trace t origin_id sc =
+    let q = S.scan_probe sc in
+    let session, loc0, s0, per_level, total = routed_descent ?trace t origin_id q in
+    (match trace with
+    | None -> ()
+    | Some tr -> Trace.span_open tr ~level:0 ("scan " ^ S.name));
+    let ans, visited = S.scan s0 loc0 sc in
+    let goto_label = match trace with None -> None | Some _ -> Some S.visit_label in
+    let b0 = prefix t origin_id 0 in
+    List.iter
+      (fun rid -> Network.goto ?label:goto_label session (read_host t origin_id 0 b0 rid))
+      visited;
+    (match trace with
+    | None -> ()
+    | Some tr -> Trace.span_close tr ~note:(Printf.sprintf "ranges=%d" (List.length visited)) ());
+    Network.finish session;
+    let nv = List.length visited in
+    let per_level = match per_level with l0 :: rest -> (l0 + nv) :: rest | [] -> [ nv ] in
+    ( ans,
+      {
+        messages = Network.messages session;
+        ranges_visited = total + nv;
+        per_level_visits = List.rev per_level;
+      } )
+
+  let scan ?trace t ~rng sc =
+    if size t = 0 then invalid_arg "Hierarchy.scan: empty structure";
+    scan_from ?trace t (sample_id t rng) sc
+
+  (* Independent scans fanned out like {!query_batch}: origins pre-drawn
+     sequentially, pure read-only walks, bit-identical for any jobs
+     count. *)
+  let scan_batch ?pool t ~rng scs =
+    let n = Array.length scs in
+    if n > 0 && size t = 0 then invalid_arg "Hierarchy.scan_batch: empty structure";
+    let origins = Array.init n (fun _ -> sample_id t rng) in
+    let out = Array.make n None in
+    let run i = out.(i) <- Some (scan_from t origins.(i) scs.(i)) in
+    (match pool with
+    | None ->
+        for i = 0 to n - 1 do
+          run i
+        done
+    | Some p -> Pool.parallel_for p ~lo:0 ~hi:n run);
+    Array.map (function Some r -> r | None -> assert false) out
 
   (* Parallel fan-out of independent queries. Origins are pre-drawn
      sequentially from the caller's rng — [query] consumes exactly one

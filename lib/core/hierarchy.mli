@@ -155,6 +155,31 @@ module Make (S : Range_structure.S) : sig
       must not be updated while a batch is in flight (the paper
       serializes updates against queries, §4). *)
 
+  val scan :
+    ?trace:Skipweb_net.Trace.t ->
+    t ->
+    rng:Skipweb_util.Prng.t ->
+    S.scan ->
+    S.scan_answer * query_stats
+  (** A multi-result query (axis-aligned range, k-nearest-neighbors,
+      prefix enumeration — whatever {!S.scan} supports): the skip-web
+      routes the scan's probe ({!S.scan_probe}) from a random origin down
+      to level 0 exactly like {!query}, then runs the structure's scan
+      walk in the level-0 set, charging one hop per additional range the
+      walk visits. The scan's visits are folded into level 0's
+      [per_level_visits] entry. With [trace], the walk appears as a
+      [scan <name>] span at level 0. *)
+
+  val scan_batch :
+    ?pool:Skipweb_util.Pool.t ->
+    t ->
+    rng:Skipweb_util.Prng.t ->
+    S.scan array ->
+    (S.scan_answer * query_stats) array
+  (** Independent scans fanned out over [pool]'s domains, with the same
+      origin-predrawing and bit-identical-for-any-jobs-count contract as
+      {!query_batch}. *)
+
   val insert : t -> S.key -> int
   (** Add an element; returns the message cost (a locate plus O(1) linking
       messages per level, §4). Grows the level hierarchy when n crosses a

@@ -20,6 +20,7 @@ module Point = Skipweb_geom.Point
 module Segment = Skipweb_geom.Segment
 module L = Skipweb_linklist.Linklist
 module O = Skipweb_util.Ordseq
+module Presort = Skipweb_util.Presort
 module Cqtree = Skipweb_quadtree.Cqtree
 module Ctrie = Skipweb_trie.Ctrie
 module Trapmap = Skipweb_trapmap.Trapmap
@@ -29,7 +30,9 @@ module Ints :
   Range_structure.S
     with type key = int
      and type query = int
-     and type answer = int option = struct
+     and type answer = int option
+     and type scan = int * int
+     and type scan_answer = int = struct
   type key = int
   type query = int
   type answer = int option
@@ -76,44 +79,22 @@ module Ints :
     if O.remove t.xs k then { Range_structure.added = []; removed = [ (2 * n) - 1; 2 * n ] }
     else Range_structure.empty_delta
 
-  (* Batches must reach the chunk-shard engine strictly increasing;
-     callers may hand over merely sorted (or unsorted) key runs. *)
-  let sorted_distinct ks =
-    let m = Array.length ks in
-    if m <= 1 then ks
-    else begin
-      let sorted = ref true in
-      for i = 1 to m - 1 do
-        if ks.(i - 1) >= ks.(i) then sorted := false
-      done;
-      if !sorted then ks
-      else begin
-        let a = Array.copy ks in
-        Array.sort compare a;
-        let w = ref 1 in
-        for i = 1 to m - 1 do
-          if a.(i) <> a.(!w - 1) then begin
-            a.(!w) <- a.(i);
-            incr w
-          end
-        done;
-        Array.sub a 0 !w
-      end
-    end
-
   (* The dense-code deltas of a batch: g new keys over a set of n0 extend
      the code space by 2g codes — exactly the union of the per-key loop's
-     [(2n+1; 2n+2)] steps as n runs n0 .. n0+g-1, already ascending. *)
+     [(2n+1; 2n+2)] steps as n runs n0 .. n0+g-1, already ascending.
+     Batches must reach the chunk-shard engine strictly increasing;
+     callers may hand over merely sorted (or unsorted) key runs, so both
+     entry points run the shared presort first. *)
   let insert_batch ?pool t ks =
     let n0 = O.length t.xs in
-    let added = O.insert_batch ?pool t.xs (sorted_distinct ks) in
+    let added = O.insert_batch ?pool t.xs (Presort.sorted_distinct ?pool ~cmp:compare ks) in
     if added = 0 then Range_structure.empty_delta
     else
       { Range_structure.added = List.init (2 * added) (fun i -> (2 * n0) + 1 + i); removed = [] }
 
   let remove_batch ?pool t ks =
     let n0 = O.length t.xs in
-    let gone = O.remove_batch ?pool t.xs (sorted_distinct ks) in
+    let gone = O.remove_batch ?pool t.xs (Presort.sorted_distinct ?pool ~cmp:compare ks) in
     if gone = 0 then Range_structure.empty_delta
     else
       let n1 = n0 - gone in
@@ -158,6 +139,34 @@ module Ints :
         else
           let p = O.get t.xs (i - 1) and s = O.get t.xs i in
           if q - p <= s - q then Some p else Some s
+
+  (* Closed-interval count [lo, hi]: the descent lands on the range
+     containing [lo]; the scan then walks the list rightward, entering
+     node [i] (code 2i+1) and the link after it (code 2i+2) for every
+     stored key in the interval, and stops after peeking at the link past
+     the last hit. The located range's own code is excluded — the
+     hierarchy already charged the descent. *)
+  type scan = int * int
+  type scan_answer = int
+
+  let scan_probe (lo, _hi) = lo
+
+  let scan t loc (lo, hi) =
+    let lb = O.lower_bound t.xs lo in
+    let ub =
+      let i = O.lower_bound t.xs hi in
+      if i < O.length t.xs && O.get t.xs i = hi then i + 1 else i
+    in
+    let count = if hi < lo then 0 else ub - lb in
+    let visited =
+      if count = 0 then []
+      else
+        (* codes 2*lb+1 .. 2*ub: nodes lb .. ub-1 with the links between
+           and one past (the stop peek). *)
+        List.init ((2 * ub) - (2 * lb)) (fun k -> (2 * lb) + 1 + k)
+    in
+    let self = L.encode loc in
+    (count, List.filter (fun c -> c <> self) visited)
 end
 
 (** Point location answer for quadtree/octree skip-webs. *)
@@ -166,6 +175,17 @@ type cell_answer = {
   cell_point : Point.t option;  (** the stored point if q hit a leaf cell *)
 }
 
+(** Multi-result queries over point sets: an axis-aligned box (count plus
+    up to [limit] member points) or the [k] nearest neighbors of a
+    center. *)
+type point_scan =
+  | Box of { lo : Point.t; hi : Point.t; limit : int }
+  | Knn of { center : Point.t; k : int }
+
+type point_scan_answer =
+  | Box_hits of { count : int; sample : Point.t list }
+  | Knn_hits of (Point.t * float) list  (** ascending distance *)
+
 (** d-dimensional point sets via compressed quadtrees/octrees (§3.1). *)
 module Points (D : sig
   val dim : int
@@ -173,7 +193,9 @@ end) :
   Range_structure.S
     with type key = Point.t
      and type query = Point.t
-     and type answer = cell_answer = struct
+     and type answer = cell_answer
+     and type scan = point_scan
+     and type scan_answer = point_scan_answer = struct
   type key = Point.t
   type query = Point.t
   type answer = cell_answer
@@ -185,9 +207,7 @@ end) :
   let name = Printf.sprintf "quadtree-%dd" D.dim
   let visit_label = "cube-walk"
 
-  let build ?pool keys =
-    ignore pool;
-    Cqtree.build ~dim:D.dim keys
+  let build ?pool keys = Cqtree.build ?pool ~dim:D.dim keys
 
   let size = Cqtree.size
   let storage_units = Cqtree.node_count
@@ -205,13 +225,19 @@ end) :
     let _, added, removed = Cqtree.remove_delta t k in
     { Range_structure.added; removed }
 
+  (* The tree's batch engines assign node ids exactly as the per-key loop
+     would (commit in global batch position order), inserts only ever add
+     and removes only ever drop, and ids are never reused — so the net
+     delta is just the sorted id list. *)
   let insert_batch ?pool t ks =
-    ignore pool;
-    Range_structure.batch_of_fold insert t ks
+    let _inserted, added = Cqtree.insert_batch ?pool t ks in
+    if added = [] then Range_structure.empty_delta
+    else { Range_structure.added = List.sort compare added; removed = [] }
 
   let remove_batch ?pool t ks =
-    ignore pool;
-    Range_structure.batch_of_fold remove t ks
+    let _removed, dropped = Cqtree.remove_batch ?pool t ks in
+    if dropped = [] then Range_structure.empty_delta
+    else { Range_structure.added = []; removed = List.sort compare dropped }
 
   let probe k = k
 
@@ -237,6 +263,24 @@ end) :
     ignore q;
     let depth, _ = Cqtree.node_cube loc.Cqtree.node in
     { cell_depth = depth; cell_point = Cqtree.node_point loc.Cqtree.node }
+
+  (* Box and k-NN walks are not confined to the located cell (the region
+     spans cubes the descent never saw), so the scan re-enters the tree
+     from its root and reports the full pruned walk; the descent's
+     location only anchored the probe. *)
+  type scan = point_scan
+  type scan_answer = point_scan_answer
+
+  let scan_probe = function Box { lo; _ } -> lo | Knn { center; _ } -> center
+
+  let scan t _loc s =
+    match s with
+    | Box { lo; hi; limit } ->
+        let count, sample, visited = Cqtree.range_scan t ~lo ~hi ~limit in
+        (Box_hits { count; sample }, visited)
+    | Knn { center; k } ->
+        let hits, visited = Cqtree.knn t center ~k in
+        (Knn_hits hits, visited)
 end
 
 module Points2d = Points (struct
@@ -253,12 +297,20 @@ type trie_answer = {
   matches : int;  (** stored strings extending the query *)
 }
 
+(** Prefix enumeration: all stored strings extending [prefix], reporting
+    the total and up to [scan_limit] of them lexicographically. *)
+type trie_scan = { prefix : string; scan_limit : int }
+
+type trie_scan_answer = { total : int; strings : string list }
+
 (** Character strings over fixed alphabets via compressed tries (§3.2). *)
 module Strings :
   Range_structure.S
     with type key = string
      and type query = string
-     and type answer = trie_answer = struct
+     and type answer = trie_answer
+     and type scan = trie_scan
+     and type scan_answer = trie_scan_answer = struct
   type key = string
   type query = string
   type answer = trie_answer
@@ -270,9 +322,7 @@ module Strings :
   let name = "trie"
   let visit_label = "trie-walk"
 
-  let build ?pool keys =
-    ignore pool;
-    Ctrie.build keys
+  let build ?pool keys = Ctrie.build ?pool keys
 
   let size = Ctrie.size
   let storage_units = Ctrie.node_count
@@ -290,13 +340,18 @@ module Strings :
     let _, added, removed = Ctrie.remove_delta t k in
     { Range_structure.added; removed }
 
+  (* Same reasoning as the quadtree instance: trie batch commits number
+     nodes in global batch position order, inserts only add and removes
+     only drop, so the net delta is the sorted id list. *)
   let insert_batch ?pool t ks =
-    ignore pool;
-    Range_structure.batch_of_fold insert t ks
+    let _inserted, added = Ctrie.insert_batch ?pool t ks in
+    if added = [] then Range_structure.empty_delta
+    else { Range_structure.added = List.sort compare added; removed = [] }
 
   let remove_batch ?pool t ks =
-    ignore pool;
-    Range_structure.batch_of_fold remove t ks
+    let _removed, dropped = Ctrie.remove_batch ?pool t ks in
+    if dropped = [] then Range_structure.empty_delta
+    else { Range_structure.added = []; removed = List.sort compare dropped }
 
   let probe k = k
 
@@ -316,6 +371,18 @@ module Strings :
   let describe _t loc = Ctrie.node_string loc.Ctrie.node
 
   let answer t _loc q = { lcp = Ctrie.longest_common_prefix t q; matches = Ctrie.count_with_prefix t q }
+
+  (* The prefix subtree hangs exactly at the descent's location, so the
+     scan consumes [loc] directly — no re-location — and only the
+     enumeration walk below it is charged. *)
+  type scan = trie_scan
+  type scan_answer = trie_scan_answer
+
+  let scan_probe s = s.prefix
+
+  let scan t loc s =
+    let total, strings, visited = Ctrie.prefix_scan t loc s.prefix ~limit:s.scan_limit in
+    ({ total; strings }, visited)
 end
 
 (** Point-location answer for trapezoidal-map skip-webs. *)
@@ -330,7 +397,9 @@ module Segments :
   Range_structure.S
     with type key = Segment.t
      and type query = float * float
-     and type answer = trap_answer = struct
+     and type answer = trap_answer
+     and type scan = float * float
+     and type scan_answer = trap_answer = struct
   type key = Segment.t
   type query = float * float
   type answer = trap_answer
@@ -342,9 +411,10 @@ module Segments :
   let name = "trapezoidal-map"
   let visit_label = "trap-walk"
 
-  let build ?pool keys =
-    ignore pool;
-    Trapmap.build keys
+  (* Array order on purpose (not {!Trapmap.of_sorted}): trapezoid ids —
+     hence host placement — stay exactly those of the per-segment insert
+     loop this build replaced. *)
+  let build ?pool keys = Trapmap.build ?pool keys
 
   let size = Trapmap.segment_count
   let storage_units = Trapmap.trap_count
@@ -359,11 +429,15 @@ module Segments :
     failwith "Segments.remove: trapezoidal-map deletion is out of scope (paper §4 amortizes insertions only)"
 
   let insert_batch ?pool t ks =
-    ignore pool;
-    Range_structure.batch_of_fold insert t ks
+    let per_seg = Trapmap.insert_batch ?pool t ks in
+    Range_structure.net_deltas
+      (List.map (fun (added, removed) -> { Range_structure.added; removed }) per_seg)
 
   let remove_batch ?pool t ks =
     ignore pool;
+    (* sequential by design: deletions raise (out of scope for trapezoidal
+       maps), so the only batch that gets past the first key is the empty
+       one — nothing to fan out. *)
     Range_structure.batch_of_fold remove t ks
 
   (* A point just above the segment's midpoint locates where the segment
@@ -394,4 +468,12 @@ module Segments :
       below = Option.map Segment.id (Trapmap.trap_bottom loc);
       xspan = Trapmap.trap_xspan loc;
     }
+
+  (* Point location is already a "scan" of one trapezoid: the multi-result
+     surface degenerates to reading the located range. *)
+  type scan = float * float
+  type scan_answer = trap_answer
+
+  let scan_probe q = q
+  let scan t loc q = (answer t loc q, [ Trapmap.trap_id loc ])
 end

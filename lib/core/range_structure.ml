@@ -70,7 +70,13 @@ let net_deltas ds =
 
 (** Per-key fallback for structures without a native batch path: apply
     [op] key by key in array order and net the deltas. The mutations and
-    ids are exactly the per-key loop's, only the reporting is batched. *)
+    ids are exactly the per-key loop's, only the reporting is batched.
+
+    {b Sequential by contract}: this helper never consults a pool — an
+    instance that routes its batch entry here runs the whole batch on the
+    calling domain, and must say so at the call site rather than accept a
+    [?pool] it silently discards. Use it only where a native batch engine
+    does not exist (or cannot exist, e.g. trapezoidal-map deletions). *)
 let batch_of_fold op t keys =
   net_deltas (List.rev (Array.fold_left (fun acc k -> op t k :: acc) [] keys))
 
@@ -159,4 +165,27 @@ module type S = sig
 
   val answer : t -> loc -> query -> answer
   (** Extract the final answer at level 0. *)
+
+  type scan
+  (** A multi-result query over the level-0 structure — an axis-aligned
+      range count, a k-nearest-neighbors request, a prefix enumeration:
+      whatever surfaces the instance supports beyond point location. *)
+
+  type scan_answer
+  (** What a scan returns (counts, samples, neighbor lists...). *)
+
+  val scan_probe : scan -> query
+  (** The point query whose skip-web descent positions the scan: the
+      hierarchy locates [scan_probe s] down to level 0 and hands the
+      resulting location to {!scan}. *)
+
+  val scan : t -> loc -> scan -> scan_answer * int list
+  (** Execute the scan in the level-0 structure starting from the located
+      range of {!scan_probe}, returning the answer together with the ids
+      of every range the scan walk visits beyond the descent itself (the
+      descent's own visits are already charged by the hierarchy). The
+      hierarchy maps each id to its host and charges messages exactly as
+      for locate/refine visits, so the list must be honest even when the
+      walk takes CPU shortcuts. Deterministic: a pure function of the
+      structure, the location and the scan. *)
 end

@@ -1,9 +1,15 @@
 module Point = Skipweb_geom.Point
+module Pool = Skipweb_util.Pool
+module Presort = Skipweb_util.Presort
 
 let bits = Point.grid_bits
 
 type node = {
-  id : int;
+  mutable id : int;
+      (* Mutable only for the bulk/batch commit pass: workers allocate
+         nodes with a placeholder id and one sequential commit assigns the
+         real ids, so id order is a pure function of the batch, never of
+         scheduling. *)
   ndepth : int;  (* cube depth: side = 2^(bits - ndepth) grid cells *)
   corner : int array;  (* aligned grid coordinates of the low corner *)
   mutable children : (int * node) list;  (* quadrant index -> child *)
@@ -95,75 +101,124 @@ let detach_child parent quad =
   assert (List.mem_assoc quad parent.children);
   parent.children <- List.remove_assoc quad parent.children
 
-(* Smallest aligned cube containing a non-empty set of grid points: depth
-   is the shortest per-dimension common bit prefix. *)
-let enclosing_cube dimension pts =
-  let lo = Array.make dimension max_int and hi = Array.make dimension 0 in
-  List.iter
-    (fun p ->
-      for i = 0 to dimension - 1 do
-        if p.(i) < lo.(i) then lo.(i) <- p.(i);
-        if p.(i) > hi.(i) then hi.(i) <- p.(i)
-      done)
-    pts;
+(* z-order (Morton order) comparator on grid points, without materializing
+   the interleaved key (which would overflow 63 bits already at d = 3):
+   the deciding dimension is the one holding the most significant
+   interleaved differing bit. Dimension [i] contributes bit [i] of every
+   quadrant index, so at equal bit positions the higher dimension is the
+   more significant — which makes a z-sorted run list every aligned cube's
+   quadrants contiguously, in ascending quadrant-index order. *)
+let cmp_zorder a b =
+  let d = Array.length a in
+  let best = ref (-1) and best_dim = ref 0 in
+  for i = 0 to d - 1 do
+    let x = a.(i) lxor b.(i) in
+    if x <> 0 then begin
+      let key = (bitlen x * d) + i in
+      if key > !best then begin
+        best := key;
+        best_dim := i
+      end
+    end
+  done;
+  if !best < 0 then 0 else compare a.(!best_dim) b.(!best_dim)
+
+(* The interleaved key itself, when [d * bits] fits a tagged int (d = 2 at
+   30 grid bits does; d >= 3 does not): the presort then runs on a cheap
+   monomorphic int compare instead of [cmp_zorder]'s per-dimension scan,
+   which is the difference between the sort and the tree construction
+   dominating a 10⁶-point bulk build. Bit layout matches [cmp_zorder]:
+   within each grid-bit position, dimension i lands at relative bit i. *)
+let morton_key g =
+  let d = Array.length g in
+  let r = ref 0 in
+  for bit = bits - 1 downto 0 do
+    for i = d - 1 downto 0 do
+      r := (!r lsl 1) lor ((g.(i) lsr bit) land 1)
+    done
+  done;
+  !r
+
+(* Smallest aligned cube containing two distinct grid points. For a
+   z-sorted slice this is the smallest cube containing the whole slice
+   when applied to its first and last element: all points agree on every
+   interleaved bit above the highest one on which any pair differs, and
+   the slice's extremes differ exactly there. *)
+let enclosing_of_pair dimension a b =
   let depth = ref bits in
   for i = 0 to dimension - 1 do
-    let common = bits - bitlen (lo.(i) lxor hi.(i)) in
+    let common = bits - bitlen (a.(i) lxor b.(i)) in
     if common < !depth then depth := common
   done;
   let k = !depth in
   let shift = bits - k in
-  let corner = Array.map (fun c -> (c lsr shift) lsl shift) lo in
-  (k, corner)
+  (k, Array.map (fun c -> (c lsr shift) lsl shift) a)
 
-let group_by_quadrant ~ndepth pts =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun p ->
-      let q = quadrant ~ndepth p in
-      Hashtbl.replace tbl q (p :: (try Hashtbl.find tbl q with Not_found -> [])))
-    pts;
-  Hashtbl.fold (fun q ps acc -> (q, ps) :: acc) tbl []
+let placeholder_id = -1
 
-let rec build_sub t pts =
-  match pts with
-  | [] -> assert false
-  | [ p ] ->
-      let leaf = fresh_node t ~ndepth:bits ~corner:p ~npoint:(Some p) in
-      leaf.size <- 1;
-      leaf
-  | _ ->
-      let k, corner = enclosing_cube t.tdim pts in
-      assert (k < bits);
-      let node = fresh_node t ~ndepth:k ~corner ~npoint:None in
-      let groups = group_by_quadrant ~ndepth:k pts in
-      assert (List.length groups >= 2);
-      List.iter
-        (fun (q, ps) ->
-          let child = build_sub t ps in
-          attach_child node q child;
-          node.size <- node.size + child.size)
-        groups;
-      node
+let make_node ~ndepth ~corner ~npoint ~size =
+  { id = placeholder_id; ndepth; corner; children = []; npoint; size; parent = None }
 
-let build ~dim:dimension points =
-  if dimension < 1 then invalid_arg "Cqtree.build: dim >= 1";
+(* Single-pass subtree construction over the z-sorted distinct slice
+   [gs.(lo .. hi - 1)]: no shared-state writes (placeholder ids, no index
+   inserts), so disjoint slices build concurrently on pool workers.
+   Quadrant groups are contiguous in the slice (see {!cmp_zorder}), so
+   children split off by scanning group boundaries left to right. *)
+let rec build_slice dimension gs lo hi =
+  if hi - lo = 1 then make_node ~ndepth:bits ~corner:gs.(lo) ~npoint:(Some gs.(lo)) ~size:1
+  else begin
+    let k, corner = enclosing_of_pair dimension gs.(lo) gs.(hi - 1) in
+    assert (k < bits);
+    let node = make_node ~ndepth:k ~corner ~npoint:None ~size:(hi - lo) in
+    let rev_children = ref [] in
+    let i = ref lo in
+    while !i < hi do
+      let q = quadrant ~ndepth:k gs.(!i) in
+      let j = ref (!i + 1) in
+      while !j < hi && quadrant ~ndepth:k gs.(!j) = q do incr j done;
+      let c = build_slice dimension gs !i !j in
+      c.parent <- Some node;
+      rev_children := (q, c) :: !rev_children;
+      i := !j
+    done;
+    node.children <- List.rev !rev_children;
+    node
+  end
+
+(* Assign real ids in a preorder DFS and publish the subtree into the
+   shared cube index — the sequential commit pass. Preorder over the
+   deterministic child lists makes the id assignment a pure function of
+   the point set, identical for any jobs count. *)
+let commit_subtree t node =
+  let rec go n =
+    n.id <- t.next_id;
+    t.next_id <- t.next_id + 1;
+    t.nnodes <- t.nnodes + 1;
+    if t.logging then t.added_log <- n.id :: t.added_log;
+    Hashtbl.replace t.cube_index (cube_key n.ndepth n.corner) n;
+    List.iter (fun (_, c) -> go c) n.children
+  in
+  go node
+
+let of_sorted ?pool ~dim:dimension points =
+  if dimension < 1 then invalid_arg "Cqtree.of_sorted: dim >= 1";
   Array.iter
     (fun p ->
-      if Point.dim p <> dimension then invalid_arg "Cqtree.build: dimension mismatch")
+      if Point.dim p <> dimension then invalid_arg "Cqtree.of_sorted: dimension mismatch")
     points;
-  let seen = Hashtbl.create (Array.length points) in
-  let grid_pts =
-    Array.to_list points
-    |> List.filter_map (fun p ->
-           let g = Point.to_grid p in
-           let key = Array.to_list g in
-           if Hashtbl.mem seen key then None
-           else begin
-             Hashtbl.add seen key ();
-             Some g
-           end)
+  let gs = Array.map Point.to_grid points in
+  (* Two keys with equal Morton codes are the same grid point, so the
+     decorate/sort/strip round trip deduplicates exactly like the direct
+     [cmp_zorder] presort and yields the same sequence. *)
+  let gs =
+    if dimension * bits <= 62 then
+      Array.map snd
+        (Presort.sorted_distinct ?pool
+           ~cmp:(fun (a, _) (b, _) -> Int.compare a b)
+           (Array.map (fun g -> (morton_key g, g)) gs))
+    else Presort.sorted_distinct ?pool ~cmp:cmp_zorder gs
   in
+  let n = Array.length gs in
   let t =
     {
       tdim = dimension;
@@ -174,12 +229,12 @@ let build ~dim:dimension points =
           corner = Array.make dimension 0;
           children = [];
           npoint = None;
-          size = 0;
+          size = n;
           parent = None;
         };
-      cube_index = Hashtbl.create 64;
+      cube_index = Hashtbl.create (max 64 (2 * n));
       next_id = 1;
-      npoints = 0;
+      npoints = n;
       nnodes = 1;
       logging = false;
       added_log = [];
@@ -187,25 +242,45 @@ let build ~dim:dimension points =
     }
   in
   Hashtbl.replace t.cube_index (cube_key 0 t.root.corner) t.root;
-  (match grid_pts with
-  | [] -> ()
-  | pts ->
-      let top = build_sub t pts in
-      if top.ndepth = 0 then begin
-        (* The enclosing cube is the unit cube itself: merge into root. *)
-        t.root.children <- top.children;
-        List.iter (fun (_, c) -> c.parent <- Some t.root) top.children;
-        t.root.npoint <- top.npoint;
-        t.root.size <- top.size;
-        drop_node t top;
-        Hashtbl.replace t.cube_index (cube_key 0 t.root.corner) t.root
-      end
-      else begin
-        attach_child t.root (quadrant ~ndepth:0 top.corner) top;
-        t.root.size <- top.size
-      end);
-  t.npoints <- t.root.size;
+  if n > 0 then begin
+    (* The root's quadrant groups are the disjoint shards: each builds its
+       own minimal-enclosing-cube subtree independently. *)
+    let rev_groups = ref [] in
+    let i = ref 0 in
+    while !i < n do
+      let q = quadrant ~ndepth:0 gs.(!i) in
+      let j = ref (!i + 1) in
+      while !j < n && quadrant ~ndepth:0 gs.(!j) = q do incr j done;
+      rev_groups := (q, !i, !j) :: !rev_groups;
+      i := !j
+    done;
+    let groups = Array.of_list (List.rev !rev_groups) in
+    let ngroups = Array.length groups in
+    let tops = Array.make ngroups t.root in
+    let run gi =
+      let _, lo, hi = groups.(gi) in
+      tops.(gi) <- build_slice dimension gs lo hi
+    in
+    (match pool with
+    | Some p when ngroups > 1 ->
+        Pool.parallel_for_tasks p ~weights:(Array.map (fun (_, lo, hi) -> hi - lo) groups) run
+    | _ ->
+        for gi = 0 to ngroups - 1 do
+          run gi
+        done);
+    (* Sequential merge/commit: attach the shard tops in ascending
+       quadrant order (the z-sorted groups already are), then number the
+       whole forest in one preorder pass. *)
+    t.root.children <- Array.to_list (Array.mapi (fun gi (q, _, _) -> (q, tops.(gi))) groups);
+    List.iter
+      (fun (_, c) ->
+        c.parent <- Some t.root;
+        commit_subtree t c)
+      t.root.children
+  end;
   t
+
+let build ?pool ~dim points = of_sorted ?pool ~dim points
 
 let node_of_cube t (ndepth, corner) =
   Hashtbl.find_opt t.cube_index (cube_key ndepth corner)
@@ -359,6 +434,253 @@ let insert_delta t p =
 let remove_delta t p =
   let changed, (added, removed) = with_delta t (fun () -> remove t p) in
   (changed, added, removed)
+
+(* ---------------- native batch engines ----------------
+
+   A batch partitions by the keys' root quadrants into disjoint shards.
+   During the parallel phase each shard worker owns (a) the subtree hanging
+   off the root at its quadrant — detached up front, so no worker ever
+   follows a parent pointer into the root — and (b) a per-batch-position
+   log slot. Workers replay [insert]/[remove]'s structural steps exactly,
+   with the detached shard top standing in for "root's child at this
+   quadrant", and never touch the root, the shared cube index (reads are
+   fine: there are no concurrent writers, and for distinct keys a stale
+   entry is never consulted — only full-depth leaves match a [bits]-deep
+   cube key and each is dropped at most once), the id counter, or the
+   churn log. One sequential commit pass then walks the batch positions in
+   order, assigning ids / retiring index entries exactly as the per-key
+   loop would have, and reattaches the shard tops — so ids, node sets,
+   sizes and the aggregate delta are bit-identical to the sequential
+   per-key loop for any jobs count. Only the root's child-list order is
+   canonicalized (ascending quadrant); no observable (answers, deltas,
+   charges) depends on that order. *)
+
+type shard = {
+  squad : int;  (* root quadrant *)
+  mutable stop : node option;  (* the detached root child for this quadrant *)
+  mutable skeys : int list;  (* batch positions, reversed *)
+}
+
+(* Group batch positions by root quadrant and detach the matching root
+   children. Returns the shards in first-appearance order (scheduling
+   only — the commit never depends on it). *)
+let make_shards t gs =
+  let tbl = Hashtbl.create 8 in
+  let rev_order = ref [] in
+  Array.iteri
+    (fun i g ->
+      let q = quadrant ~ndepth:0 g in
+      let sh =
+        match Hashtbl.find_opt tbl q with
+        | Some sh -> sh
+        | None ->
+            let sh = { squad = q; stop = None; skeys = [] } in
+            Hashtbl.add tbl q sh;
+            rev_order := sh :: !rev_order;
+            sh
+      in
+      sh.skeys <- i :: sh.skeys)
+    gs;
+  let shards = Array.of_list (List.rev !rev_order) in
+  Array.iter
+    (fun sh ->
+      match List.assoc_opt sh.squad t.root.children with
+      | None -> ()
+      | Some c ->
+          t.root.children <- List.remove_assoc sh.squad t.root.children;
+          c.parent <- None;
+          sh.stop <- Some c)
+    shards;
+  shards
+
+(* Put the surviving shard tops back under the root, ascending quadrant
+   first, untouched quadrants after in their existing order. *)
+let reattach_shards t shards =
+  let tops =
+    Array.to_list shards
+    |> List.filter_map (fun sh ->
+           match sh.stop with Some c -> Some (sh.squad, c) | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter (fun (_, c) -> c.parent <- Some t.root) tops;
+  t.root.children <- tops @ t.root.children
+
+let run_shards ?pool shards run =
+  match pool with
+  | Some p when Array.length shards > 1 ->
+      Pool.parallel_for_tasks p
+        ~weights:(Array.map (fun sh -> List.length sh.skeys) shards)
+        run
+  | _ ->
+      for si = 0 to Array.length shards - 1 do
+        run si
+      done
+
+(* [insert]'s structural steps inside one shard; returns the created
+   nodes in [insert]'s creation order ([] for a duplicate). *)
+let shard_insert t sh g =
+  let bump_to_top n =
+    let rec go = function
+      | None -> ()
+      | Some v ->
+          v.size <- v.size + 1;
+          go v.parent
+    in
+    go (Some n)
+  in
+  match sh.stop with
+  | None ->
+      let leaf = make_node ~ndepth:bits ~corner:g ~npoint:(Some g) ~size:1 in
+      sh.stop <- Some leaf;
+      [ leaf ]
+  | Some top ->
+      if not (cube_contains ~ndepth:top.ndepth ~corner:top.corner g) then begin
+        (* The Outside_child case at the root. *)
+        let k, corner = enclosing_of_pair t.tdim g top.corner in
+        let w = make_node ~ndepth:k ~corner ~npoint:None ~size:(top.size + 1) in
+        let leaf = make_node ~ndepth:bits ~corner:g ~npoint:(Some g) ~size:1 in
+        attach_child w (quadrant ~ndepth:k top.corner) top;
+        attach_child w (quadrant ~ndepth:k g) leaf;
+        sh.stop <- Some w;
+        [ w; leaf ]
+      end
+      else begin
+        let loc, _path = locate_grid_from t top g in
+        let v = loc.node in
+        match loc.slot with
+        | At_point -> []
+        | Empty_quadrant q ->
+            let leaf = make_node ~ndepth:bits ~corner:g ~npoint:(Some g) ~size:1 in
+            attach_child v q leaf;
+            bump_to_top v;
+            [ leaf ]
+        | Outside_child q ->
+            let c = List.assoc q v.children in
+            let k, corner = enclosing_of_pair t.tdim g c.corner in
+            assert (k > v.ndepth && k < c.ndepth);
+            let w = make_node ~ndepth:k ~corner ~npoint:None ~size:c.size in
+            let leaf = make_node ~ndepth:bits ~corner:g ~npoint:(Some g) ~size:1 in
+            replace_child v q w;
+            attach_child w (quadrant ~ndepth:k c.corner) c;
+            attach_child w (quadrant ~ndepth:k g) leaf;
+            bump_to_top w;
+            [ w; leaf ]
+      end
+
+let insert_batch ?pool t points =
+  let m = Array.length points in
+  if m = 0 then (0, [])
+  else begin
+    Array.iter
+      (fun p ->
+        if Point.dim p <> t.tdim then invalid_arg "Cqtree.insert_batch: dimension mismatch")
+      points;
+    let gs = Array.map Point.to_grid points in
+    let shards = make_shards t gs in
+    let created = Array.make m [] in
+    run_shards ?pool shards (fun si ->
+        let sh = shards.(si) in
+        List.iter (fun i -> created.(i) <- shard_insert t sh gs.(i)) (List.rev sh.skeys));
+    (* Commit: number the created nodes in global batch order — exactly
+       the order the per-key loop would have drawn ids in. The returned
+       list mirrors the per-key loop's concatenated [insert_delta] lists:
+       segments in batch order, each segment newest-id-first (the delta
+       log is prepend-built). *)
+    let inserted = ref 0 in
+    let rev_segs = ref [] in
+    for i = 0 to m - 1 do
+      match created.(i) with
+      | [] -> ()
+      | nodes ->
+          incr inserted;
+          let seg = ref [] in
+          List.iter
+            (fun node ->
+              node.id <- t.next_id;
+              t.next_id <- t.next_id + 1;
+              t.nnodes <- t.nnodes + 1;
+              Hashtbl.replace t.cube_index (cube_key node.ndepth node.corner) node;
+              seg := node.id :: !seg)
+            nodes;
+          rev_segs := !seg :: !rev_segs
+    done;
+    reattach_shards t shards;
+    t.root.size <- t.root.size + !inserted;
+    t.npoints <- t.npoints + !inserted;
+    (!inserted, List.concat (List.rev !rev_segs))
+  end
+
+(* [remove]'s structural steps inside one shard; returns the dropped
+   nodes in [remove]'s drop order ([] for an absent key). *)
+let shard_remove t sh g =
+  match Hashtbl.find_opt t.cube_index (cube_key bits g) with
+  | None -> []
+  | Some leaf when leaf.npoint = None -> []
+  | Some leaf -> (
+      let shrink_to_top n =
+        let rec go = function
+          | None -> ()
+          | Some v ->
+              v.size <- v.size - 1;
+              go v.parent
+        in
+        go (Some n)
+      in
+      match leaf.parent with
+      | None ->
+          (* The leaf is this shard's whole subtree. *)
+          sh.stop <- None;
+          [ leaf ]
+      | Some v -> (
+          shrink_to_top v;
+          let q = quadrant ~ndepth:v.ndepth g in
+          detach_child v q;
+          match (v.children, v.parent, v.npoint) with
+          | [ (_, only) ], Some grandparent, None ->
+              let vq = quadrant ~ndepth:grandparent.ndepth v.corner in
+              replace_child grandparent vq only;
+              [ leaf; v ]
+          | [ (_, only) ], None, None ->
+              (* v was the shard top: the root-level splice. *)
+              only.parent <- None;
+              sh.stop <- Some only;
+              [ leaf; v ]
+          | _ -> [ leaf ]))
+
+let remove_batch ?pool t points =
+  let m = Array.length points in
+  if m = 0 then (0, [])
+  else begin
+    let gs = Array.map Point.to_grid points in
+    let shards = make_shards t gs in
+    let dropped = Array.make m [] in
+    run_shards ?pool shards (fun si ->
+        let sh = shards.(si) in
+        List.iter (fun i -> dropped.(i) <- shard_remove t sh gs.(i)) (List.rev sh.skeys));
+    (* Mirror of the insert commit: per-key segments in batch order, each
+       newest-dropped-first, exactly as the per-key [remove_delta] log
+       reports them. *)
+    let removed = ref 0 in
+    let rev_segs = ref [] in
+    for i = 0 to m - 1 do
+      match dropped.(i) with
+      | [] -> ()
+      | nodes ->
+          incr removed;
+          let seg = ref [] in
+          List.iter
+            (fun node ->
+              Hashtbl.remove t.cube_index (cube_key node.ndepth node.corner);
+              t.nnodes <- t.nnodes - 1;
+              seg := node.id :: !seg)
+            nodes;
+          rev_segs := !seg :: !rev_segs
+    done;
+    reattach_shards t shards;
+    t.root.size <- t.root.size - !removed;
+    t.npoints <- t.npoints - !removed;
+    (!removed, List.concat (List.rev !rev_segs))
+  end
 
 let iter_points t ~f =
   let rec go n =
@@ -578,3 +900,107 @@ let range_report t ~lo ~hi =
   in
   List.rev
     (range_fold t ~lo ~hi ~init:[] ~leaf:(fun acc g -> Point.of_grid g :: acc) ~subtree:collect)
+
+(* ---------------- charged query surfaces ----------------
+
+   Like {!range_count}/{!nearest}, but additionally reporting the ids of
+   every node the walk actually descends into — the ranges a distributed
+   execution would fetch, which the hierarchy turns into per-host message
+   charges. Both walks are deterministic (child lists and heap contents
+   depend only on the structure), so the visit sequence is identical for
+   any jobs count. *)
+
+let range_scan t ~lo ~hi ~limit =
+  if limit < 0 then invalid_arg "Cqtree.range_scan: limit >= 0";
+  let box = box_of_points lo hi in
+  let rev_visited = ref [] in
+  let count = ref 0 in
+  let rev_sample = ref [] in
+  let taken = ref 0 in
+  let visit n = rev_visited := n.id :: !rev_visited in
+  let take g =
+    incr count;
+    if !taken < limit then begin
+      rev_sample := Point.of_grid g :: !rev_sample;
+      incr taken
+    end
+  in
+  (* A fully-contained subtree is counted from its size field without
+     walking — unless the sample still needs points, in which case the
+     collection walk's nodes are charged like any other visit. *)
+  let rec collect n =
+    (match n.npoint with Some g -> take g | None -> ());
+    List.iter
+      (fun (_, c) ->
+        if !taken < limit then begin
+          visit c;
+          collect c
+        end
+        else count := !count + c.size)
+      n.children
+  in
+  let rec go n =
+    match cube_box_relation ~ndepth:n.ndepth ~corner:n.corner box with
+    | 0 -> ()
+    | 1 ->
+        visit n;
+        if !taken < limit then collect n else count := !count + n.size
+    | _ ->
+        visit n;
+        (match n.npoint with
+        | Some g ->
+            let glo, ghi = box in
+            let inside = ref true in
+            Array.iteri (fun i c -> if c < glo.(i) || c > ghi.(i) then inside := false) g;
+            if !inside then take g
+        | None -> List.iter (fun (_, c) -> go c) n.children)
+  in
+  go t.root;
+  (!count, List.rev !rev_sample, List.rev !rev_visited)
+
+let knn t q ~k =
+  if k <= 0 then invalid_arg "Cqtree.knn: k >= 1";
+  let heap = Frontier.create () in
+  Frontier.push heap (0.0, t.root);
+  let rev_visited = ref [] in
+  (* The k best, ascending (dist_sq, point); ties broken on the point so
+     the result is a pure function of the stored set. *)
+  let best = ref [] in
+  let nbest = ref 0 in
+  let kth_bound () =
+    if !nbest < k then infinity
+    else fst (List.nth !best (k - 1))
+  in
+  let offer d p =
+    let rec ins = function
+      | [] -> [ (d, p) ]
+      | ((d', p') :: rest) as l ->
+          if d < d' || (d = d' && compare p p' < 0) then (d, p) :: l else (d', p') :: ins rest
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+    in
+    best := take k (ins !best);
+    nbest := List.length !best
+  in
+  let rec loop () =
+    match Frontier.pop heap with
+    | None -> ()
+    | Some (bound, _) when bound >= kth_bound () -> ()
+    | Some (_, n) ->
+        rev_visited := n.id :: !rev_visited;
+        (match n.npoint with
+        | Some g ->
+            let p = Point.of_grid g in
+            offer (Point.dist_sq p q) p
+        | None -> ());
+        List.iter
+          (fun (_, c) ->
+            let b = cube_dist_sq t (c.ndepth, c.corner) q in
+            if b < kth_bound () then Frontier.push heap (b, c))
+          n.children;
+        loop ()
+  in
+  loop ();
+  (List.map (fun (d, p) -> (p, sqrt d)) !best, List.rev !rev_visited)

@@ -30,10 +30,20 @@ type slot =
 
 type location = { node : node; slot : slot }
 
-val build : dim:int -> Skipweb_geom.Point.t array -> t
-(** Build from points in the unit cube. Duplicate grid points are ignored
-    beyond the first occurrence. [dim >= 1]; every point must have
-    dimension [dim]. *)
+val of_sorted : ?pool:Skipweb_util.Pool.t -> dim:int -> Skipweb_geom.Point.t array -> t
+(** Single-pass bulk build: z-order-presort the points (a no-op when they
+    already arrive z-sorted and distinct), shard by root quadrant, build
+    each shard's compressed subtree in one left-to-right pass over its
+    slice — fanned over [pool]'s domains when one is given — then attach
+    and id-number everything in a sequential preorder commit. The
+    resulting tree (node set, ids, child order) is a pure function of the
+    distinct grid-point set: bit-identical for any jobs count and for any
+    input permutation. [dim >= 1]; every point must have dimension
+    [dim]. *)
+
+val build : ?pool:Skipweb_util.Pool.t -> dim:int -> Skipweb_geom.Point.t array -> t
+(** Alias for {!of_sorted} — the bulk path {e is} the build path.
+    Duplicate grid points are ignored beyond the first occurrence. *)
 
 val dim : t -> int
 val size : t -> int
@@ -112,6 +122,23 @@ val insert_delta : t -> Skipweb_geom.Point.t -> bool * int list * int list
 val remove_delta : t -> Skipweb_geom.Point.t -> bool * int list * int list
 (** Like {!remove}, with the same delta report as {!insert_delta}. *)
 
+val insert_batch : ?pool:Skipweb_util.Pool.t -> t -> Skipweb_geom.Point.t array -> int * int list
+(** [insert_batch t pts] applies the whole batch as the per-key
+    {!insert} loop would, in array order (duplicates skipped), and
+    returns [(inserted, created_node_ids)]: the concatenation, in batch
+    order, of each key's {!insert_delta} id list — bit-identical to the
+    per-key loop's concatenated delta reports, since the commit pass
+    numbers created nodes in global batch position order. With [pool], keys partition into disjoint shards by root
+    quadrant and apply on pool workers; the final tree, ids and the
+    return value are bit-identical for any jobs count (only the root's
+    child-list order is canonicalized — ascending quadrant — on which no
+    observable depends). Must not run concurrently with queries. *)
+
+val remove_batch : ?pool:Skipweb_util.Pool.t -> t -> Skipweb_geom.Point.t array -> int * int list
+(** The mirror of {!insert_batch}: [(removed, dropped_node_ids)] is the
+    concatenation, in batch order, of each key's {!remove_delta} id list
+    (absent keys skipped). Same sharding, same bit-identical contract. *)
+
 val check_invariants : t -> unit
 (** Validates: cube alignment, children within parent quadrants, interior
     nodes interesting (>= 2 children or the root), subtree sizes, leaf
@@ -134,3 +161,33 @@ val range_count : t -> lo:Skipweb_geom.Point.t -> hi:Skipweb_geom.Point.t -> int
 
 val range_report : t -> lo:Skipweb_geom.Point.t -> hi:Skipweb_geom.Point.t -> Skipweb_geom.Point.t list
 (** The points themselves. *)
+
+(** {1 Charged query surfaces}
+
+    Like {!range_count}/{!nearest}, but additionally reporting the ids of
+    every node the walk descends into — the ranges a distributed
+    execution fetches, which the skip-web hierarchy turns into per-host
+    message charges. Deterministic: the visit sequence is a pure function
+    of the structure and the query. *)
+
+val range_scan :
+  t ->
+  lo:Skipweb_geom.Point.t ->
+  hi:Skipweb_geom.Point.t ->
+  limit:int ->
+  int * Skipweb_geom.Point.t list * int list
+(** [range_scan t ~lo ~hi ~limit] counts the stored points in the closed
+    box [\[lo, hi\]] and collects up to [limit] of them in traversal
+    order: [(count, sample, visited_node_ids)]. Fully-contained subtrees
+    are counted from their size fields without walking once the sample is
+    full, so the visit list stays near the pruning frontier. *)
+
+val knn :
+  t ->
+  Skipweb_geom.Point.t ->
+  k:int ->
+  (Skipweb_geom.Point.t * float) list * int list
+(** [knn t q ~k] returns the [k] stored points nearest to [q] (fewer if
+    the tree is smaller), ascending by distance with ties broken on the
+    point, together with the ids of the nodes the best-first search
+    expanded. [k >= 1]. *)

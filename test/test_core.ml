@@ -656,6 +656,257 @@ let test_pinned_blocked_churn_messages () = run_pinned_blocked_churn ()
 let test_pinned_blocked_churn_messages_pooled () =
   Skipweb_util.Pool.with_pool ~jobs:2 (fun pool -> run_pinned_blocked_churn ?pool ())
 
+(* ------- multi-dimensional scans through the hierarchy (PR 10) ------- *)
+
+let test_scan_answers_and_stats () =
+  (* 1-d range count. *)
+  let net = Network.create ~hosts:64 in
+  let bound = 100_000 in
+  let ks = W.distinct_ints ~seed:70 ~n:400 ~bound in
+  let h = HInt.build ~net ~seed:70 ks in
+  let rng = Prng.create 71 in
+  List.iter
+    (fun (lo, hi) ->
+      let count, st = HInt.scan h ~rng (lo, hi) in
+      let oracle = Array.fold_left (fun acc k -> if k >= lo && k <= hi then acc + 1 else acc) 0 ks in
+      checki "int range count" oracle count;
+      checki "per-level list length" (HInt.levels h) (List.length st.HInt.per_level_visits);
+      checkb "scan charged" true (st.HInt.messages > 0))
+    [ (0, bound); (250, 9_000); (50_000, 49_999) ];
+  (* 2-d box + k-NN, against the direct quadtree walk. *)
+  let netp = Network.create ~hosts:64 in
+  let pts = W.uniform_points ~seed:72 ~n:400 ~dim:2 in
+  let hp = HP2.build ~net:netp ~seed:72 pts in
+  let oracle = Cq.build ~dim:2 pts in
+  let rngp = Prng.create 73 in
+  let lo = Point.create [ 0.2; 0.25 ] and hi = Point.create [ 0.75; 0.8 ] in
+  (match HP2.scan hp ~rng:rngp (I.Box { lo; hi; limit = 40 }) with
+  | I.Box_hits { count; sample }, st ->
+      let c, s, _ = Cq.range_scan oracle ~lo ~hi ~limit:40 in
+      checki "box count" c count;
+      checkb "box sample = direct walk" true (sample = s);
+      checki "box per-level length" (HP2.levels hp) (List.length st.HP2.per_level_visits)
+  | I.Knn_hits _, _ -> Alcotest.fail "box scan answered knn");
+  let center = Point.create [ 0.4; 0.6 ] in
+  (match HP2.scan hp ~rng:rngp (I.Knn { center; k = 7 }) with
+  | I.Knn_hits hits, st ->
+      let oh, _ = Cq.knn oracle center ~k:7 in
+      checkb "knn = direct walk" true (hits = oh);
+      checkb "knn charged" true (st.HP2.messages > 0)
+  | I.Box_hits _, _ -> Alcotest.fail "knn scan answered box");
+  (* Prefix enumeration, against the direct trie walk. *)
+  let nets = Network.create ~hosts:64 in
+  let strs = W.random_strings ~seed:74 ~n:300 ~alphabet:3 ~len:7 in
+  let hs = HStr.build ~net:nets ~seed:74 strs in
+  let rngs = Prng.create 75 in
+  let toracle = Ct.build strs in
+  List.iter
+    (fun prefix ->
+      let a, st = HStr.scan hs ~rng:rngs { I.prefix; scan_limit = 30 } in
+      checki ("prefix total " ^ prefix) (Ct.count_with_prefix toracle prefix) a.I.total;
+      checkb ("prefix sample " ^ prefix) true
+        (a.I.strings = List.filteri (fun i _ -> i < 30) (Ct.strings_with_prefix toracle prefix));
+      checki "prefix per-level length" (HStr.levels hs) (List.length st.HStr.per_level_visits))
+    [ "a"; "ab"; "ccc"; "" ];
+  (* Trapezoid scan degenerates to the point query's answer. *)
+  let netg = Network.create ~hosts:64 in
+  let segs = W.disjoint_segments ~seed:76 ~n:50 in
+  let hg = HSeg.build ~net:netg ~seed:76 segs in
+  let rngg = Prng.create 77 in
+  Array.iter
+    (fun q ->
+      let sa, _ = HSeg.scan hg ~rng:rngg q in
+      let qa, _ = HSeg.query hg ~rng:rngg q in
+      checkb "segment scan = query answer" true (sa = qa))
+    (W.trapmap_query_points ~seed:78 ~n:25)
+
+(* Scan batches fan out like query batches: answers and stats identical to
+   the sequential loop for any jobs count. *)
+let test_scan_batch_jobs_identity () =
+  let digest jobs =
+    Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+        let net = Network.create ~hosts:64 in
+        let pts = W.uniform_points ~seed:79 ~n:300 ~dim:2 in
+        let h = HP2.build ~net ~seed:79 ?pool pts in
+        let qs = W.uniform_query_points ~seed:80 ~n:40 ~dim:2 in
+        let scans =
+          Array.map (fun c -> I.Knn { center = c; k = 3 }) qs
+        in
+        let rng = Prng.create 81 in
+        let out = HP2.scan_batch ?pool h ~rng scans in
+        (Array.to_list (Array.map (fun (a, st) -> (a, st.HP2.messages)) out),
+         Network.total_messages net))
+  in
+  let reference = digest 1 in
+  List.iter (fun jobs -> checkb "scan_batch jobs identity" true (digest jobs = reference)) [ 2; 4 ]
+
+(* ------- multi-d batch updates: bit-identical for any jobs count ------- *)
+
+let test_multid_batch_jobs_identity () =
+  let p2 jobs =
+    Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+        let net = Network.create ~hosts:64 in
+        let base = W.uniform_points ~seed:60 ~n:400 ~dim:2 in
+        let h = HP2.build ~net ~seed:61 ?pool base in
+        let extra = W.uniform_points ~seed:62 ~n:120 ~dim:2 in
+        let ins = HP2.insert_batch ?pool h extra in
+        let rmv = HP2.remove_batch ?pool h (Array.sub extra 0 60) in
+        HP2.check_invariants h;
+        let rng = Prng.create 63 in
+        let qs = W.uniform_query_points ~seed:64 ~n:50 ~dim:2 in
+        let answers = HP2.query_batch ?pool h ~rng qs in
+        ( ins,
+          rmv,
+          Array.to_list (Array.map (fun (a, st) -> (a, st.HP2.messages)) answers),
+          Network.total_messages net,
+          List.init 64 (Network.memory net),
+          HP2.size h ))
+  in
+  let p2_ref = p2 1 in
+  List.iter (fun jobs -> checkb "points2d batch jobs identity" true (p2 jobs = p2_ref)) [ 2; 4 ];
+  let str jobs =
+    Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+        let net = Network.create ~hosts:64 in
+        let base = W.random_strings ~seed:65 ~n:400 ~alphabet:3 ~len:8 in
+        let h = HStr.build ~net ~seed:66 ?pool base in
+        let extra = W.random_strings ~seed:67 ~n:120 ~alphabet:3 ~len:9 in
+        let ins = HStr.insert_batch ?pool h extra in
+        let rmv = HStr.remove_batch ?pool h (Array.sub extra 0 60) in
+        HStr.check_invariants h;
+        let rng = Prng.create 68 in
+        let qs = W.string_queries ~seed:69 ~keys:base ~n:50 in
+        let answers = HStr.query_batch ?pool h ~rng qs in
+        ( ins,
+          rmv,
+          Array.to_list (Array.map (fun (a, st) -> (a, st.HStr.messages)) answers),
+          Network.total_messages net,
+          List.init 64 (Network.memory net),
+          HStr.size h ))
+  in
+  let str_ref = str 1 in
+  List.iter (fun jobs -> checkb "strings batch jobs identity" true (str jobs = str_ref)) [ 2; 4 ];
+  let seg jobs =
+    Skipweb_util.Pool.with_pool ~jobs (fun pool ->
+        let net = Network.create ~hosts:64 in
+        let all = W.disjoint_segments ~seed:82 ~n:120 in
+        let h = HSeg.build ~net ~seed:83 ?pool (Array.sub all 0 80) in
+        (* Trapezoidal maps don't support deletion; inserts only. *)
+        let ins = HSeg.insert_batch ?pool h (Array.sub all 80 40) in
+        HSeg.check_invariants h;
+        let rng = Prng.create 84 in
+        let qs = W.trapmap_query_points ~seed:85 ~n:50 in
+        let answers = HSeg.query_batch ?pool h ~rng qs in
+        ( ins,
+          Array.to_list (Array.map (fun (a, st) -> (a, st.HSeg.messages)) answers),
+          Network.total_messages net,
+          List.init 64 (Network.memory net),
+          HSeg.size h ))
+  in
+  let seg_ref = seg 1 in
+  List.iter (fun jobs -> checkb "segments batch jobs identity" true (seg jobs = seg_ref)) [ 2; 4 ]
+
+(* ------- pinned multi-d churn guards (the 10287/3887 analogue) ------- *)
+
+(* Like the 1-d guards above: these totals pin the multi-d structures'
+   message model. A change here is a paper-facing cost-accounting change
+   and invalidates the BENCH baselines. *)
+
+let checkil = Alcotest.(check (list int))
+
+let run_pinned_points_churn () =
+  let base = W.uniform_points ~seed:90 ~n:300 ~dim:2 in
+  let ins = W.uniform_points ~seed:91 ~n:200 ~dim:2 in
+  let queries = W.uniform_query_points ~seed:92 ~n:200 ~dim:2 in
+  let net = Network.create ~hosts:128 in
+  let h = HP2.build ~net ~seed:90 base in
+  let alive = ref (Array.to_list base) in
+  let rng = Prng.create 0xfeed in
+  let ops = ref 0 in
+  let ins_i = ref 0 and q_i = ref 0 in
+  for i = 0 to 399 do
+    match i mod 5 with
+    | 0 | 2 ->
+        let p = ins.(!ins_i mod Array.length ins) in
+        incr ins_i;
+        ops := !ops + HP2.insert h p;
+        alive := p :: !alive
+    | 1 | 3 ->
+        if !alive <> [] then begin
+          let n = List.length !alive in
+          let j = Prng.int rng n in
+          let p = List.nth !alive j in
+          alive := List.filteri (fun k _ -> k <> j) !alive;
+          ops := !ops + HP2.remove h p
+        end
+    | _ ->
+        let q = queries.(!q_i mod Array.length queries) in
+        incr q_i;
+        let _, st = HP2.query h ~rng q in
+        ops := !ops + st.HP2.messages
+  done;
+  HP2.check_invariants h;
+  checkil "pinned points2d churn [ops; net; size]" [ 11441; 5041; 300 ]
+    [ !ops; Network.total_messages net; HP2.size h ]
+
+let run_pinned_strings_churn () =
+  let base = W.random_strings ~seed:93 ~n:300 ~alphabet:3 ~len:8 in
+  let ins = W.random_strings ~seed:94 ~n:200 ~alphabet:3 ~len:9 in
+  let queries = W.string_queries ~seed:95 ~keys:base ~n:200 in
+  let net = Network.create ~hosts:128 in
+  let h = HStr.build ~net ~seed:93 base in
+  let alive = ref (Array.to_list base) in
+  let rng = Prng.create 0xface in
+  let ops = ref 0 in
+  let ins_i = ref 0 and q_i = ref 0 in
+  for i = 0 to 399 do
+    match i mod 5 with
+    | 0 | 2 ->
+        let s = ins.(!ins_i mod Array.length ins) in
+        incr ins_i;
+        ops := !ops + HStr.insert h s;
+        alive := s :: !alive
+    | 1 | 3 ->
+        if !alive <> [] then begin
+          let n = List.length !alive in
+          let j = Prng.int rng n in
+          let s = List.nth !alive j in
+          alive := List.filteri (fun k _ -> k <> j) !alive;
+          ops := !ops + HStr.remove h s
+        end
+    | _ ->
+        let q = queries.(!q_i mod Array.length queries) in
+        incr q_i;
+        let _, st = HStr.query h ~rng q in
+        ops := !ops + st.HStr.messages
+  done;
+  HStr.check_invariants h;
+  checkil "pinned strings churn [ops; net; size]" [ 11692; 5292; 300 ]
+    [ !ops; Network.total_messages net; HStr.size h ]
+
+let run_pinned_segments_churn () =
+  let all = W.disjoint_segments ~seed:96 ~n:200 in
+  let queries = W.trapmap_query_points ~seed:97 ~n:200 in
+  let net = Network.create ~hosts:128 in
+  let h = HSeg.build ~net ~seed:96 (Array.sub all 0 150) in
+  let rng = Prng.create 0xdead in
+  let ops = ref 0 in
+  let ins_i = ref 150 and q_i = ref 0 in
+  for i = 0 to 199 do
+    if i mod 4 = 0 && !ins_i < 200 then begin
+      ops := !ops + HSeg.insert h all.(!ins_i);
+      incr ins_i
+    end
+    else begin
+      let q = queries.(!q_i mod Array.length queries) in
+      incr q_i;
+      let _, st = HSeg.query h ~rng q in
+      ops := !ops + st.HSeg.messages
+    end
+  done;
+  HSeg.check_invariants h;
+  checkil "pinned segments churn [ops; net; size]" [ 2492; 1592; 200 ]
+    [ !ops; Network.total_messages net; HSeg.size h ]
+
 let suite =
   [
     Alcotest.test_case "hierarchy int build" `Quick test_hint_build;
@@ -695,6 +946,13 @@ let suite =
       test_pinned_hierarchy_churn_messages_pooled;
     Alcotest.test_case "pinned blocked churn messages (pooled build)" `Quick
       test_pinned_blocked_churn_messages_pooled;
+    Alcotest.test_case "scan answers + stats (range/knn/prefix/trap)" `Quick
+      test_scan_answers_and_stats;
+    Alcotest.test_case "scan_batch jobs identity" `Quick test_scan_batch_jobs_identity;
+    Alcotest.test_case "multi-d batch jobs identity" `Quick test_multid_batch_jobs_identity;
+    Alcotest.test_case "pinned points2d churn messages" `Quick run_pinned_points_churn;
+    Alcotest.test_case "pinned strings churn messages" `Quick run_pinned_strings_churn;
+    Alcotest.test_case "pinned segments churn messages" `Quick run_pinned_segments_churn;
     QCheck_alcotest.to_alcotest qcheck_blocked_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_int_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_hierarchy_churn;

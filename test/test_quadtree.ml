@@ -371,6 +371,112 @@ let qcheck_skipqtree_random_ops =
       SQ.check_invariants sq;
       SQ.size sq = List.length !live)
 
+(* ------- bulk build, batch updates, charged scans ------- *)
+
+module Pool = Skipweb_util.Pool
+
+(* Full structural fingerprint including ids: two trees with equal
+   censuses are indistinguishable to the hierarchy (placement hashes node
+   ids). *)
+let node_census t =
+  let acc = ref [] in
+  Q.iter_nodes t ~f:(fun n -> acc := (Q.node_id n, Q.node_cube n, Q.node_point n) :: !acc);
+  List.sort compare !acc
+
+let test_bulk_build_canonical_and_pooled () =
+  let pts = Workload.uniform_points ~seed:77 ~n:4_000 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  Q.check_invariants t;
+  let census = node_census t in
+  let rev = Array.of_list (List.rev (Array.to_list pts)) in
+  checkb "permutation invariant (ids included)" true (node_census (Q.build ~dim:2 rev) = census);
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let tp = Q.build ?pool ~dim:2 pts in
+          Q.check_invariants tp;
+          checkb "pooled build bit-identical" true (node_census tp = census)))
+    [ 2; 4 ]
+
+let qcheck_batch_matches_per_key_loop =
+  QCheck.Test.make ~name:"quadtree insert/remove batch = per-key loop (jobs 1/2/4)" ~count:12
+    QCheck.(triple (int_range 0 10_000) (int_range 0 120) (int_range 1 120))
+    (fun (seed, nbase, nbatch) ->
+      let base = Workload.uniform_points ~seed ~n:nbase ~dim:2 in
+      let batch = Workload.uniform_points ~seed:(seed + 1) ~n:nbatch ~dim:2 in
+      let rm =
+        Array.append (Array.sub batch 0 (nbatch / 2)) (Array.sub base 0 (min nbase 20))
+      in
+      (* Reference: the per-key delta loop over the same starting tree. *)
+      let tref = Q.build ~dim:2 base in
+      let ins_ref = ref 0 and added_ref = ref [] in
+      Array.iter
+        (fun p ->
+          let changed, added, removed = Q.insert_delta tref p in
+          assert (removed = []);
+          if changed then incr ins_ref;
+          added_ref := !added_ref @ added)
+        batch;
+      let rm_ref = ref 0 and dropped_ref = ref [] in
+      Array.iter
+        (fun p ->
+          let changed, added, removed = Q.remove_delta tref p in
+          assert (added = []);
+          if changed then incr rm_ref;
+          dropped_ref := !dropped_ref @ removed)
+        rm;
+      let census_ref = node_census tref in
+      List.for_all
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let t = Q.build ?pool ~dim:2 base in
+              let ins, added = Q.insert_batch ?pool t batch in
+              let rmv, dropped = Q.remove_batch ?pool t rm in
+              Q.check_invariants t;
+              ins = !ins_ref && added = !added_ref && rmv = !rm_ref
+              && dropped = !dropped_ref
+              && node_census t = census_ref))
+        [ 1; 2; 4 ])
+
+let test_range_scan_matches_oracle () =
+  let pts = Workload.uniform_points ~seed:5 ~n:800 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let lo = Point.create [ 0.2; 0.3 ] and hi = Point.create [ 0.7; 0.8 ] in
+  let count, sample, visited = Q.range_scan t ~lo ~hi ~limit:50 in
+  checki "count = range_count" (Q.range_count t ~lo ~hi) count;
+  checki "sample bounded by limit" (min 50 count) (List.length sample);
+  let all = Q.range_report t ~lo ~hi in
+  checkb "sample from the box" true (List.for_all (fun p -> List.mem p all) sample);
+  checkb "walk charged" true (visited <> []);
+  let count_full, sample_full, _ = Q.range_scan t ~lo ~hi ~limit:10_000 in
+  checki "unclipped count unchanged" count count_full;
+  checkb "unclipped sample = report (as sets)" true
+    (List.sort compare sample_full = List.sort compare all)
+
+let test_knn_matches_brute_force () =
+  let pts = Workload.uniform_points ~seed:6 ~n:500 ~dim:2 in
+  let t = Q.build ~dim:2 pts in
+  let qs = Workload.uniform_query_points ~seed:7 ~n:20 ~dim:2 in
+  (* The tree stores grid-snapped points; the oracle must rank the same
+     representatives with the same tie-break. *)
+  let stored = ref [] in
+  Q.iter_points t ~f:(fun p -> stored := p :: !stored);
+  let k = 5 in
+  Array.iter
+    (fun q ->
+      let hits, visited = Q.knn t q ~k in
+      checkb "walk charged" true (visited <> []);
+      let oracle =
+        List.map (fun p -> (Point.dist_sq p q, p)) !stored
+        |> List.sort compare
+        |> List.filteri (fun i _ -> i < k)
+        |> List.map (fun (d, p) -> (p, sqrt d))
+      in
+      checkb "knn = brute force" true (hits = oracle))
+    qs;
+  let all, _ = Q.knn t (Point.create [ 0.5; 0.5 ]) ~k:1_000 in
+  checki "k > n returns everything" (Q.size t) (List.length all)
+
 let suite =
   [
     Alcotest.test_case "empty" `Quick test_empty;
@@ -396,6 +502,10 @@ let suite =
     Alcotest.test_case "skip quadtree fast on deep input" `Quick test_skipqtree_fast_on_deep_input;
     Alcotest.test_case "skip quadtree insert/remove" `Quick test_skipqtree_insert_remove;
     Alcotest.test_case "skip quadtree nearest" `Quick test_skipqtree_nearest;
+    Alcotest.test_case "bulk build canonical + pooled" `Quick test_bulk_build_canonical_and_pooled;
+    Alcotest.test_case "range_scan = oracle" `Quick test_range_scan_matches_oracle;
+    Alcotest.test_case "knn = brute force" `Quick test_knn_matches_brute_force;
+    QCheck_alcotest.to_alcotest qcheck_batch_matches_per_key_loop;
     QCheck_alcotest.to_alcotest qcheck_skipqtree_random_ops;
     QCheck_alcotest.to_alcotest qcheck_build_invariants;
     QCheck_alcotest.to_alcotest qcheck_insert_remove_invariants;

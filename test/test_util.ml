@@ -595,6 +595,47 @@ let test_vec_batch () =
   checkb "jobs 2 bit-identical" true (obs 2 = o1);
   checkb "jobs 4 bit-identical" true (obs 4 = o1)
 
+(* ------- the shared batch presort ------- *)
+
+(* Pins the semantics every batch entry point relies on: physical
+   identity on strictly sorted input, sort + dedup (first of each run of
+   cmp-equals) otherwise, input untouched, and a pooled run bit-identical
+   to the sequential one. *)
+let test_presort_semantics () =
+  let module Presort = Skipweb_util.Presort in
+  let a = [| 1; 3; 5; 9 |] in
+  checkb "strictly sorted input returned physically" true
+    (Presort.sorted_distinct ~cmp:compare a == a);
+  checkb "empty input returned physically" true
+    (let e = [||] in
+     Presort.sorted_distinct ~cmp:compare e == e);
+  let b = [| 5; 1; 3; 1; 5; 2 |] in
+  let out = Presort.sorted_distinct ~cmp:compare b in
+  checkb "unsorted input gets a fresh array" true (out != b);
+  Alcotest.(check (array int)) "sorted and distinct" [| 1; 2; 3; 5 |] out;
+  Alcotest.(check (array int)) "input untouched" [| 5; 1; 3; 1; 5; 2 |] b;
+  (* merely sorted-with-duplicates is not "strictly sorted": it must be
+     deduplicated, not returned as-is *)
+  Alcotest.(check (array int)) "sorted dupes collapse" [| 1; 2; 3 |]
+    (Presort.sorted_distinct ~cmp:compare [| 1; 2; 2; 3 |]);
+  (* custom comparator: one representative per equivalence class, classes
+     in cmp order (which structurally distinct member survives is
+     unspecified) *)
+  let pairs = [| (2, "b"); (1, "a"); (2, "a"); (1, "b") |] in
+  let cls = Presort.sorted_distinct ~cmp:(fun (x, _) (y, _) -> compare x y) pairs in
+  checki "one per class" 2 (Array.length cls);
+  checki "first class" 1 (fst cls.(0));
+  checki "second class" 2 (fst cls.(1))
+
+let test_presort_pooled_identical () =
+  let module Presort = Skipweb_util.Presort in
+  let g = Prng.create 99 in
+  let big = Array.init 50_000 (fun _ -> Prng.int g 10_000) in
+  let seq = Presort.sorted_distinct ~cmp:compare big in
+  Skipweb_util.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "pooled = sequential" seq
+        (Presort.sorted_distinct ?pool ~cmp:compare big))
+
 let qcheck_prng_int =
   QCheck.Test.make ~name:"prng int always in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 1_000_000))
@@ -659,6 +700,8 @@ let suite =
     Alcotest.test_case "ordseq batch mass remove" `Quick test_ordseq_batch_mass_remove;
     Alcotest.test_case "ordseq batch validation" `Quick test_ordseq_batch_validation;
     Alcotest.test_case "vec positional batch splice" `Quick test_vec_batch;
+    Alcotest.test_case "presort semantics" `Quick test_presort_semantics;
+    Alcotest.test_case "presort pooled identical" `Quick test_presort_pooled_identical;
     QCheck_alcotest.to_alcotest qcheck_prng_int;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
     QCheck_alcotest.to_alcotest qcheck_ordseq_model;
